@@ -1,0 +1,56 @@
+// Command calibrate runs the cloud-calibration micro-benchmarks of §6.1
+// against the (simulated) cloud and prints the fitted distributions of
+// Table 2 plus the network-performance views of Figures 6 and 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"deco/internal/calib"
+	"deco/internal/cloud"
+)
+
+func main() {
+	samples := flag.Int("samples", 10000, "probes per (type, metric) — the paper's 7-day, once-a-minute series")
+	bins := flag.Int("bins", 30, "histogram bins stored in the metadata store")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	cat := cloud.DefaultCatalog()
+	opt := calib.DefaultOptions()
+	opt.Samples = *samples
+	opt.Bins = *bins
+	res, err := calib.Run(cat, opt, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table 2: parameters of I/O performance distributions")
+	fmt.Print(res.Table2())
+
+	fmt.Println("\nFigure 6a: m1.medium network dynamics")
+	fmt.Printf("  max deviation from mean: %.1f%%\n", res.MaxVariancePct("m1.medium"))
+	h, err := res.NetHistogram("m1.medium", 15)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nFigure 6b: m1.medium network histogram (MB/s)")
+	fmt.Print(h.Ascii(40))
+
+	fmt.Println("\nFigure 7: link histograms")
+	rng := rand.New(rand.NewSource(*seed + 1))
+	for _, pair := range [][2]string{{"m1.large", "m1.large"}, {"m1.medium", "m1.large"}} {
+		lh, err := calib.LinkHistogram(cat, pair[0], pair[1], *samples, 15, rng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s <-> %s (mean %.1f MB/s)\n", pair[0], pair[1], lh.Mean())
+		fmt.Print(lh.Ascii(40))
+	}
+}

@@ -1,0 +1,144 @@
+// Command decorun runs a WLog program through the Deco engine and prints
+// the resulting provisioning plan. The workflow comes from the program's
+// import(...) statements or an explicit -dax file.
+//
+// Usage:
+//
+//	decorun -program schedule.wlog
+//	decorun -program schedule.wlog -dax montage.dax -runs 10
+//	decorun -program schedule.wlog -show-ir
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"deco"
+	"deco/internal/dag"
+	"deco/internal/dax"
+	"deco/internal/dist"
+	"deco/internal/probir"
+	"deco/internal/sim"
+	"deco/internal/wlog"
+)
+
+func main() {
+	program := flag.String("program", "", "WLog program file (required)")
+	daxPath := flag.String("dax", "", "workflow DAX file (overrides workflow imports)")
+	runs := flag.Int("runs", 0, "additionally execute the plan this many times on the simulator")
+	seed := flag.Int64("seed", 1, "rng seed")
+	iters := flag.Int("iters", 100, "Monte-Carlo iterations per state evaluation")
+	budget := flag.Int("budget", 4000, "solver state-evaluation budget")
+	showIR := flag.Bool("show-ir", false, "print the probabilistic IR translation and exit")
+	asJSON := flag.Bool("json", false, "emit the plan as JSON (for WMS integration)")
+	flag.Parse()
+
+	if *program == "" {
+		fmt.Fprintln(os.Stderr, "decorun: -program is required")
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(*program)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := deco.NewEngine(deco.WithSeed(*seed), deco.WithIters(*iters), deco.WithSearchBudget(*budget))
+	if err != nil {
+		fatal(err)
+	}
+	var w *dag.Workflow
+	if *daxPath != "" {
+		if w, err = dax.ParseFile(*daxPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *showIR {
+		if w == nil {
+			fatal(fmt.Errorf("-show-ir requires -dax"))
+		}
+		prog, err := wlog.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		tbl, err := eng.Estimator().BuildTable(w)
+		if err != nil {
+			fatal(err)
+		}
+		rules, err := probir.Translate(w, tbl, prog, 5, 500, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rules {
+			if r.Prob == 1 {
+				fmt.Printf("1.0 :: %s\n", r.Clause)
+			} else {
+				fmt.Printf("%.3f :: %s\n", r.Prob, r.Clause)
+			}
+		}
+		return
+	}
+
+	plan, err := eng.RunProgram(string(src), w)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		doc := map[string]any{
+			"workflow":         plan.Workflow.Name,
+			"tasks":            plan.Workflow.Len(),
+			"feasible":         plan.Feasible,
+			"estimated_cost":   plan.EstimatedCost,
+			"objective":        plan.Objective,
+			"constraint_probs": plan.ConsProb,
+			"assignments":      plan.Assignments(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("workflow: %s (%d tasks)\n", plan.Workflow.Name, plan.Workflow.Len())
+	fmt.Printf("feasible: %v   estimated cost: $%.4f   states evaluated: %d\n",
+		plan.Feasible, plan.EstimatedCost, plan.StatesEvaluated)
+	for i, p := range plan.ConsProb {
+		fmt.Printf("constraint %d satisfaction probability: %.3f\n", i+1, p)
+	}
+	asg := plan.Assignments()
+	ids := make([]string, 0, len(asg))
+	for id := range asg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Println("provisioning plan:")
+	for _, id := range ids {
+		fmt.Printf("  %-24s -> %s\n", id, asg[id])
+	}
+
+	if *runs > 0 {
+		rs, err := plan.Execute(*runs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		ms := sim.Makespans(rs)
+		cs := sim.Costs(rs)
+		fmt.Printf("\nexecuted %d times on the simulator:\n", *runs)
+		fmt.Printf("  makespan  mean %.1fs  p50 %.1fs  p95 %.1fs\n",
+			dist.MeanOf(ms), quantile(ms, 0.5), quantile(ms, 0.95))
+		fmt.Printf("  cost      mean $%.4f  p95 $%.4f\n", dist.MeanOf(cs), quantile(cs, 0.95))
+	}
+}
+
+func quantile(xs []float64, p float64) float64 {
+	return dist.NewEmpirical(xs).Quantile(p)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "decorun:", err)
+	os.Exit(1)
+}

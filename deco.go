@@ -1,0 +1,488 @@
+// Package deco is a declarative optimization engine for resource
+// provisioning of scientific workflows in IaaS clouds — a reproduction of
+// Zhou, He, Cheng and Lau (HPDC 2015).
+//
+// Users describe a workflow optimization problem in WLog, a ProLog-derived
+// declarative language with probabilistic deadline/budget constraints that
+// capture cloud performance dynamics:
+//
+//	import(amazonec2).
+//	import(montage).
+//	minimize Ct in totalcost(Ct).
+//	T in maxtime(Path,T) satisfies deadline(95%,10h).
+//	configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+//	...
+//
+// The engine translates the program into a probabilistic intermediate
+// representation backed by calibrated cloud-performance histograms,
+// searches the provisioning space with transformation-driven generic or A*
+// search, evaluates states with Monte-Carlo inference on a parallel device
+// (the software stand-in for the paper's GPU), and returns a provisioning
+// plan mapping every task to an instance type, ready for execution through
+// the bundled Pegasus-like WMS or any external system.
+//
+// The quick path for Go callers skips WLog:
+//
+//	eng, _ := deco.NewEngine()
+//	plan, _ := eng.Schedule(workflow, deco.Deadline{Percentile: 0.96, Seconds: 36000})
+package deco
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/dax"
+	"deco/internal/device"
+	"deco/internal/estimate"
+	"deco/internal/opt"
+	"deco/internal/probir"
+	"deco/internal/prolog"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// Engine is the declarative optimization engine. Construct it with
+// NewEngine; zero values are not usable.
+type Engine struct {
+	cat    *cloud.Catalog
+	meta   *cloud.Metadata
+	est    *estimate.Estimator
+	dev    device.Device
+	region string
+	iters  int
+	search opt.Options
+	seed   int64
+	// prologMaxTasks bounds when user-defined goal predicates are
+	// interpreted exactly with the Prolog machine; beyond it the engine
+	// requires the standard constructs and uses the native evaluator.
+	prologMaxTasks int
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithCatalog replaces the default EC2-like catalog.
+func WithCatalog(cat *cloud.Catalog) Option { return func(e *Engine) { e.cat = cat } }
+
+// WithMetadata installs a calibrated metadata store (e.g. from package
+// calib); the default discretizes the catalog's ground truth.
+func WithMetadata(md *cloud.Metadata) Option { return func(e *Engine) { e.meta = md } }
+
+// WithDevice selects the solver's execution device (default: Parallel).
+func WithDevice(d device.Device) Option { return func(e *Engine) { e.dev = d } }
+
+// WithIters sets the Monte-Carlo iteration budget per state evaluation
+// (Max_iter of Algorithm 1; default 100).
+func WithIters(n int) Option { return func(e *Engine) { e.iters = n } }
+
+// WithSeed makes runs reproducible.
+func WithSeed(s int64) Option { return func(e *Engine) { e.seed = s } }
+
+// WithRegion selects the pricing region (default us-east-1).
+func WithRegion(r string) Option { return func(e *Engine) { e.region = r } }
+
+// WithSearchBudget bounds the number of states the solver evaluates.
+func WithSearchBudget(n int) Option { return func(e *Engine) { e.search.MaxStates = n } }
+
+// NewEngine builds an engine with the paper's defaults: the EC2 m1 catalog,
+// metadata discretized from the calibrated Table 2 distributions, a
+// parallel device, and 100 Monte-Carlo iterations per evaluation.
+func NewEngine(options ...Option) (*Engine, error) {
+	e := &Engine{
+		dev:            device.Parallel{},
+		region:         cloud.USEast,
+		iters:          100,
+		seed:           1,
+		prologMaxTasks: 12,
+	}
+	e.search = opt.DefaultOptions(e.dev)
+	for _, o := range options {
+		o(e)
+	}
+	if e.cat == nil {
+		e.cat = cloud.DefaultCatalog()
+	}
+	if err := e.cat.Validate(); err != nil {
+		return nil, err
+	}
+	if e.meta == nil {
+		md, err := cloud.MetadataFromTruth(e.cat, 20, 10000, rand.New(rand.NewSource(e.seed)))
+		if err != nil {
+			return nil, err
+		}
+		e.meta = md
+	}
+	if err := e.meta.Validate(e.cat); err != nil {
+		return nil, err
+	}
+	if e.iters < 1 {
+		return nil, fmt.Errorf("deco: iters must be >= 1")
+	}
+	e.search.Device = e.dev
+	e.search.Seed = e.seed
+	e.est = estimate.New(e.cat, e.meta)
+	return e, nil
+}
+
+// Catalog exposes the engine's cloud catalog.
+func (e *Engine) Catalog() *cloud.Catalog { return e.cat }
+
+// Metadata exposes the calibrated performance store.
+func (e *Engine) Metadata() *cloud.Metadata { return e.meta }
+
+// Estimator exposes the task execution-time model.
+func (e *Engine) Estimator() *estimate.Estimator { return e.est }
+
+// Prices returns the hourly price per catalog type in the engine's region.
+func (e *Engine) Prices() ([]float64, error) {
+	r, err := e.cat.Region(e.region)
+	if err != nil {
+		return nil, err
+	}
+	prices := make([]float64, len(e.cat.Types))
+	for j, it := range e.cat.Types {
+		p, ok := r.PricePerHour[it.Name]
+		if !ok {
+			return nil, fmt.Errorf("deco: region %s does not price %s", e.region, it.Name)
+		}
+		prices[j] = p
+	}
+	return prices, nil
+}
+
+// Deadline is the probabilistic deadline requirement of §3.1: the
+// Percentile-th quantile of the execution-time distribution must not exceed
+// Seconds. Percentile <= 0 selects the deterministic (expected-value)
+// notion.
+type Deadline struct {
+	Percentile float64
+	Seconds    float64
+}
+
+// Budget is the probabilistic budget requirement (Table 1).
+type Budget struct {
+	Percentile float64
+	Dollars    float64
+}
+
+// Plan is a provisioning plan: the engine's answer. It maps every task to
+// an instance type and carries the evaluation of the chosen state.
+type Plan struct {
+	Workflow *dag.Workflow
+	// Config is the per-task type index (Workflow.Tasks order).
+	Config []int
+	// Types are the catalog type names indexed by Config values.
+	Types []string
+	// EstimatedCost is the expected monetary cost of the consolidated plan
+	// in dollars (hour-billed packed cost).
+	EstimatedCost float64
+	// Objective is the optimized goal value: equal to EstimatedCost for
+	// cost goals, the expected makespan in seconds for performance goals.
+	Objective float64
+	// Feasible reports whether all constraints were satisfiable; when
+	// false the plan is the least-violating one found.
+	Feasible bool
+	// ConsProb is the satisfaction probability per constraint.
+	ConsProb []float64
+	// StatesEvaluated counts solver evaluations.
+	StatesEvaluated int
+
+	engine *Engine
+}
+
+// TypeOf returns the instance type chosen for a task ID.
+func (p *Plan) TypeOf(taskID string) (string, error) {
+	for i, t := range p.Workflow.Tasks {
+		if t.ID == taskID {
+			return p.Types[p.Config[i]], nil
+		}
+	}
+	return "", fmt.Errorf("deco: unknown task %q", taskID)
+}
+
+// Assignments returns the task→type mapping.
+func (p *Plan) Assignments() map[string]string {
+	out := make(map[string]string, len(p.Config))
+	for i, t := range p.Workflow.Tasks {
+		out[t.ID] = p.Types[p.Config[i]]
+	}
+	return out
+}
+
+// Schedule solves the workflow scheduling problem (§3.1) directly: minimize
+// the mean monetary cost subject to the probabilistic deadline. This is the
+// native path behind the standard WLog program of Example 1.
+func (e *Engine) Schedule(w *dag.Workflow, d Deadline) (*Plan, error) {
+	if d.Seconds <= 0 {
+		return nil, fmt.Errorf("deco: deadline must be positive")
+	}
+	pct := d.Percentile
+	if pct <= 0 {
+		pct = -1
+	}
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: pct, Bound: d.Seconds}}
+	return e.optimizeNative(w, probir.GoalCost, cons, false)
+}
+
+// ScheduleForPerformance solves the dual problem the paper's introduction
+// cites (Mao & Humphrey, IPDPS'13): minimize the expected execution time
+// subject to a budget. The budget is the Eq. 5 notion — mean task time ×
+// unit price — with the probabilistic interpretation P(cost <= B) >= p, or
+// the deterministic mean notion when Percentile <= 0. In WLog terms:
+//
+//	minimize T in maxtime(Path,T).
+//	C in totalcost(C) satisfies budget(96%, 10).
+func (e *Engine) ScheduleForPerformance(w *dag.Workflow, b Budget) (*Plan, error) {
+	if b.Dollars <= 0 {
+		return nil, fmt.Errorf("deco: budget must be positive")
+	}
+	pct := b.Percentile
+	if pct <= 0 {
+		pct = -1
+	}
+	cons := []wlog.Constraint{{Kind: "budget", Percentile: pct, Bound: b.Dollars}}
+	return e.optimizeNative(w, probir.GoalMakespan, cons, false)
+}
+
+// ScheduleConstrained solves the general form: a goal (cost or makespan)
+// under any mix of deadline and budget constraints, as a WLog program with
+// both built-ins would. Constraints with zero bounds are skipped; at least
+// one must be set.
+func (e *Engine) ScheduleConstrained(w *dag.Workflow, minimizeCost bool, d Deadline, b Budget) (*Plan, error) {
+	var cons []wlog.Constraint
+	if d.Seconds > 0 {
+		pct := d.Percentile
+		if pct <= 0 {
+			pct = -1
+		}
+		cons = append(cons, wlog.Constraint{Kind: "deadline", Percentile: pct, Bound: d.Seconds})
+	}
+	if b.Dollars > 0 {
+		pct := b.Percentile
+		if pct <= 0 {
+			pct = -1
+		}
+		cons = append(cons, wlog.Constraint{Kind: "budget", Percentile: pct, Bound: b.Dollars})
+	}
+	if len(cons) == 0 {
+		return nil, fmt.Errorf("deco: at least one constraint required")
+	}
+	goal := probir.GoalMakespan
+	if minimizeCost {
+		goal = probir.GoalCost
+	}
+	return e.optimizeNative(w, goal, cons, false)
+}
+
+func (e *Engine) optimizeNative(w *dag.Workflow, goal probir.GoalKind, cons []wlog.Constraint, astar bool) (*Plan, error) {
+	prices, err := e.Prices()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := e.est.BuildTable(w)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := probir.NewNative(w, tbl, prices, goal, cons, e.iters)
+	if err != nil {
+		return nil, err
+	}
+	space := opt.NewScheduleSpace(w, eval)
+	if goal == probir.GoalCost {
+		// Transformation-aware objective: the hour-billed cost of the
+		// consolidated plan (Merge/Co-Scheduling exploit partial hours).
+		space.CostFn = func(st opt.State) (float64, error) {
+			return opt.PackedMeanCost(w, st, tbl, prices, e.region)
+		}
+	}
+	search := e.search
+	search.AStar = astar
+	res, err := opt.Search(space, search)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := opt.PackedMeanCost(w, res.Best, tbl, prices, e.region)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Workflow:        w,
+		Config:          res.Best,
+		Types:           tbl.Types,
+		EstimatedCost:   packed,
+		Objective:       res.BestEval.Value,
+		Feasible:        res.Feasible,
+		ConsProb:        res.BestEval.ConsProb,
+		StatesEvaluated: res.Evaluated,
+		engine:          e,
+	}, nil
+}
+
+// cloudImports maps import(...) atoms to pricing regions.
+var cloudImports = map[string]string{
+	"amazonec2":            cloud.USEast,
+	"ec2":                  cloud.USEast,
+	"amazonec2useast":      cloud.USEast,
+	"amazonec2sg":          cloud.APSoutheast,
+	"amazonec2apsoutheast": cloud.APSoutheast,
+}
+
+// resolveWorkflowImport generates or loads the workflow named by an
+// import(...) atom: the synthetic applications by name (montage, montage4,
+// ligo, epigenomics, cybershake, pipeline) or a DAX file by quoted path.
+func resolveWorkflowImport(name string, rng *rand.Rand) (*dag.Workflow, error) {
+	if strings.HasSuffix(name, ".dax") || strings.HasSuffix(name, ".xml") {
+		return dax.ParseFile(name)
+	}
+	switch name {
+	case "montage", "montage1":
+		return wfgen.Montage(1, rng)
+	case "montage4":
+		return wfgen.Montage(4, rng)
+	case "montage8":
+		return wfgen.Montage(8, rng)
+	case "ligo":
+		return wfgen.Ligo(3, rng)
+	case "epigenomics":
+		return wfgen.Epigenomics(2, 4, rng)
+	case "cybershake":
+		return wfgen.CyberShake(4, 10, rng)
+	case "pipeline":
+		return wfgen.Pipeline(5, rng)
+	}
+	return nil, fmt.Errorf("deco: unknown workflow import %q", name)
+}
+
+// RunProgram parses and solves a WLog program. The workflow may be supplied
+// explicitly (overriding any workflow import); pass nil to let the program's
+// import(...) statements provide it.
+func (e *Engine) RunProgram(src string, w *dag.Workflow) (*Plan, error) {
+	prog, err := wlog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve imports.
+	rng := rand.New(rand.NewSource(e.seed))
+	region := e.region
+	eng := e
+	for _, imp := range prog.Imports {
+		if r, ok := cloudImports[imp]; ok {
+			region = r
+			continue
+		}
+		if strings.HasSuffix(imp, ".json") {
+			// A custom cloud: load the catalog and derive an engine over it
+			// (metadata discretized from the catalog's distributions).
+			cat, err := cloud.LoadCatalog(imp)
+			if err != nil {
+				return nil, err
+			}
+			derived, err := NewEngine(WithCatalog(cat), WithSeed(e.seed), WithIters(e.iters),
+				WithDevice(e.dev), WithRegion(cat.Regions[0].Name), WithSearchBudget(e.search.MaxStates))
+			if err != nil {
+				return nil, err
+			}
+			eng = derived
+			region = cat.Regions[0].Name
+			continue
+		}
+		if w == nil {
+			if w, err = resolveWorkflowImport(imp, rng); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if w == nil {
+		return nil, fmt.Errorf("deco: program imports no workflow and none was supplied")
+	}
+	if prog.Goal == nil {
+		return nil, fmt.Errorf("deco: program has no optimization goal")
+	}
+	if region != eng.region {
+		regional := *eng
+		regional.region = region
+		eng = &regional
+	}
+
+	goalInd, err := goalIndicator(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Exact interpretation: the program defines its own goal predicate and
+	// the workflow is small enough for per-world Prolog evaluation.
+	if prog.HasRule(goalInd.name, goalInd.arity) && w.Len() <= e.prologMaxTasks {
+		return eng.runProgramProlog(prog, w)
+	}
+
+	// Engine-native constructs (Table 1): recognize the standard goal names.
+	var goal probir.GoalKind
+	switch goalInd.name {
+	case "totalcost", "cost":
+		goal = probir.GoalCost
+	case "maxtime", "makespan":
+		goal = probir.GoalMakespan
+	default:
+		return nil, fmt.Errorf("deco: goal predicate %s/%d is not a built-in construct and the workflow has %d tasks (exact interpretation is limited to %d)",
+			goalInd.name, goalInd.arity, w.Len(), e.prologMaxTasks)
+	}
+	if prog.Goal.Maximize {
+		return nil, fmt.Errorf("deco: the scheduling problem minimizes; use the ensemble API for maximization")
+	}
+	return eng.optimizeNative(w, goal, prog.Constraints, prog.AStar)
+}
+
+type indicator struct {
+	name  string
+	arity int
+}
+
+func goalIndicator(prog *wlog.Program) (indicator, error) {
+	pi, err := prolog.IndicatorOf(prog.Goal.Query)
+	if err != nil {
+		return indicator{}, fmt.Errorf("deco: malformed goal query: %w", err)
+	}
+	return indicator{name: pi.Functor, arity: pi.Arity}, nil
+}
+
+// runProgramProlog interprets the program's own rules per sampled world.
+func (e *Engine) runProgramProlog(prog *wlog.Program, w *dag.Workflow) (*Plan, error) {
+	prices, err := e.Prices()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := e.est.BuildTable(w)
+	if err != nil {
+		return nil, err
+	}
+	iters := e.iters
+	if iters > 200 {
+		iters = 200 // per-world interpretation is expensive
+	}
+	eval, err := probir.NewProlog(w, tbl, prices, prog, iters)
+	if err != nil {
+		return nil, err
+	}
+	space := opt.NewScheduleSpace(w, eval)
+	search := e.search
+	search.AStar = prog.AStar
+	search.Maximize = prog.Goal.Maximize
+	res, err := opt.Search(space, search)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Workflow:        w,
+		Config:          res.Best,
+		Types:           tbl.Types,
+		EstimatedCost:   res.BestEval.Value,
+		Objective:       res.BestEval.Value,
+		Feasible:        res.Feasible,
+		ConsProb:        res.BestEval.ConsProb,
+		StatesEvaluated: res.Evaluated,
+		engine:          e,
+	}, nil
+}

@@ -1,0 +1,3 @@
+module deco
+
+go 1.22

@@ -1,0 +1,192 @@
+// Package baseline implements the state-of-the-art comparison algorithms of
+// §6.1: Autoscaling (Mao & Humphrey, SC'11) for the workflow scheduling
+// problem and SPSS (Malawski et al., SC'12) for workflow ensembles. Both are
+// deterministic heuristics over mean task execution times — they have no
+// notion of probabilistic constraints, which is exactly the gap Deco's
+// evaluation exploits.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"deco/internal/dag"
+	"deco/internal/dist"
+	"deco/internal/estimate"
+	"deco/internal/opt"
+)
+
+// Autoscaling reproduces the scheduling heuristic of Mao & Humphrey: it
+// assigns each task a deadline share (deadline assignment proportional to
+// the task's work along its path) and picks, per task, the cheapest instance
+// type whose mean execution time fits the share. The deadline is interpreted
+// deterministically on mean times, per the original algorithm.
+//
+// It returns the per-task type configuration in opt.State form.
+func Autoscaling(w *dag.Workflow, tbl *estimate.Table, prices []float64, deadlineSec float64) (opt.State, error) {
+	if deadlineSec <= 0 {
+		return nil, fmt.Errorf("baseline: deadline must be positive, got %v", deadlineSec)
+	}
+	if len(prices) != len(tbl.Types) {
+		return nil, fmt.Errorf("baseline: %d prices for %d types", len(prices), len(tbl.Types))
+	}
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	k := len(tbl.Types)
+	index := make(map[string]int, w.Len())
+	for i, t := range w.Tasks {
+		index[t.ID] = i
+	}
+
+	// Reference durations: mean time on the most cost-efficient type per
+	// task (the type minimizing mean time × unit price), the "most
+	// cost-efficient machine" notion of the original paper.
+	ref := make(map[string]float64, w.Len())
+	for _, t := range w.Tasks {
+		bestCost := math.Inf(1)
+		bestDur := 0.0
+		for j := 0; j < k; j++ {
+			td, err := tbl.Dist(t.ID, j)
+			if err != nil {
+				return nil, err
+			}
+			c := td.Mean() * prices[j]
+			if c < bestCost {
+				bestCost = c
+				bestDur = td.Mean()
+			}
+		}
+		ref[t.ID] = bestDur
+	}
+
+	// Deadline assignment: scale the reference schedule so the reference
+	// makespan maps onto the deadline; each task's share is its scaled
+	// window.
+	refMakespan, refFinish, err := w.Makespan(ref)
+	if err != nil {
+		return nil, err
+	}
+	if refMakespan <= 0 {
+		refMakespan = 1
+	}
+	scale := deadlineSec / refMakespan
+
+	config := make(opt.State, w.Len())
+	for _, id := range order {
+		// The task must finish by its scaled reference finish time; its
+		// start is bounded by its parents' assigned finishes.
+		share := ref[id] * scale
+		chosen := -1
+		for j := 0; j < k; j++ { // types ordered cheapest first in the catalog
+			td, err := tbl.Dist(id, j)
+			if err != nil {
+				return nil, err
+			}
+			if td.Mean() <= share {
+				chosen = j
+				break
+			}
+		}
+		if chosen < 0 {
+			chosen = k - 1 // no type fits: use the fastest
+		}
+		config[index[id]] = chosen
+	}
+	_ = refFinish
+	return config, nil
+}
+
+// AutoscalingProbabilistic adapts the deterministic Autoscaling heuristic to
+// a probabilistic deadline requirement the way the paper's comparison does
+// (§6.1: "if user requires 90% of probabilistic deadline, the deadline
+// setting for Autoscaling is the 90-th percentile of workflow execution time
+// distribution"): the heuristic is re-run with a deflated deadline until the
+// p-th percentile of its plan's makespan distribution (estimated by
+// Monte-Carlo over the calibrated histograms) fits the user deadline.
+func AutoscalingProbabilistic(w *dag.Workflow, tbl *estimate.Table, prices []float64,
+	deadlineSec, percentile float64, iters int, rng *rand.Rand) (opt.State, error) {
+	if percentile <= 0 {
+		return Autoscaling(w, tbl, prices, deadlineSec)
+	}
+	if iters < 1 {
+		iters = 100
+	}
+	target := deadlineSec
+	var config opt.State
+	for attempt := 0; attempt < 6; attempt++ {
+		var err error
+		config, err = Autoscaling(w, tbl, prices, target)
+		if err != nil {
+			return nil, err
+		}
+		q, err := makespanPercentile(w, tbl, config, percentile, iters, rng)
+		if err != nil {
+			return nil, err
+		}
+		if q <= deadlineSec {
+			return config, nil
+		}
+		// Deflate proportionally to the overshoot.
+		target *= deadlineSec / q
+	}
+	return config, nil
+}
+
+// makespanPercentile estimates the p-th percentile of a configuration's
+// makespan distribution by sampling.
+func makespanPercentile(w *dag.Workflow, tbl *estimate.Table, config opt.State, p float64, iters int, rng *rand.Rand) (float64, error) {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	index := make(map[string]int, w.Len())
+	for i, t := range w.Tasks {
+		index[t.ID] = i
+	}
+	samples := make([]float64, iters)
+	finish := make(map[string]float64, len(order))
+	for it := 0; it < iters; it++ {
+		ms := 0.0
+		for _, id := range order {
+			start := 0.0
+			for _, par := range w.Parents(id) {
+				if finish[par] > start {
+					start = finish[par]
+				}
+			}
+			td, err := tbl.Dist(id, config[index[id]])
+			if err != nil {
+				return 0, err
+			}
+			end := start + td.Sample(rng)
+			finish[id] = end
+			if end > ms {
+				ms = end
+			}
+		}
+		samples[it] = ms
+	}
+	sort.Float64s(samples)
+	return dist.QuantileOf(samples, p), nil
+}
+
+// AutoscalingCost returns the Eq. 1 mean cost of an Autoscaling
+// configuration, for direct comparison with Deco's objective.
+func AutoscalingCost(tbl *estimate.Table, w *dag.Workflow, config opt.State, prices []float64) (float64, error) {
+	if len(config) != w.Len() {
+		return 0, fmt.Errorf("baseline: config length %d, want %d", len(config), w.Len())
+	}
+	total := 0.0
+	for i, t := range w.Tasks {
+		td, err := tbl.Dist(t.ID, config[i])
+		if err != nil {
+			return 0, err
+		}
+		total += td.Mean() / 3600 * prices[config[i]]
+	}
+	return total, nil
+}

@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"fmt"
+
+	"deco/internal/dag"
+	"deco/internal/ensemble"
+	"deco/internal/estimate"
+	"deco/internal/opt"
+)
+
+// SPSSPlanner builds the per-workflow plan of the SPSS algorithm (Static
+// Provisioning Static Scheduling, Malawski et al.): the task typing comes
+// from the deterministic deadline-assignment heuristic (Autoscaling family),
+// the deadline check is deterministic on mean durations, and provisioning
+// consolidates tasks onto hourly-billed VMs — but, unlike Deco, the typing
+// is fixed before provisioning, so SPSS cannot trade types against packing
+// the way Deco's transformation search does (§6.3.2 measures SPSS costing
+// ~1.4x Deco per workflow).
+func SPSSPlanner(tblOf func(w *dag.Workflow) (*estimate.Table, error), prices []float64) ensemble.Planner {
+	return func(w *dag.Workflow, deadlineSec, percentile float64) (*ensemble.PlannedWorkflow, error) {
+		tbl, err := tblOf(w)
+		if err != nil {
+			return nil, err
+		}
+		config, err := Autoscaling(w, tbl, prices, deadlineSec)
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic deadline check on mean durations.
+		cfg := make(map[string]int, w.Len())
+		for i, t := range w.Tasks {
+			cfg[t.ID] = config[i]
+		}
+		means, err := tbl.MeanDurations(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ms, _, err := w.Makespan(means)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := opt.PackedMeanCost(w, config, tbl, prices, "us-east-1")
+		if err != nil {
+			return nil, err
+		}
+		return &ensemble.PlannedWorkflow{
+			Config:   config,
+			Cost:     cost,
+			Feasible: ms <= deadlineSec,
+		}, nil
+	}
+}
+
+// SPSSAdmit runs SPSS's offline admission: walk workflows in priority order
+// (highest first) and admit each whose plan fits the remaining budget.
+// Returns the admission state in the ensemble.Space encoding.
+func SPSSAdmit(sp *ensemble.Space) (opt.State, error) {
+	n := len(sp.E.Workflows)
+	state := make(opt.State, n)
+	// Order indices by priority (0 = highest first).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if sp.E.Workflows[order[j]].Priority < sp.E.Workflows[order[i]].Priority {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	remaining := sp.Budget
+	for _, i := range order {
+		p := sp.Plans[i]
+		if p == nil {
+			continue
+		}
+		if p.Cost <= remaining {
+			state[i] = 1
+			remaining -= p.Cost
+		}
+	}
+	if remaining < 0 {
+		return nil, fmt.Errorf("baseline: SPSS overspent (bug)")
+	}
+	return state, nil
+}

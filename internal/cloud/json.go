@@ -1,0 +1,164 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"deco/internal/dist"
+)
+
+// This file provides a JSON representation of catalogs so users can define
+// custom clouds (types, regions, prices, performance distributions) without
+// recompiling — the counterpart of import(cloud) for clouds Deco does not
+// ship built in.
+
+// distJSON serializes a performance distribution.
+type distJSON struct {
+	Family string  `json:"family"` // "normal", "gamma", "uniform", "constant"
+	Mu     float64 `json:"mu,omitempty"`
+	Sigma  float64 `json:"sigma,omitempty"`
+	K      float64 `json:"k,omitempty"`
+	Theta  float64 `json:"theta,omitempty"`
+	Lo     float64 `json:"lo,omitempty"`
+	Hi     float64 `json:"hi,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+func toDistJSON(d dist.Dist) (distJSON, error) {
+	switch dd := d.(type) {
+	case dist.Normal:
+		return distJSON{Family: "normal", Mu: dd.Mu, Sigma: dd.Sigma}, nil
+	case dist.Gamma:
+		return distJSON{Family: "gamma", K: dd.K, Theta: dd.Theta}, nil
+	case dist.Uniform:
+		return distJSON{Family: "uniform", Lo: dd.Lo, Hi: dd.Hi}, nil
+	case dist.Constant:
+		return distJSON{Family: "constant", Value: dd.V}, nil
+	}
+	return distJSON{}, fmt.Errorf("cloud: unserializable distribution %T", d)
+}
+
+func fromDistJSON(j distJSON) (dist.Dist, error) {
+	switch j.Family {
+	case "normal":
+		if j.Sigma < 0 {
+			return nil, fmt.Errorf("cloud: negative sigma %v", j.Sigma)
+		}
+		return dist.NewNormal(j.Mu, j.Sigma), nil
+	case "gamma":
+		if j.K <= 0 || j.Theta <= 0 {
+			return nil, fmt.Errorf("cloud: gamma needs positive k/theta, got %v/%v", j.K, j.Theta)
+		}
+		return dist.NewGamma(j.K, j.Theta), nil
+	case "uniform":
+		if j.Lo > j.Hi {
+			return nil, fmt.Errorf("cloud: uniform lo %v > hi %v", j.Lo, j.Hi)
+		}
+		return dist.NewUniform(j.Lo, j.Hi), nil
+	case "constant":
+		return dist.Constant{V: j.Value}, nil
+	}
+	return nil, fmt.Errorf("cloud: unknown distribution family %q", j.Family)
+}
+
+// catalogJSON is the serialized catalog document.
+type catalogJSON struct {
+	Types   []InstanceType `json:"types"`
+	Regions []Region       `json:"regions"`
+	Perf    perfJSON       `json:"perf"`
+}
+
+type perfJSON struct {
+	SeqIO          map[string]distJSON `json:"seq_io"`
+	RandIO         map[string]distJSON `json:"rand_io"`
+	Net            map[string]distJSON `json:"net"`
+	CrossRegionNet distJSON            `json:"cross_region_net"`
+}
+
+// WriteJSON serializes the catalog.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	doc := catalogJSON{Types: c.Types, Regions: c.Regions,
+		Perf: perfJSON{SeqIO: map[string]distJSON{}, RandIO: map[string]distJSON{}, Net: map[string]distJSON{}}}
+	var err error
+	for name, d := range c.Perf.SeqIO {
+		if doc.Perf.SeqIO[name], err = toDistJSON(d); err != nil {
+			return err
+		}
+	}
+	for name, d := range c.Perf.RandIO {
+		if doc.Perf.RandIO[name], err = toDistJSON(d); err != nil {
+			return err
+		}
+	}
+	for name, d := range c.Perf.Net {
+		if doc.Perf.Net[name], err = toDistJSON(d); err != nil {
+			return err
+		}
+	}
+	if doc.Perf.CrossRegionNet, err = toDistJSON(c.Perf.CrossRegionNet); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON deserializes and validates a catalog.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var doc catalogJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cloud: %w", err)
+	}
+	cat := &Catalog{Types: doc.Types, Regions: doc.Regions,
+		Perf: PerfModel{SeqIO: map[string]dist.Dist{}, RandIO: map[string]dist.Dist{}, Net: map[string]dist.Dist{}}}
+	var err error
+	for name, j := range doc.Perf.SeqIO {
+		if cat.Perf.SeqIO[name], err = fromDistJSON(j); err != nil {
+			return nil, err
+		}
+	}
+	for name, j := range doc.Perf.RandIO {
+		if cat.Perf.RandIO[name], err = fromDistJSON(j); err != nil {
+			return nil, err
+		}
+	}
+	for name, j := range doc.Perf.Net {
+		if cat.Perf.Net[name], err = fromDistJSON(j); err != nil {
+			return nil, err
+		}
+	}
+	if cat.Perf.CrossRegionNet, err = fromDistJSON(doc.Perf.CrossRegionNet); err != nil {
+		return nil, err
+	}
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// LoadCatalog reads a catalog from a JSON file.
+func LoadCatalog(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// SaveCatalog writes the catalog to a JSON file.
+func (c *Catalog) SaveCatalog(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

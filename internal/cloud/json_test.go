@@ -1,0 +1,109 @@
+package cloud
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deco/internal/dist"
+)
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	cat := DefaultCatalog()
+	var buf bytes.Buffer
+	if err := cat.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Types) != len(cat.Types) || len(got.Regions) != len(cat.Regions) {
+		t.Fatalf("structure changed: %d types %d regions", len(got.Types), len(got.Regions))
+	}
+	// Distribution parameters survive.
+	for _, typ := range cat.TypeNames() {
+		if math.Abs(got.Perf.SeqIO[typ].Mean()-cat.Perf.SeqIO[typ].Mean()) > 1e-12 {
+			t.Errorf("%s seq mean changed", typ)
+		}
+		if math.Abs(got.Perf.Net[typ].Var()-cat.Perf.Net[typ].Var()) > 1e-12 {
+			t.Errorf("%s net var changed", typ)
+		}
+	}
+	p, err := got.Price(APSoutheast, "m1.xlarge")
+	want, _ := cat.Price(APSoutheast, "m1.xlarge")
+	if err != nil || p != want {
+		t.Errorf("price lost: %v (want %v) %v", p, want, err)
+	}
+}
+
+func TestCatalogJSONFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.json")
+	cat := DefaultCatalog()
+	if err := cat.SaveCatalog(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Types) != 4 {
+		t.Fatalf("types %d", len(got.Types))
+	}
+	if _, err := LoadCatalog(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONRejectsBadDocuments(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"garbage", "not json"},
+		{"unknown field", `{"zzz": 1}`},
+		{"bad family", `{"types":[{"Name":"a","ECU":1}],"regions":[{"Name":"r","PricePerHour":{"a":1}}],
+			"perf":{"seq_io":{"a":{"family":"zipf"}},"rand_io":{},"net":{},"cross_region_net":{"family":"constant","value":1}}}`},
+		{"bad gamma", `{"types":[{"Name":"a","ECU":1}],"regions":[{"Name":"r","PricePerHour":{"a":1}}],
+			"perf":{"seq_io":{"a":{"family":"gamma","k":-1,"theta":1}},"rand_io":{},"net":{},"cross_region_net":{"family":"constant","value":1}}}`},
+		{"incomplete perf", `{"types":[{"Name":"a","ECU":1}],"regions":[{"Name":"r","PricePerHour":{"a":1}}],
+			"perf":{"seq_io":{},"rand_io":{},"net":{},"cross_region_net":{"family":"constant","value":1}}}`},
+		{"uniform inverted", `{"types":[{"Name":"a","ECU":1}],"regions":[{"Name":"r","PricePerHour":{"a":1}}],
+			"perf":{"seq_io":{"a":{"family":"uniform","lo":5,"hi":1}},"rand_io":{},"net":{},"cross_region_net":{"family":"constant","value":1}}}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDistJSONFamilies(t *testing.T) {
+	// Every serializable family round-trips.
+	dists := []dist.Dist{
+		dist.NewNormal(10, 2),
+		dist.NewGamma(3, 0.5),
+		dist.NewUniform(1, 9),
+		dist.Constant{V: 7},
+	}
+	for _, d := range dists {
+		j, err := toDistJSON(d)
+		if err != nil {
+			t.Fatalf("%T: %v", d, err)
+		}
+		back, err := fromDistJSON(j)
+		if err != nil {
+			t.Fatalf("%T: %v", d, err)
+		}
+		if math.Abs(back.Mean()-d.Mean()) > 1e-12 || math.Abs(back.Var()-d.Var()) > 1e-12 {
+			t.Errorf("%T round trip changed moments", d)
+		}
+	}
+	// Unserializable distribution errors.
+	if _, err := toDistJSON(dist.NewEmpirical([]float64{1, 2})); err == nil {
+		t.Error("empirical serialized")
+	}
+}

@@ -1,0 +1,31 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the workflow in Graphviz DOT format, one node per task
+// labeled with its executable, for visual inspection of generated
+// structures. colorOf optionally colors nodes (e.g. by assigned instance
+// type); pass nil for uncolored output.
+func (w *Workflow) WriteDOT(out io.Writer, colorOf func(taskID string) string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white];\n", w.Name)
+	for _, t := range w.Tasks {
+		attrs := fmt.Sprintf("label=%q", t.ID+"\\n"+t.Executable)
+		if colorOf != nil {
+			if c := colorOf(t.ID); c != "" {
+				attrs += fmt.Sprintf(", fillcolor=%q", c)
+			}
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", t.ID, attrs)
+	}
+	for _, e := range w.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(out, b.String())
+	return err
+}

@@ -1,0 +1,113 @@
+// Package device is the execution substrate for Deco's parallel solver. The
+// paper runs the solver on an NVIDIA K40: one GPU thread block per searched
+// state, one thread per Monte-Carlo iteration, shared-memory reductions
+// inside a block, and no communication across blocks (§5.2-5.3). Go has no
+// mature CUDA ecosystem, so this package reproduces the *execution model* in
+// software: a Device schedules independent "blocks" of work across a pool of
+// goroutines, with the Sequential device standing in for the single-thread
+// CPU baseline the paper's speedup numbers compare against.
+//
+// The two implementations run the same work and produce identical results
+// given per-block deterministic seeds; only wall-clock time differs, which
+// is what the §6.3 speedup experiments measure.
+package device
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Device schedules n independent work items ("blocks"). Implementations must
+// call fn exactly once for every i in [0, n).
+type Device interface {
+	// Name identifies the device in benchmark output.
+	Name() string
+	// Blocks is the number of concurrently executing blocks (the GPU's
+	// multiprocessor count N in §5.3; 1 for the sequential device).
+	Blocks() int
+	// Map runs fn(i) for every i in [0, n).
+	Map(n int, fn func(i int))
+}
+
+// Sequential runs blocks one at a time — the single-thread CPU baseline.
+type Sequential struct{}
+
+// Name implements Device.
+func (Sequential) Name() string { return "sequential" }
+
+// Blocks implements Device.
+func (Sequential) Blocks() int { return 1 }
+
+// Map implements Device.
+func (Sequential) Map(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Parallel runs blocks across a goroutine pool, standing in for the GPU's
+// multiprocessors.
+type Parallel struct {
+	// NumBlocks is the number of worker goroutines; 0 means GOMAXPROCS.
+	NumBlocks int
+}
+
+// Name implements Device.
+func (p Parallel) Name() string { return fmt.Sprintf("parallel-%d", p.blocks()) }
+
+// Blocks implements Device.
+func (p Parallel) Blocks() int { return p.blocks() }
+
+func (p Parallel) blocks() int {
+	if p.NumBlocks > 0 {
+		return p.NumBlocks
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map implements Device: work items are distributed to workers via a shared
+// index channel (block scheduling); there is no cross-block communication,
+// matching the GPU implementation principle of §5.2.
+func (p Parallel) Map(n int, fn func(i int)) {
+	workers := p.blocks()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reduce runs fn(i) for every i in [0, n) on the device and sums the
+// results — the shared-memory reduction pattern of the paper's Monte-Carlo
+// kernel (§5.2: "store the temporary results of each thread into the shared
+// memory for fast synchronization").
+func Reduce(d Device, n int, fn func(i int) float64) float64 {
+	partial := make([]float64, n)
+	d.Map(n, func(i int) { partial[i] = fn(i) })
+	total := 0.0
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,91 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialMapVisitsAllInOrder(t *testing.T) {
+	var got []int
+	Sequential{}.Map(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %d", len(got))
+	}
+}
+
+func TestParallelMapVisitsAllExactlyOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]int32
+	Parallel{NumBlocks: 8}.Map(n, func(i int) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestParallelDegeneratesGracefully(t *testing.T) {
+	// n < workers and n == 0.
+	var visits int32
+	Parallel{NumBlocks: 16}.Map(3, func(i int) { atomic.AddInt32(&visits, 1) })
+	if visits != 3 {
+		t.Fatalf("visits %d", visits)
+	}
+	Parallel{NumBlocks: 16}.Map(0, func(i int) { t.Fatal("should not run") })
+	Parallel{NumBlocks: 1}.Map(2, func(i int) { atomic.AddInt32(&visits, 1) })
+	if visits != 5 {
+		t.Fatalf("visits %d", visits)
+	}
+}
+
+func TestBlocksAndNames(t *testing.T) {
+	if (Sequential{}).Blocks() != 1 || (Sequential{}).Name() != "sequential" {
+		t.Error("sequential identity wrong")
+	}
+	p := Parallel{NumBlocks: 6}
+	if p.Blocks() != 6 {
+		t.Errorf("blocks %d", p.Blocks())
+	}
+	if p.Name() != "parallel-6" {
+		t.Errorf("name %s", p.Name())
+	}
+	if (Parallel{}).Blocks() < 1 {
+		t.Error("default blocks < 1")
+	}
+}
+
+func TestReduceMatchesSequentialSum(t *testing.T) {
+	f := func(vals []float64) bool {
+		n := len(vals)
+		fn := func(i int) float64 { return vals[i] }
+		seq := Reduce(Sequential{}, n, fn)
+		par := Reduce(Parallel{NumBlocks: 4}, n, fn)
+		return seq == par
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The parallel device must produce identical results to the sequential one
+// when blocks are independent — the determinism contract the solver relies
+// on.
+func TestParallelDeterminism(t *testing.T) {
+	const n = 200
+	run := func(d Device) [n]float64 {
+		var out [n]float64
+		d.Map(n, func(i int) { out[i] = float64(i*i) * 0.5 })
+		return out
+	}
+	if run(Sequential{}) != run(Parallel{NumBlocks: 7}) {
+		t.Error("devices disagree")
+	}
+}

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the distribution-fitting half of the calibration
+// pipeline: given raw micro-benchmark samples, fit Normal and Gamma
+// distributions (method of moments, as is standard for Gamma calibration) and
+// test the fit (chi-square and Kolmogorov-Smirnov). Section 6.2 of the paper
+// verifies, e.g., that m1.medium network performance "can be modeled with a
+// normal distribution" via a null-hypothesis test; Table 2 reports the fitted
+// parameters.
+
+// FitNormal fits a Normal distribution to xs by maximum likelihood
+// (sample mean, sample standard deviation).
+func FitNormal(xs []float64) Normal {
+	m := MeanOf(xs)
+	return Normal{Mu: m, Sigma: math.Sqrt(VarOf(xs, m))}
+}
+
+// FitGamma fits a Gamma distribution to xs by the method of moments:
+// k = mean^2/var, theta = var/mean. It returns an error if the sample mean or
+// variance is non-positive (Gamma requires positive support).
+func FitGamma(xs []float64) (Gamma, error) {
+	m := MeanOf(xs)
+	v := VarOf(xs, m)
+	if m <= 0 || v <= 0 {
+		return Gamma{}, fmt.Errorf("dist: cannot fit gamma: mean=%v var=%v", m, v)
+	}
+	return Gamma{K: m * m / v, Theta: v / m}, nil
+}
+
+// CDFer is a distribution with an analytic CDF, required by the fit tests.
+type CDFer interface {
+	CDF(x float64) float64
+}
+
+// CDF implements CDFer for Gamma via the regularized lower incomplete gamma
+// function P(k, x/theta).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(g.K, x/g.Theta)
+}
+
+// Quantile returns the p-quantile of the Gamma distribution by bisection on
+// the CDF, for p in (0,1).
+func (g Gamma) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("dist: quantile p=%v out of (0,1)", p))
+	}
+	lo, hi := 0.0, g.Mean()+40*math.Sqrt(g.Var())+1
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncGammaLower computes the regularized lower incomplete gamma function
+// P(a, x) using the series expansion for x < a+1 and the continued fraction
+// for x >= a+1 (Numerical Recipes style).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lgA, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgA)
+	}
+	// Continued fraction for Q(a,x), then P = 1-Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lgA) * h
+	return 1 - q
+}
+
+// KSStatistic returns the two-sided Kolmogorov-Smirnov statistic between the
+// sample xs and the theoretical distribution d.
+func KSStatistic(xs []float64, d CDFer) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	maxD := 0.0
+	for i, x := range s {
+		f := d.CDF(x)
+		d1 := math.Abs(float64(i+1)/n - f)
+		d2 := math.Abs(f - float64(i)/n)
+		if d1 > maxD {
+			maxD = d1
+		}
+		if d2 > maxD {
+			maxD = d2
+		}
+	}
+	return maxD
+}
+
+// KSTest runs a Kolmogorov-Smirnov goodness-of-fit test at significance
+// level alpha (supported: 0.01, 0.05, 0.10). It reports whether the null
+// hypothesis "xs is drawn from d" is NOT rejected, together with the
+// statistic and the critical value used.
+func KSTest(xs []float64, d CDFer, alpha float64) (ok bool, stat, crit float64) {
+	stat = KSStatistic(xs, d)
+	var c float64
+	switch {
+	case alpha <= 0.01:
+		c = 1.63
+	case alpha <= 0.05:
+		c = 1.36
+	default:
+		c = 1.22
+	}
+	crit = c / math.Sqrt(float64(len(xs)))
+	return stat <= crit, stat, crit
+}
+
+// ChiSquareStatistic bins the sample into the histogram's bins and compares
+// observed counts with the counts expected under d. It returns the statistic
+// and the degrees of freedom (bins-1-params).
+func ChiSquareStatistic(xs []float64, h *Histogram, d CDFer, fittedParams int) (stat float64, dof int) {
+	n := float64(len(xs))
+	obs := make([]float64, h.Bins())
+	for _, x := range xs {
+		// Locate bin (clamping out-of-range values to the edge bins).
+		i := sort.SearchFloat64s(h.Edges, x) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= h.Bins() {
+			i = h.Bins() - 1
+		}
+		obs[i]++
+	}
+	for i := 0; i < h.Bins(); i++ {
+		p := d.CDF(h.Edges[i+1]) - d.CDF(h.Edges[i])
+		exp := n * p
+		if exp < 1e-9 {
+			if obs[i] > 0 {
+				// Observations in a bin the model says is impossible: strong
+				// evidence against the fit. Floor the expectation so the
+				// statistic blows up instead of silently skipping the bin.
+				exp = 1e-9
+			} else {
+				continue
+			}
+		}
+		diff := obs[i] - exp
+		stat += diff * diff / exp
+	}
+	dof = h.Bins() - 1 - fittedParams
+	if dof < 1 {
+		dof = 1
+	}
+	return stat, dof
+}
+
+// FitReport is the outcome of fitting one parametric family to a sample.
+type FitReport struct {
+	Family string  // "normal" or "gamma"
+	Dist   Dist    // the fitted distribution
+	KSStat float64 // KS statistic against the sample
+	KSCrit float64 // critical value at the 5% level
+	KSPass bool    // whether the fit is not rejected at 5%
+}
+
+// BestFit fits both Normal and Gamma to the sample and returns the reports
+// sorted by ascending KS statistic (best first). Samples with non-positive
+// values skip the Gamma fit.
+func BestFit(xs []float64) []FitReport {
+	var reports []FitReport
+	nrm := FitNormal(xs)
+	ok, stat, crit := KSTest(xs, nrm, 0.05)
+	reports = append(reports, FitReport{Family: "normal", Dist: nrm, KSStat: stat, KSCrit: crit, KSPass: ok})
+	if gm, err := FitGamma(xs); err == nil {
+		ok, stat, crit := KSTest(xs, gm, 0.05)
+		reports = append(reports, FitReport{Family: "gamma", Dist: gm, KSStat: stat, KSCrit: crit, KSPass: ok})
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].KSStat < reports[j].KSStat })
+	return reports
+}

@@ -1,0 +1,299 @@
+// Package ensemble implements the workflow-ensemble problem of §3.2: groups
+// of structurally similar workflows with priorities, per-workflow
+// probabilistic deadlines and a shared budget. The optimization goal
+// maximizes Σ 2^-Priority(w) over completed workflows (Eq. 4) subject to the
+// ensemble budget (Eq. 5) and each admitted workflow's deadline (Eq. 6).
+//
+// The five ensemble types of the paper's evaluation (constant, uniform
+// sorted/unsorted, Pareto sorted/unsorted) control how workflow sizes are
+// drawn and whether priority correlates with size.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deco/internal/dag"
+	"deco/internal/estimate"
+	"deco/internal/opt"
+	"deco/internal/probir"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// Kind enumerates the ensemble types of §6.1.
+type Kind string
+
+// The five ensemble types used in Figure 9.
+const (
+	Constant        Kind = "constant"
+	UniformSorted   Kind = "uniform-sorted"
+	UniformUnsorted Kind = "uniform-unsorted"
+	ParetoSorted    Kind = "pareto-sorted"
+	ParetoUnsorted  Kind = "pareto-unsorted"
+)
+
+// Kinds lists all ensemble types in presentation order.
+var Kinds = []Kind{Constant, UniformSorted, UniformUnsorted, ParetoSorted, ParetoUnsorted}
+
+// Ensemble is a prioritized group of workflows sharing a budget.
+type Ensemble struct {
+	Kind      Kind
+	Workflows []*dag.Workflow // Workflows[i].Priority is set; 0 = highest
+}
+
+// Score returns Eq. 4's total score of the given admission set.
+func (e *Ensemble) Score(admitted []bool) float64 {
+	s := 0.0
+	for i, w := range e.Workflows {
+		if i < len(admitted) && admitted[i] {
+			s += math.Exp2(-float64(w.Priority))
+		}
+	}
+	return s
+}
+
+// MaxScore is the score of admitting everything.
+func (e *Ensemble) MaxScore() float64 {
+	all := make([]bool, len(e.Workflows))
+	for i := range all {
+		all[i] = true
+	}
+	return e.Score(all)
+}
+
+// Generate builds an ensemble of n workflows of the given application type.
+// Sizes are drawn per the ensemble kind from the paper's size set
+// {small, medium, large}; "sorted" kinds assign priority by descending size
+// (big workflows matter most), "unsorted" kinds assign priorities randomly.
+func Generate(kind Kind, app wfgen.App, n int, rng *rand.Rand) (*Ensemble, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ensemble: need at least one workflow")
+	}
+	sizes := make([]int, n)
+	const (
+		small = 20
+		med   = 100
+		large = 1000
+	)
+	switch kind {
+	case Constant:
+		for i := range sizes {
+			sizes[i] = med
+		}
+	case UniformSorted, UniformUnsorted:
+		opts := []int{small, med, large}
+		for i := range sizes {
+			sizes[i] = opts[rng.Intn(len(opts))]
+		}
+	case ParetoSorted, ParetoUnsorted:
+		// Pareto-distributed sizes: many small, few large.
+		for i := range sizes {
+			u := rng.Float64()
+			switch {
+			case u < 0.7:
+				sizes[i] = small
+			case u < 0.93:
+				sizes[i] = med
+			default:
+				sizes[i] = large
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ensemble: unknown kind %q", kind)
+	}
+
+	e := &Ensemble{Kind: kind}
+	for i, sz := range sizes {
+		w, err := wfgen.BySize(app, sz, rng)
+		if err != nil {
+			return nil, err
+		}
+		w.Name = fmt.Sprintf("%s-%02d", w.Name, i)
+		e.Workflows = append(e.Workflows, w)
+	}
+
+	// Priorities: sorted kinds rank by size (largest = priority 0);
+	// unsorted kinds shuffle.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	switch kind {
+	case UniformSorted, ParetoSorted:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if e.Workflows[idx[j]].Len() > e.Workflows[idx[i]].Len() {
+					idx[i], idx[j] = idx[j], idx[i]
+				}
+			}
+		}
+	default:
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	for rank, i := range idx {
+		e.Workflows[i].Priority = rank
+	}
+	return e, nil
+}
+
+// PlannedWorkflow is the per-workflow planning result the admission search
+// consumes: a type configuration with its estimated cost and deadline
+// feasibility.
+type PlannedWorkflow struct {
+	Config   opt.State
+	Cost     float64
+	Feasible bool
+}
+
+// Planner produces a PlannedWorkflow for one workflow under a deadline.
+// Deco's planner runs the transformation-based search; SPSS's planner uses
+// its static heuristic. Both plug into the same admission machinery.
+type Planner func(w *dag.Workflow, deadlineSec, percentile float64) (*PlannedWorkflow, error)
+
+// Space is the admission search space for opt.Search: state[i] ∈ {0,1} is
+// workflow i's admission bit. The initial state admits nothing; neighbors
+// admit one more workflow (the state transition of §6.1: "we consider
+// executing each of the uncompleted workflows in the ensemble to generate
+// child states"). The goal is maximized.
+type Space struct {
+	E *Ensemble
+	// Plans holds the per-workflow plan (nil entries are unplannable
+	// workflows that can never be admitted).
+	Plans []*PlannedWorkflow
+	// Budget is the ensemble budget B of Eq. 5.
+	Budget float64
+}
+
+// NewSpace plans every workflow with the planner and assembles the space.
+// Deadlines and percentiles come from each workflow's own fields.
+func NewSpace(e *Ensemble, budget float64, plan Planner) (*Space, error) {
+	sp := &Space{E: e, Budget: budget}
+	for _, w := range e.Workflows {
+		p, err := plan(w, w.DeadlineSeconds, w.DeadlinePercentile)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: planning %s: %w", w.Name, err)
+		}
+		if p != nil && !p.Feasible {
+			p = nil // cannot meet its deadline at any cost: never admit
+		}
+		sp.Plans = append(sp.Plans, p)
+	}
+	return sp, nil
+}
+
+// Initial implements opt.Space.
+func (s *Space) Initial() opt.State { return make(opt.State, len(s.E.Workflows)) }
+
+// Neighbors implements opt.Space: admit one more (plannable) workflow.
+func (s *Space) Neighbors(st opt.State) []opt.State {
+	var out []opt.State
+	for i := range st {
+		if st[i] == 0 && s.Plans[i] != nil {
+			c := st.Clone()
+			c[i] = 1
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Evaluate implements opt.Space: the score of the admitted set, feasible iff
+// the total cost fits the budget (per-workflow deadlines are already folded
+// into the plans).
+func (s *Space) Evaluate(st opt.State, rng *rand.Rand) (*probir.Evaluation, error) {
+	if len(st) != len(s.E.Workflows) {
+		return nil, fmt.Errorf("ensemble: state length %d, want %d", len(st), len(s.E.Workflows))
+	}
+	cost := 0.0
+	admitted := make([]bool, len(st))
+	for i, bit := range st {
+		if bit == 0 {
+			continue
+		}
+		if s.Plans[i] == nil {
+			return nil, fmt.Errorf("ensemble: state admits unplannable workflow %d", i)
+		}
+		admitted[i] = true
+		cost += s.Plans[i].Cost
+	}
+	ev := &probir.Evaluation{Value: s.E.Score(admitted), Feasible: cost <= s.Budget}
+	if !ev.Feasible && s.Budget > 0 {
+		ev.Violation = (cost - s.Budget) / s.Budget
+	}
+	return ev, nil
+}
+
+// TotalCost sums the planned cost of the admitted workflows.
+func (s *Space) TotalCost(st opt.State) float64 {
+	c := 0.0
+	for i, bit := range st {
+		if bit == 1 && s.Plans[i] != nil {
+			c += s.Plans[i].Cost
+		}
+	}
+	return c
+}
+
+// Admitted converts a state to the bool form used by Score.
+func Admitted(st opt.State) []bool {
+	out := make([]bool, len(st))
+	for i, v := range st {
+		out[i] = v == 1
+	}
+	return out
+}
+
+// MinMaxBudget returns the smallest budget that admits the single cheapest
+// plannable workflow and the budget admitting everything plannable — the
+// MinBudget/MaxBudget anchors the Bgt1..Bgt5 sweep interpolates between.
+func (s *Space) MinMaxBudget() (min, max float64) {
+	min = math.Inf(1)
+	for _, p := range s.Plans {
+		if p == nil {
+			continue
+		}
+		if p.Cost < min {
+			min = p.Cost
+		}
+		max += p.Cost
+	}
+	if math.IsInf(min, 1) {
+		min = 0
+	}
+	return min, max
+}
+
+// DefaultDeadlines assigns each workflow a deadline of slack × its
+// mean critical-path time on the median type, with the given probabilistic
+// percentile. It mirrors the paper's deadline generation between
+// MinDeadline and MaxDeadline.
+func DefaultDeadlines(e *Ensemble, tbl func(w *dag.Workflow) (*estimate.Table, error), slack, percentile float64) error {
+	for _, w := range e.Workflows {
+		t, err := tbl(w)
+		if err != nil {
+			return err
+		}
+		cfg := make(map[string]int, w.Len())
+		for _, task := range w.Tasks {
+			cfg[task.ID] = 1 // m1.medium as the reference
+		}
+		means, err := t.MeanDurations(cfg)
+		if err != nil {
+			return err
+		}
+		ms, _, err := w.Makespan(means)
+		if err != nil {
+			return err
+		}
+		w.DeadlineSeconds = ms * slack
+		w.DeadlinePercentile = percentile
+	}
+	return nil
+}
+
+// Constraint builds the wlog budget constraint of Eq. 5 for reporting.
+func Constraint(budget float64) wlog.Constraint {
+	return wlog.Constraint{Kind: "budget", Percentile: -1, Bound: budget}
+}

@@ -1,0 +1,181 @@
+// Package estimate implements the task execution-time model Deco uses when
+// translating WLog programs to the probabilistic IR (§5.1): given a task's
+// input size, reference CPU time and output size, its execution time on an
+// instance type is the sum of CPU, I/O and network time on that instance
+// (the approach of Yu et al. the paper adopts). CPU time is deterministic
+// (scaled by the instance's ECU factor); I/O and network times divide the
+// data volumes by performance values drawn from the calibrated histograms,
+// so the estimated task time is itself a probability distribution.
+package estimate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/dist"
+)
+
+// Estimator derives execution-time distributions from the cloud metadata.
+type Estimator struct {
+	Cat  *cloud.Catalog
+	Meta *cloud.Metadata
+	// CPUScale scales CPU time to account for multi-core effects (the
+	// scaling factor of Pietri et al. cited in §5.1). 1.0 = no scaling.
+	CPUScale float64
+}
+
+// New returns an estimator over the given catalog and metadata store.
+func New(cat *cloud.Catalog, meta *cloud.Metadata) *Estimator {
+	return &Estimator{Cat: cat, Meta: meta, CPUScale: 1.0}
+}
+
+// TimeDist is the execution-time distribution of one task on one instance
+// type: a deterministic CPU component plus stochastic I/O and network
+// components.
+type TimeDist struct {
+	CPUSeconds float64 // already scaled by ECU
+	IOMB       float64 // data through the local disk
+	NetMB      float64 // data over the network
+
+	seq *dist.Histogram // sequential I/O MB/s
+	net *dist.Histogram // network MB/s
+
+	invSeqMean float64 // E[1/seq], cached
+	invNetMean float64 // E[1/net], cached
+}
+
+// invMean returns E[1/X] for a histogram, guarding against non-positive
+// bins (performance histograms should be strictly positive).
+func invMean(h *dist.Histogram) (float64, error) {
+	s := 0.0
+	for i, p := range h.Probs {
+		m := h.Mid(i)
+		if m <= 0 {
+			return 0, fmt.Errorf("estimate: non-positive performance bin %v", m)
+		}
+		s += p / m
+	}
+	return s, nil
+}
+
+// TaskTime builds the execution-time distribution of task t on the named
+// instance type. The data volumes follow the paper's model: all input and
+// output bytes pass through local disk (I/O component) and input bytes
+// additionally arrive over the network (from S3 or a parent task's
+// instance; co-location discounts are applied by the simulator, not here,
+// because the estimate must be placement-independent).
+func (e *Estimator) TaskTime(t *dag.Task, typ string) (*TimeDist, error) {
+	it, err := e.Cat.Type(typ)
+	if err != nil {
+		return nil, err
+	}
+	seq := e.Meta.SeqIO[typ]
+	net := e.Meta.Net[typ]
+	if seq == nil || net == nil {
+		return nil, fmt.Errorf("estimate: no metadata for type %q", typ)
+	}
+	scale := e.CPUScale
+	if scale == 0 {
+		scale = 1
+	}
+	td := &TimeDist{
+		CPUSeconds: t.CPUSeconds / it.ECU * scale,
+		IOMB:       t.InputMB() + t.OutputMB(),
+		NetMB:      t.InputMB(),
+		seq:        seq,
+		net:        net,
+	}
+	if td.invSeqMean, err = invMean(seq); err != nil {
+		return nil, err
+	}
+	if td.invNetMean, err = invMean(net); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// Sample draws one execution time in seconds.
+func (td *TimeDist) Sample(rng *rand.Rand) float64 {
+	t := td.CPUSeconds
+	if td.IOMB > 0 {
+		t += td.IOMB / td.seq.Sample(rng)
+	}
+	if td.NetMB > 0 {
+		t += td.NetMB / td.net.Sample(rng)
+	}
+	return t
+}
+
+// Mean returns the exact mean of the distribution:
+// cpu + io*E[1/seq] + net*E[1/net].
+func (td *TimeDist) Mean() float64 {
+	return td.CPUSeconds + td.IOMB*td.invSeqMean + td.NetMB*td.invNetMean
+}
+
+// Table precomputes the TimeDist of every (task, type) pair of a workflow,
+// indexed by task ID then catalog type index. This is the exetime(Tid,Vid,T)
+// fact table of the probabilistic IR.
+type Table struct {
+	Types []string
+	Dists map[string][]*TimeDist // task ID -> per-type distribution
+}
+
+// BuildTable precomputes execution-time distributions for all tasks of w on
+// all catalog types.
+func (e *Estimator) BuildTable(w *dag.Workflow) (*Table, error) {
+	tbl := &Table{Types: e.Cat.TypeNames(), Dists: make(map[string][]*TimeDist, w.Len())}
+	for _, t := range w.Tasks {
+		row := make([]*TimeDist, len(tbl.Types))
+		for j, typ := range tbl.Types {
+			td, err := e.TaskTime(t, typ)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = td
+		}
+		tbl.Dists[t.ID] = row
+	}
+	return tbl, nil
+}
+
+// Dist returns the distribution of the given task on type index j.
+func (tb *Table) Dist(taskID string, j int) (*TimeDist, error) {
+	row, ok := tb.Dists[taskID]
+	if !ok {
+		return nil, fmt.Errorf("estimate: unknown task %q", taskID)
+	}
+	if j < 0 || j >= len(row) {
+		return nil, fmt.Errorf("estimate: type index %d out of range", j)
+	}
+	return row[j], nil
+}
+
+// MeanDurations returns the mean duration of every task under the given
+// per-task type assignment (task ID -> type index).
+func (tb *Table) MeanDurations(config map[string]int) (map[string]float64, error) {
+	out := make(map[string]float64, len(config))
+	for id, j := range config {
+		td, err := tb.Dist(id, j)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = td.Mean()
+	}
+	return out, nil
+}
+
+// SampleDurations draws one world: a concrete duration for every task under
+// the given assignment.
+func (tb *Table) SampleDurations(config map[string]int, rng *rand.Rand) (map[string]float64, error) {
+	out := make(map[string]float64, len(config))
+	for id, j := range config {
+		td, err := tb.Dist(id, j)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = td.Sample(rng)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+)
+
+func setup(t *testing.T) (*cloud.Catalog, *Estimator) {
+	t.Helper()
+	cat := cloud.DefaultCatalog()
+	rng := rand.New(rand.NewSource(1))
+	md, err := cloud.MetadataFromTruth(cat, 20, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, New(cat, md)
+}
+
+func task() *dag.Task {
+	return &dag.Task{
+		ID: "t", Executable: "x", CPUSeconds: 100,
+		Inputs:  []dag.File{{Name: "in", SizeMB: 500}},
+		Outputs: []dag.File{{Name: "out", SizeMB: 300}},
+	}
+}
+
+func TestCPUTimeScalesWithECU(t *testing.T) {
+	_, e := setup(t)
+	tk := &dag.Task{ID: "cpu", CPUSeconds: 80} // no I/O
+	small, err := e.TaskTime(tk, "m1.small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xlarge, err := e.TaskTime(tk, "m1.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Mean() != 80 {
+		t.Errorf("small mean %v, want 80 (1 ECU)", small.Mean())
+	}
+	if xlarge.Mean() != 10 {
+		t.Errorf("xlarge mean %v, want 10 (8 ECU)", xlarge.Mean())
+	}
+	// Pure-CPU tasks are deterministic.
+	r := rand.New(rand.NewSource(2))
+	if small.Sample(r) != 80 {
+		t.Error("pure CPU task should sample deterministically")
+	}
+}
+
+func TestMeanMatchesSampleMean(t *testing.T) {
+	_, e := setup(t)
+	td, err := e.TaskTime(task(), "m1.medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	const N = 100000
+	sum := 0.0
+	for i := 0; i < N; i++ {
+		sum += td.Sample(r)
+	}
+	got := sum / N
+	if math.Abs(got-td.Mean())/td.Mean() > 0.01 {
+		t.Errorf("sample mean %v vs analytic %v", got, td.Mean())
+	}
+}
+
+func TestFasterTypeIsFaster(t *testing.T) {
+	_, e := setup(t)
+	tk := task()
+	var prev float64 = math.Inf(1)
+	for _, typ := range []string{"m1.small", "m1.medium", "m1.large", "m1.xlarge"} {
+		td, err := e.TaskTime(tk, typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td.Mean() >= prev {
+			t.Errorf("%s mean %v not faster than previous %v", typ, td.Mean(), prev)
+		}
+		prev = td.Mean()
+	}
+}
+
+func TestCPUScale(t *testing.T) {
+	_, e := setup(t)
+	e.CPUScale = 2
+	tk := &dag.Task{ID: "cpu", CPUSeconds: 50}
+	td, err := e.TaskTime(tk, "m1.small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Mean() != 100 {
+		t.Errorf("scaled mean %v, want 100", td.Mean())
+	}
+}
+
+func TestTaskTimeErrors(t *testing.T) {
+	_, e := setup(t)
+	if _, err := e.TaskTime(task(), "m9.zz"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Metadata gap.
+	delete(e.Meta.Net, "m1.small")
+	if _, err := e.TaskTime(task(), "m1.small"); err == nil {
+		t.Error("missing metadata accepted")
+	}
+}
+
+func TestBuildTableAndDurations(t *testing.T) {
+	_, e := setup(t)
+	w := dag.New("w")
+	_ = w.AddTask(&dag.Task{ID: "a", CPUSeconds: 10})
+	_ = w.AddTask(&dag.Task{ID: "b", CPUSeconds: 20,
+		Inputs: []dag.File{{Name: "f", SizeMB: 100}}})
+	_ = w.AddEdge("a", "b")
+	tbl, err := e.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Types) != 4 {
+		t.Fatalf("types %d", len(tbl.Types))
+	}
+	td, err := tbl.Dist("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Mean() != 10 {
+		t.Errorf("a on small %v", td.Mean())
+	}
+	if _, err := tbl.Dist("zz", 0); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := tbl.Dist("a", 9); err == nil {
+		t.Error("bad index accepted")
+	}
+
+	cfg := map[string]int{"a": 0, "b": 3}
+	means, err := tbl.MeanDurations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means["a"] != 10 {
+		t.Errorf("mean a %v", means["a"])
+	}
+	r := rand.New(rand.NewSource(4))
+	sample, err := tbl.SampleDurations(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample["a"] != 10 { // deterministic CPU-only task
+		t.Errorf("sample a %v", sample["a"])
+	}
+	if sample["b"] <= 20.0/8 {
+		t.Errorf("sample b %v should include I/O time", sample["b"])
+	}
+	// Error propagation.
+	if _, err := tbl.MeanDurations(map[string]int{"zz": 0}); err == nil {
+		t.Error("unknown task in config accepted")
+	}
+	if _, err := tbl.SampleDurations(map[string]int{"a": 99}, r); err == nil {
+		t.Error("bad index in config accepted")
+	}
+}
+
+func TestIOAndNetworkContribute(t *testing.T) {
+	_, e := setup(t)
+	pureCPU := &dag.Task{ID: "c", CPUSeconds: 10}
+	withIO := &dag.Task{ID: "d", CPUSeconds: 10,
+		Inputs:  []dag.File{{Name: "i", SizeMB: 1000}},
+		Outputs: []dag.File{{Name: "o", SizeMB: 1000}}}
+	a, _ := e.TaskTime(pureCPU, "m1.small")
+	b, _ := e.TaskTime(withIO, "m1.small")
+	if b.Mean() <= a.Mean() {
+		t.Errorf("I/O-heavy task (%v) should be slower than pure-CPU (%v)", b.Mean(), a.Mean())
+	}
+	// Roughly: 2000MB over ~102 MB/s disk plus 1000MB over ~55MB/s net.
+	approx := 10 + 2000/102.0 + 1000/55.0
+	if math.Abs(b.Mean()-approx)/approx > 0.15 {
+		t.Errorf("I/O-heavy mean %v, expected around %v", b.Mean(), approx)
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"deco/internal/calib"
+)
+
+// Table2Result reproduces Table 2: fitted I/O performance distributions per
+// instance type.
+type Table2Result struct {
+	Calib *calib.Result
+}
+
+// calibSamples picks the probe count: the paper's 10,000, or 2,000 in
+// quick mode.
+func (e *Env) calibSamples() int {
+	if e.Cfg.Quick {
+		return 2000
+	}
+	return 10000
+}
+
+// Table2 runs the calibration pipeline and renders the fitted parameters.
+func (e *Env) Table2(out io.Writer) (*Table2Result, error) {
+	res, err := calib.Run(e.Cat, calib.Options{
+		Samples: e.calibSamples(), Bins: 30, InstanceHourMinutes: 60,
+	}, rand.New(rand.NewSource(e.Cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	if out != nil {
+		fmt.Fprintln(out, "Table 2: parameters of I/O performance distributions (fitted from calibration)")
+		fmt.Fprint(out, res.Table2())
+	}
+	return &Table2Result{Calib: res}, nil
+}
+
+// Fig6Result reproduces Figure 6: network performance dynamics of
+// m1.medium — the time-series variance and the Normal fit of the histogram.
+type Fig6Result struct {
+	MaxVariancePct float64
+	NormalFitMu    float64
+	NormalFitSigma float64
+	KSPass         bool
+	HistogramAscii string
+}
+
+// Fig6 runs the experiment.
+func (e *Env) Fig6(out io.Writer) (*Fig6Result, error) {
+	cres, err := calib.Run(e.Cat, calib.Options{
+		Samples: e.calibSamples(), Bins: 30, InstanceHourMinutes: 60,
+	}, rand.New(rand.NewSource(e.Cfg.Seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{MaxVariancePct: cres.MaxVariancePct("m1.medium")}
+	for _, rep := range cres.Reports {
+		if rep.Type == "m1.medium" {
+			res.NormalFitMu = rep.NetNormal.Mu
+			res.NormalFitSigma = rep.NetNormal.Sigma
+			res.KSPass = rep.NetKSPass
+		}
+	}
+	h, err := cres.NetHistogram("m1.medium", 15)
+	if err != nil {
+		return nil, err
+	}
+	res.HistogramAscii = h.Ascii(40)
+	if out != nil {
+		fmt.Fprintln(out, "Figure 6: network performance dynamics of m1.medium")
+		fmt.Fprintf(out, "(a) max deviation from mean across the series: %.1f%%\n", res.MaxVariancePct)
+		fmt.Fprintf(out, "(b) Normal fit mu=%.1f sigma=%.1f MB/s, KS accepts: %v\n", res.NormalFitMu, res.NormalFitSigma, res.KSPass)
+		fmt.Fprint(out, res.HistogramAscii)
+	}
+	return res, nil
+}
+
+// Fig7Result reproduces Figure 7: network histograms between instance-type
+// pairs. The m1.large↔m1.large link is faster and tighter than the
+// m1.medium↔m1.large link, which behaves like its weaker endpoint.
+type Fig7Result struct {
+	LargeLargeMean float64
+	LargeLargeCV   float64
+	MixedMean      float64
+	MixedCV        float64
+}
+
+// Fig7 runs the experiment.
+func (e *Env) Fig7(out io.Writer) (*Fig7Result, error) {
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 2))
+	ll, err := calib.LinkHistogram(e.Cat, "m1.large", "m1.large", e.calibSamples(), 20, rng)
+	if err != nil {
+		return nil, err
+	}
+	mx, err := calib.LinkHistogram(e.Cat, "m1.medium", "m1.large", e.calibSamples(), 20, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{
+		LargeLargeMean: ll.Mean(), LargeLargeCV: math.Sqrt(ll.Var()) / ll.Mean(),
+		MixedMean: mx.Mean(), MixedCV: math.Sqrt(mx.Var()) / mx.Mean(),
+	}
+	if out != nil {
+		fmt.Fprintln(out, "Figure 7: network performance histograms by endpoint pair")
+		fmt.Fprintf(out, "(a) m1.large <-> m1.large:   mean %.1f MB/s, cv %.3f\n", res.LargeLargeMean, res.LargeLargeCV)
+		fmt.Fprint(out, ll.Ascii(40))
+		fmt.Fprintf(out, "(b) m1.medium <-> m1.large:  mean %.1f MB/s, cv %.3f\n", res.MixedMean, res.MixedCV)
+		fmt.Fprint(out, mx.Ascii(40))
+	}
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deco/internal/estimate"
+	"deco/internal/ftc"
+	"deco/internal/wfgen"
+)
+
+// heuristicLagSec is the stall one Heuristic re-optimization imposes
+// (§6.3.3: the baseline's offline-grade optimizer "takes a long time, which
+// cannot catch up with the workflow executions"); Deco's device-accelerated
+// search decides within milliseconds and imposes none.
+const heuristicLagSec = 1800
+
+// ftcJobs builds the follow-the-cost job population: funnel pipelines
+// scaled to the Montage degree, alternating start regions (10-50 workflows
+// per data center in the paper; reduced in quick mode).
+func (e *Env) ftcJobs(degree int, seed int64) ([]*ftc.Job, error) {
+	nJobs := 12
+	if e.Cfg.Quick {
+		nJobs = 6
+	}
+	length := 15 * degree
+	var jobs []*ftc.Job
+	for i := 0; i < nJobs; i++ {
+		w, err := wfgen.Funnel(length, 6000, 20, rand.New(rand.NewSource(seed+int64(i))))
+		if err != nil {
+			return nil, err
+		}
+		var tbl *estimate.Table
+		if tbl, err = e.Est.BuildTable(w); err != nil {
+			return nil, err
+		}
+		j, err := ftc.NewJob(w, tbl, i%2, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+func (e *Env) runFTC(degree int, o ftc.Optimizer, seed int64) (*ftc.Result, error) {
+	jobs, err := e.ftcJobs(degree, seed)
+	if err != nil {
+		return nil, err
+	}
+	rt := &ftc.Runtime{Cat: e.Cat, Jobs: jobs, Rng: rand.New(rand.NewSource(seed + 999)), Opt: o}
+	return rt.Run()
+}
+
+// Fig10aRow compares total cost by workflow size.
+type Fig10aRow struct {
+	Size          string
+	DecoCost      float64
+	HeuristicCost float64
+	NormCost      float64 // Deco / Heuristic
+}
+
+// Fig10bRow compares cost across re-optimization thresholds.
+type Fig10bRow struct {
+	Threshold     float64
+	DecoCost      float64
+	HeuristicCost float64
+	NormCost      float64
+}
+
+// Fig10Result reproduces Figure 10: follow-the-cost monetary cost (a) by
+// workflow size and (b) by performance-change threshold.
+type Fig10Result struct {
+	A []Fig10aRow
+	B []Fig10bRow
+}
+
+// Fig10 runs the experiment.
+func (e *Env) Fig10(out io.Writer) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	degrees := e.MontageDegrees()
+	for _, degree := range degrees {
+		deco, err := e.runFTC(degree, ftc.NewDecoOptimizer(e.Cfg.Device, e.Cfg.Seed), e.Cfg.Seed+int64(degree)*100)
+		if err != nil {
+			return nil, err
+		}
+		heur, err := e.runFTC(degree, ftc.NewHeuristic(0.5, heuristicLagSec), e.Cfg.Seed+int64(degree)*100)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10aRow{
+			Size:     fmt.Sprintf("Montage-%d", degree),
+			DecoCost: deco.TotalCost, HeuristicCost: heur.TotalCost,
+		}
+		if heur.TotalCost > 0 {
+			row.NormCost = deco.TotalCost / heur.TotalCost
+		}
+		res.A = append(res.A, row)
+	}
+	// (b): threshold sweep on the largest size.
+	big := degrees[len(degrees)-1]
+	thresholds := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	if e.Cfg.Quick {
+		thresholds = []float64{0.1, 0.5, 0.9}
+	}
+	for _, th := range thresholds {
+		deco, err := e.runFTC(big, ftc.NewDecoOptimizer(e.Cfg.Device, e.Cfg.Seed), e.Cfg.Seed+7000)
+		if err != nil {
+			return nil, err
+		}
+		heur, err := e.runFTC(big, ftc.NewHeuristic(th, heuristicLagSec), e.Cfg.Seed+7000)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10bRow{Threshold: th, DecoCost: deco.TotalCost, HeuristicCost: heur.TotalCost}
+		if heur.TotalCost > 0 {
+			row.NormCost = deco.TotalCost / heur.TotalCost
+		}
+		res.B = append(res.B, row)
+	}
+	if out != nil {
+		fmt.Fprintln(out, "Figure 10a: follow-the-cost total cost by workflow size (normalized to Heuristic)")
+		fmt.Fprintf(out, "%-12s %-10s %-12s %-8s\n", "size", "deco $", "heuristic $", "norm")
+		for _, r := range res.A {
+			fmt.Fprintf(out, "%-12s %-10.4f %-12.4f %-8.2f\n", r.Size, r.DecoCost, r.HeuristicCost, r.NormCost)
+		}
+		fmt.Fprintln(out, "\nFigure 10b: cost vs re-optimization threshold")
+		fmt.Fprintf(out, "%-10s %-10s %-12s %-8s\n", "threshold", "deco $", "heuristic $", "norm")
+		for _, r := range res.B {
+			fmt.Fprintf(out, "%-10.0f%% %-9.4f %-12.4f %-8.2f\n", r.Threshold*100, r.DecoCost, r.HeuristicCost, r.NormCost)
+		}
+	}
+	return res, nil
+}

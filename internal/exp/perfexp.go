@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"deco/internal/device"
+	"deco/internal/opt"
+	"deco/internal/probir"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// SpeedupRow is one workload of the §6.3 parallel-solver comparison.
+type SpeedupRow struct {
+	Workload   string
+	Tasks      int
+	Sequential time.Duration
+	Parallel   time.Duration
+	Speedup    float64
+}
+
+// SpeedupResult reproduces the §6.3.1/§6.3.2 device-speedup measurements:
+// the same search run on the sequential (1-thread CPU baseline) and
+// parallel (GPU-model) devices. The paper reports 12X/10X/20X for
+// Montage-1/4/8 and 36X/22X/18X for 20/100/1000-task ensembles against a
+// 6-core CPU; our ceiling is the host's core count.
+type SpeedupResult struct {
+	ParallelBlocks int
+	Rows           []SpeedupRow
+}
+
+// timedSearch runs the scheduling search on the given device and returns
+// elapsed wall-clock time.
+func (e *Env) timedSearch(wName string, nTasks int, dev device.Device, seed int64) (time.Duration, int, error) {
+	w, err := wfgen.BySize(wfgen.AppMontage, nTasks, randFor(seed))
+	if err != nil {
+		return 0, 0, err
+	}
+	if wName != "" {
+		w.Name = wName
+	}
+	tbl, err := e.Est.BuildTable(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	deadline, err := e.Deadline(w, "medium")
+	if err != nil {
+		return 0, 0, err
+	}
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: deadline}}
+	eval, err := probir.NewNative(w, tbl, e.Prices, probir.GoalCost, cons, e.Cfg.Iters)
+	if err != nil {
+		return 0, 0, err
+	}
+	space := opt.NewScheduleSpace(w, eval)
+	so := opt.DefaultOptions(dev)
+	so.MaxStates = e.Cfg.SearchBudget
+	so.Seed = seed
+	start := time.Now()
+	res, err := opt.Search(space, so)
+	if err != nil {
+		return 0, 0, err
+	}
+	_ = res
+	return time.Since(start), w.Len(), nil
+}
+
+// Speedup runs the comparison for the Montage scales.
+func (e *Env) Speedup(out io.Writer) (*SpeedupResult, error) {
+	sizes := []int{30, 120, 400}
+	if e.Cfg.Quick {
+		sizes = []int{30, 120}
+	}
+	par := device.Parallel{}
+	res := &SpeedupResult{ParallelBlocks: par.Blocks()}
+	for _, n := range sizes {
+		seqT, tasks, err := e.timedSearch("", n, device.Sequential{}, e.Cfg.Seed+51)
+		if err != nil {
+			return nil, err
+		}
+		parT, _, err := e.timedSearch("", n, par, e.Cfg.Seed+51)
+		if err != nil {
+			return nil, err
+		}
+		row := SpeedupRow{
+			Workload: fmt.Sprintf("montage-%dt", tasks), Tasks: tasks,
+			Sequential: seqT, Parallel: parT,
+		}
+		if parT > 0 {
+			row.Speedup = float64(seqT) / float64(parT)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if out != nil {
+		fmt.Fprintf(out, "Solver speedup: parallel (%d blocks) vs sequential device\n", res.ParallelBlocks)
+		fmt.Fprintf(out, "%-16s %-7s %-12s %-12s %s\n", "workload", "tasks", "sequential", "parallel", "speedup")
+		for _, r := range res.Rows {
+			fmt.Fprintf(out, "%-16s %-7d %-12s %-12s %.1fx\n", r.Workload, r.Tasks, r.Sequential.Round(time.Millisecond), r.Parallel.Round(time.Millisecond), r.Speedup)
+		}
+	}
+	return res, nil
+}
+
+// OverheadRow is one workflow scale of the optimization-overhead
+// measurement.
+type OverheadRow struct {
+	Tasks      int
+	Total      time.Duration
+	PerTask    time.Duration
+	PerTaskMs  float64
+	StatesEval int
+}
+
+// OverheadResult reproduces the paper's headline overhead claim: "the
+// optimization overhead of Deco takes 4.3-63.17 ms per task for a workflow
+// with 20-1000 tasks".
+type OverheadResult struct {
+	Rows []OverheadRow
+}
+
+// Overhead measures end-to-end optimization time per task across workflow
+// scales.
+func (e *Env) Overhead(out io.Writer) (*OverheadResult, error) {
+	sizes := []int{20, 100, 1000}
+	if e.Cfg.Quick {
+		sizes = []int{20, 100}
+	}
+	res := &OverheadResult{}
+	for _, n := range sizes {
+		w, err := wfgen.BySize(wfgen.AppMontage, n, randFor(e.Cfg.Seed+61))
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := e.Est.BuildTable(w)
+		if err != nil {
+			return nil, err
+		}
+		deadline, err := e.Deadline(w, "medium")
+		if err != nil {
+			return nil, err
+		}
+		cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: deadline}}
+		eval, err := probir.NewNative(w, tbl, e.Prices, probir.GoalCost, cons, e.Cfg.Iters)
+		if err != nil {
+			return nil, err
+		}
+		space := opt.NewScheduleSpace(w, eval)
+		so := opt.DefaultOptions(e.Cfg.Device)
+		so.MaxStates = e.Cfg.SearchBudget
+		so.Seed = e.Cfg.Seed + 62
+		start := time.Now()
+		sres, err := opt.Search(space, so)
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		perTask := total / time.Duration(w.Len())
+		res.Rows = append(res.Rows, OverheadRow{
+			Tasks: w.Len(), Total: total, PerTask: perTask,
+			PerTaskMs:  float64(perTask) / float64(time.Millisecond),
+			StatesEval: sres.Evaluated,
+		})
+	}
+	if out != nil {
+		fmt.Fprintln(out, "Optimization overhead per task (paper: 4.3-63.17 ms/task for 20-1000 tasks)")
+		fmt.Fprintf(out, "%-7s %-12s %-12s %s\n", "tasks", "total", "ms/task", "states")
+		for _, r := range res.Rows {
+			fmt.Fprintf(out, "%-7d %-12s %-12.2f %d\n", r.Tasks, r.Total.Round(time.Millisecond), r.PerTaskMs, r.StatesEval)
+		}
+	}
+	return res, nil
+}

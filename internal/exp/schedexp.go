@@ -1,0 +1,385 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"deco/internal/baseline"
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/dist"
+	"deco/internal/estimate"
+	"deco/internal/opt"
+	"deco/internal/sim"
+)
+
+// runPlan executes a plan Runs times and returns average realized cost,
+// average makespan, and the raw makespans.
+func (e *Env) runPlan(w *dag.Workflow, plan *sim.Plan, seed int64) (avgCost, avgTime float64, times []float64, err error) {
+	s, err := sim.New(sim.DefaultOptions(e.Cat, rand.New(rand.NewSource(seed))))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	rs, err := s.RunMany(w, plan, e.Cfg.Runs)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	times = sim.Makespans(rs)
+	return dist.MeanOf(sim.Costs(rs)), dist.MeanOf(times), times, nil
+}
+
+// metTarget is the fraction of runs finishing within the deadline.
+func metTarget(times []float64, deadline float64) float64 {
+	n := 0
+	for _, t := range times {
+		if t <= deadline {
+			n++
+		}
+	}
+	return float64(n) / float64(len(times))
+}
+
+// Fig1Row is one bar of Figure 1.
+type Fig1Row struct {
+	Config         string
+	AvgCost        float64
+	NormCost       float64 // normalized to Autoscaling
+	MetProbability float64 // fraction of runs within the deadline
+	Satisfies      bool    // MetProbability >= the probabilistic requirement
+}
+
+// Fig1Result reproduces Figure 1: the average cost of running a Montage
+// workflow with a deadline constraint under seven instance configurations.
+type Fig1Result struct {
+	Workflow   string
+	Deadline   float64
+	Percentile float64
+	Rows       []Fig1Row
+}
+
+// Fig1 runs the experiment.
+func (e *Env) Fig1(out io.Writer) (*Fig1Result, error) {
+	degree := e.MontageDegrees()[1]
+	w, err := e.Montage(degree)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := e.Est.BuildTable(w)
+	if err != nil {
+		return nil, err
+	}
+	deadline, err := e.Deadline(w, "medium")
+	if err != nil {
+		return nil, err
+	}
+	const pct = 0.96
+	res := &Fig1Result{Workflow: w.Name, Deadline: deadline, Percentile: pct}
+
+	type scenario struct {
+		name string
+		plan func() (*sim.Plan, error)
+	}
+	var scenarios []scenario
+	for _, typ := range e.Cat.TypeNames() {
+		typ := typ
+		scenarios = append(scenarios, scenario{typ, func() (*sim.Plan, error) {
+			return consolidatedUniform(w, tbl, e.Cat.TypeIndex(typ))
+		}})
+	}
+	scenarios = append(scenarios,
+		scenario{"random", func() (*sim.Plan, error) {
+			return sim.RandomPlan(w, e.Cat, cloud.USEast, rand.New(rand.NewSource(e.Cfg.Seed+7))), nil
+		}},
+		scenario{"autoscaling", func() (*sim.Plan, error) {
+			cfg, err := baseline.AutoscalingProbabilistic(w, tbl, e.Prices, deadline, pct, e.Cfg.Iters, rand.New(rand.NewSource(e.Cfg.Seed+8)))
+			if err != nil {
+				return nil, err
+			}
+			return opt.Consolidate(w, cfg, tbl, cloud.USEast)
+		}},
+		scenario{"deco", func() (*sim.Plan, error) {
+			cfg, _, _, err := e.decoSchedule(w, tbl, deadline, pct, e.Cfg.Seed+9)
+			if err != nil {
+				return nil, err
+			}
+			return opt.Consolidate(w, cfg, tbl, cloud.USEast)
+		}},
+	)
+
+	var asCost float64
+	for _, sc := range scenarios {
+		plan, err := sc.plan()
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig1 %s: %w", sc.name, err)
+		}
+		cost, _, times, err := e.runPlan(w, plan, e.Cfg.Seed+11)
+		if err != nil {
+			return nil, err
+		}
+		met := metTarget(times, deadline)
+		row := Fig1Row{Config: sc.name, AvgCost: cost, MetProbability: met, Satisfies: met >= pct}
+		if sc.name == "autoscaling" {
+			asCost = cost
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for i := range res.Rows {
+		if asCost > 0 {
+			res.Rows[i].NormCost = res.Rows[i].AvgCost / asCost
+		}
+	}
+	if out != nil {
+		fmt.Fprintf(out, "Figure 1: average cost of %s, deadline %.0fs at %.0f%% (normalized to Autoscaling)\n",
+			res.Workflow, deadline, pct*100)
+		fmt.Fprintf(out, "%-14s %-10s %-10s %-8s %s\n", "config", "avg $", "norm", "P(meet)", "satisfies")
+		for _, r := range res.Rows {
+			fmt.Fprintf(out, "%-14s %-10.4f %-10.2f %-8.2f %v\n", r.Config, r.AvgCost, r.NormCost, r.MetProbability, r.Satisfies)
+		}
+	}
+	return res, nil
+}
+
+// consolidatedUniform builds the single-type plan with the same
+// consolidation applied to all scenarios (fair packing).
+func consolidatedUniform(w *dag.Workflow, tbl *estimate.Table, typeIdx int) (*sim.Plan, error) {
+	cfg := make(opt.State, w.Len())
+	for i := range cfg {
+		cfg[i] = typeIdx
+	}
+	return opt.Consolidate(w, cfg, tbl, cloud.USEast)
+}
+
+// Fig2Row summarizes the normalized execution-time distribution of one
+// workflow scale (the box of a box plot).
+type Fig2Row struct {
+	Workflow                     string
+	Min, P25, Med, P75, P95, Max float64 // normalized to the mean
+	SpreadPct                    float64 // (max-min)/mean * 100
+}
+
+// Fig2Result reproduces Figure 2: execution-time variance of Montage
+// workflows across repeated runs of the Deco-optimized plan.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 runs the experiment.
+func (e *Env) Fig2(out io.Writer) (*Fig2Result, error) {
+	res := &Fig2Result{}
+	for _, degree := range e.MontageDegrees() {
+		w, err := e.Montage(degree)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := e.Est.BuildTable(w)
+		if err != nil {
+			return nil, err
+		}
+		deadline, err := e.Deadline(w, "medium")
+		if err != nil {
+			return nil, err
+		}
+		cfg, _, _, err := e.decoSchedule(w, tbl, deadline, 0.96, e.Cfg.Seed+21)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := opt.Consolidate(w, cfg, tbl, cloud.USEast)
+		if err != nil {
+			return nil, err
+		}
+		_, _, times, err := e.runPlan(w, plan, e.Cfg.Seed+22)
+		if err != nil {
+			return nil, err
+		}
+		mean := dist.MeanOf(times)
+		sort.Float64s(times)
+		q := func(p float64) float64 { return dist.QuantileOf(times, p) / mean }
+		res.Rows = append(res.Rows, Fig2Row{
+			Workflow: w.Name,
+			Min:      times[0] / mean, P25: q(0.25), Med: q(0.5), P75: q(0.75), P95: q(0.95),
+			Max:       times[len(times)-1] / mean,
+			SpreadPct: (times[len(times)-1] - times[0]) / mean * 100,
+		})
+	}
+	if out != nil {
+		fmt.Fprintln(out, "Figure 2: normalized execution-time quantiles across runs (Deco plans)")
+		fmt.Fprintf(out, "%-14s %-7s %-7s %-7s %-7s %-7s %-7s %s\n", "workflow", "min", "p25", "med", "p75", "p95", "max", "spread%")
+		for _, r := range res.Rows {
+			fmt.Fprintf(out, "%-14s %-7.3f %-7.3f %-7.3f %-7.3f %-7.3f %-7.3f %.1f\n",
+				r.Workflow, r.Min, r.P25, r.Med, r.P75, r.P95, r.Max, r.SpreadPct)
+		}
+	}
+	return res, nil
+}
+
+// Fig8Cell is one (workflow, percentile) comparison.
+type Fig8Cell struct {
+	Workflow   string
+	Percentile float64
+	DecoCost   float64
+	AsCost     float64
+	NormCost   float64 // Deco / Autoscaling
+	DecoTime   float64
+	AsTime     float64
+	NormTime   float64
+	DecoMet    float64 // realized P(makespan <= D) of the Deco plan
+}
+
+// Fig8Result reproduces Figure 8: cost and execution time versus the
+// probabilistic deadline requirement, Deco vs Autoscaling.
+type Fig8Result struct {
+	DeadlineSetting string
+	Cells           []Fig8Cell
+}
+
+// Fig8 runs the experiment. The paper sweeps 90..99.9% at the default
+// (medium) deadline; the cost separation is widest under pressure, so the
+// harness uses the tight deadline, recording the difference in
+// EXPERIMENTS.md.
+func (e *Env) Fig8(out io.Writer) (*Fig8Result, error) {
+	pcts := []float64{0.90, 0.92, 0.94, 0.96, 0.98, 0.999}
+	degrees := e.MontageDegrees()
+	if e.Cfg.Quick {
+		pcts = []float64{0.90, 0.96, 0.999}
+		degrees = degrees[:2]
+	}
+	res := &Fig8Result{DeadlineSetting: "tight"}
+	for _, degree := range degrees {
+		w, err := e.Montage(degree)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := e.Est.BuildTable(w)
+		if err != nil {
+			return nil, err
+		}
+		deadline, err := e.Deadline(w, res.DeadlineSetting)
+		if err != nil {
+			return nil, err
+		}
+		for _, pct := range pcts {
+			cfg, _, _, err := e.decoSchedule(w, tbl, deadline, pct, e.Cfg.Seed+31)
+			if err != nil {
+				return nil, err
+			}
+			decoPlan, err := opt.Consolidate(w, cfg, tbl, cloud.USEast)
+			if err != nil {
+				return nil, err
+			}
+			asCfg, err := baseline.AutoscalingProbabilistic(w, tbl, e.Prices, deadline, pct, e.Cfg.Iters, rand.New(rand.NewSource(e.Cfg.Seed+32)))
+			if err != nil {
+				return nil, err
+			}
+			asPlan, err := opt.Consolidate(w, asCfg, tbl, cloud.USEast)
+			if err != nil {
+				return nil, err
+			}
+			dCost, dTime, dTimes, err := e.runPlan(w, decoPlan, e.Cfg.Seed+33)
+			if err != nil {
+				return nil, err
+			}
+			aCost, aTime, _, err := e.runPlan(w, asPlan, e.Cfg.Seed+33)
+			if err != nil {
+				return nil, err
+			}
+			cell := Fig8Cell{
+				Workflow: w.Name, Percentile: pct,
+				DecoCost: dCost, AsCost: aCost, DecoTime: dTime, AsTime: aTime,
+				DecoMet: metTarget(dTimes, deadline),
+			}
+			if aCost > 0 {
+				cell.NormCost = dCost / aCost
+			}
+			if aTime > 0 {
+				cell.NormTime = dTime / aTime
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	if out != nil {
+		fmt.Fprintf(out, "Figure 8: Deco vs Autoscaling across probabilistic deadline requirements (%s deadline)\n", res.DeadlineSetting)
+		fmt.Fprintf(out, "%-14s %-7s %-10s %-10s %-9s %-9s %-8s\n", "workflow", "p%", "deco $", "autosc $", "norm$", "normT", "P(meet)")
+		for _, c := range res.Cells {
+			fmt.Fprintf(out, "%-14s %-7.1f %-10.4f %-10.4f %-9.2f %-9.2f %-8.2f\n",
+				c.Workflow, c.Percentile*100, c.DecoCost, c.AsCost, c.NormCost, c.NormTime, c.DecoMet)
+		}
+	}
+	return res, nil
+}
+
+// Fig11Row is one deadline setting of Figure 11.
+type Fig11Row struct {
+	Setting  string
+	Deadline float64
+	DecoCost float64
+	AsCost   float64
+	DecoTime float64
+	AsTime   float64
+}
+
+// Fig11Result reproduces Figure 11: sensitivity to the deadline parameter
+// (tight/medium/loose) for the largest Montage workflow.
+type Fig11Result struct {
+	Workflow string
+	Rows     []Fig11Row
+}
+
+// Fig11 runs the experiment.
+func (e *Env) Fig11(out io.Writer) (*Fig11Result, error) {
+	degrees := e.MontageDegrees()
+	w, err := e.Montage(degrees[len(degrees)-1])
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := e.Est.BuildTable(w)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Workflow: w.Name}
+	const pct = 0.96
+	for _, setting := range []string{"tight", "medium", "loose"} {
+		deadline, err := e.Deadline(w, setting)
+		if err != nil {
+			return nil, err
+		}
+		cfg, _, _, err := e.decoSchedule(w, tbl, deadline, pct, e.Cfg.Seed+41)
+		if err != nil {
+			return nil, err
+		}
+		decoPlan, err := opt.Consolidate(w, cfg, tbl, cloud.USEast)
+		if err != nil {
+			return nil, err
+		}
+		asCfg, err := baseline.AutoscalingProbabilistic(w, tbl, e.Prices, deadline, pct, e.Cfg.Iters, rand.New(rand.NewSource(e.Cfg.Seed+42)))
+		if err != nil {
+			return nil, err
+		}
+		asPlan, err := opt.Consolidate(w, asCfg, tbl, cloud.USEast)
+		if err != nil {
+			return nil, err
+		}
+		dCost, dTime, _, err := e.runPlan(w, decoPlan, e.Cfg.Seed+43)
+		if err != nil {
+			return nil, err
+		}
+		aCost, aTime, _, err := e.runPlan(w, asPlan, e.Cfg.Seed+43)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig11Row{
+			Setting: setting, Deadline: deadline,
+			DecoCost: dCost, AsCost: aCost, DecoTime: dTime, AsTime: aTime,
+		})
+	}
+	if out != nil {
+		fmt.Fprintf(out, "Figure 11: deadline sensitivity on %s (96%% requirement)\n", res.Workflow)
+		fmt.Fprintf(out, "%-8s %-10s %-10s %-10s %-10s %-10s\n", "setting", "deadline", "deco $", "autosc $", "deco T", "autosc T")
+		for _, r := range res.Rows {
+			fmt.Fprintf(out, "%-8s %-10.0f %-10.4f %-10.4f %-10.0f %-10.0f\n",
+				r.Setting, r.Deadline, r.DecoCost, r.AsCost, r.DecoTime, r.AsTime)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package ftc
+
+import (
+	"deco/internal/device"
+	"deco/internal/opt"
+)
+
+// DecoOptimizer re-optimizes placements at every decision point with the
+// generic search on the device. The re-optimization is fast (the paper's
+// GPU acceleration), so it imposes no stall.
+type DecoOptimizer struct {
+	// Search options; Device and budget govern the per-decision search.
+	Options opt.Options
+}
+
+// NewDecoOptimizer returns a Deco optimizer on the given device.
+func NewDecoOptimizer(d device.Device, seed int64) *DecoOptimizer {
+	o := opt.DefaultOptions(d)
+	o.MaxStates = 400
+	o.BeamWidth = 6
+	o.Patience = 6
+	o.Seed = seed
+	return &DecoOptimizer{Options: o}
+}
+
+// Name implements Optimizer.
+func (d *DecoOptimizer) Name() string { return "deco" }
+
+// Decide implements Optimizer.
+func (d *DecoOptimizer) Decide(rt *Runtime) ([]int, []float64, error) {
+	sp := &Space{rt: rt}
+	res, err := opt.Search(sp, d.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	regions := make([]int, len(rt.Jobs))
+	for i := range regions {
+		regions[i] = res.Best[i]
+	}
+	return regions, nil, nil
+}
+
+// Heuristic is the baseline of §6.1: an offline plan from the price
+// differences between data centers, adjusted at runtime only when the
+// monitored execution time of the last task drifts from its estimate by
+// more than Threshold. Each runtime adjustment stalls the job by
+// ReoptLagSec — the baseline's slow re-optimization ("the optimization
+// takes a long time, which cannot catch up with the workflow executions"),
+// whereas Deco's device-accelerated search is treated as instantaneous.
+type Heuristic struct {
+	// Threshold is the relative drift that triggers re-optimization
+	// (§6.1: 10%..90%, default 50%).
+	Threshold float64
+	// ReoptLagSec is the stall per runtime adjustment.
+	ReoptLagSec float64
+
+	planned bool
+}
+
+// NewHeuristic returns the baseline with the paper's default 50% threshold.
+func NewHeuristic(threshold, lagSec float64) *Heuristic {
+	return &Heuristic{Threshold: threshold, ReoptLagSec: lagSec}
+}
+
+// Name implements Optimizer.
+func (h *Heuristic) Name() string { return "heuristic" }
+
+// cheapestRegionFor returns the region minimizing the job's remaining cost
+// including migration charges.
+func cheapestRegionFor(rt *Runtime, j *Job) (int, error) {
+	rem, err := j.RemainingMeanSec()
+	if err != nil {
+		return 0, err
+	}
+	best := j.Region
+	bestCost := rem / 3600 * rt.price(j.Region, j.TypeIndex)
+	for r := range rt.Cat.Regions {
+		if r == j.Region {
+			continue
+		}
+		data := j.LiveDataMB()
+		priceGB := rt.Cat.Regions[j.Region].NetPricePerGB[rt.Cat.Regions[r].Name]
+		cost := rem/3600*rt.price(r, j.TypeIndex) + data/1024*priceGB
+		if cost < bestCost {
+			bestCost = cost
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Decide implements Optimizer: the first call is the offline plan (free);
+// later calls only react to drift beyond the threshold, paying the lag.
+func (h *Heuristic) Decide(rt *Runtime) ([]int, []float64, error) {
+	regions := make([]int, len(rt.Jobs))
+	stalls := make([]float64, len(rt.Jobs))
+	for i, j := range rt.Jobs {
+		regions[i] = j.Region
+		if j.Done() {
+			continue
+		}
+		if !h.planned {
+			// Offline stage: consider the price differences among data
+			// centers and plan the migration to the more cost-efficient one.
+			r, err := cheapestRegionFor(rt, j)
+			if err != nil {
+				return nil, nil, err
+			}
+			regions[i] = r
+			continue
+		}
+		if j.lastDrift > h.Threshold {
+			r, err := cheapestRegionFor(rt, j)
+			if err != nil {
+				return nil, nil, err
+			}
+			regions[i] = r
+			stalls[i] = h.ReoptLagSec
+		}
+	}
+	h.planned = true
+	return regions, stalls, nil
+}

@@ -1,0 +1,446 @@
+// Package opt is Deco's parallel solver (§5.3): it formulates resource
+// provisioning as a search over states (provisioning plans), with state
+// transitions driven by the workflow transformation operations of the
+// authors' earlier work (Move, Merge, Promote, Demote, Split,
+// Co-Scheduling). Two searches are provided:
+//
+//   - Generic search (Algorithm 2): breadth-first traversal from the initial
+//     state, choosing exploration over exploitation so each level's states
+//     evaluate in parallel on the device; the frontier is beam-bounded to
+//     balance overhead and solution optimality.
+//   - A* search: enabled by the WLog program's enabled(astar) directive with
+//     the cal_g_score/est_h_score predicates. States are expanded best-first
+//     and pruned against the best found solution (children of a state never
+//     score better than the state under the monotone assumption of §5.3).
+//
+// Every state evaluation is a Monte-Carlo inference over the probabilistic
+// IR (package probir); evaluations of distinct states are independent and
+// run as device blocks.
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"deco/internal/device"
+	"deco/internal/probir"
+)
+
+// State is one point of the optimization space: for the scheduling problem
+// the instance-type index per task; for ensembles an admission bit per
+// workflow; for follow-the-cost the data-center index per workflow.
+type State []int
+
+// Clone copies a state.
+func (s State) Clone() State { return append(State(nil), s...) }
+
+// Key returns a compact map key for visited-state deduplication.
+func (s State) Key() string {
+	b := make([]byte, 0, len(s)*2)
+	for _, v := range s {
+		for v > 127 {
+			b = append(b, byte(v&127)|128)
+			v >>= 7
+		}
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+// Space defines a search problem. Implementations exist for the three use
+// cases (scheduling here, ensembles and follow-the-cost in their packages).
+type Space interface {
+	// Initial is the search's start state (e.g. every task on the cheapest
+	// type, as in Figure 5b).
+	Initial() State
+	// Neighbors generates the child states of s via the transformation
+	// operations.
+	Neighbors(s State) []State
+	// Evaluate scores s with Monte-Carlo inference. It must be
+	// deterministic given rng and safe for concurrent calls with distinct
+	// rngs.
+	Evaluate(s State, rng *rand.Rand) (*probir.Evaluation, error)
+}
+
+// Options configures a search.
+type Options struct {
+	// Device runs state evaluations (Sequential or Parallel).
+	Device device.Device
+	// Maximize flips the objective (the ensemble problem maximizes score).
+	Maximize bool
+	// MaxStates bounds the number of state evaluations.
+	MaxStates int
+	// BeamWidth bounds how many frontier states expand per level of the
+	// generic search (the exploration/exploitation balance of §5.3).
+	BeamWidth int
+	// Patience stops the search after this many levels (generic) or
+	// expansions (A*) without improvement.
+	Patience int
+	// Seed makes runs reproducible; every state's evaluation derives its
+	// own rng from Seed and the state key, so results are identical across
+	// devices.
+	Seed int64
+	// AStar selects best-first search with pruning instead of the generic
+	// breadth-first search.
+	AStar bool
+}
+
+// DefaultOptions returns a reasonable configuration on the given device.
+func DefaultOptions(d device.Device) Options {
+	return Options{
+		Device:    d,
+		MaxStates: 4000,
+		BeamWidth: 8,
+		Patience:  12,
+		Seed:      1,
+	}
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best      State
+	BestEval  *probir.Evaluation
+	Evaluated int
+	Levels    int
+	Elapsed   time.Duration
+	// Feasible reports whether any feasible state was found; if false, Best
+	// is the least-violating state seen.
+	Feasible bool
+}
+
+// scored pairs a state with its evaluation.
+type scored struct {
+	state State
+	key   string
+	eval  *probir.Evaluation
+	err   error
+}
+
+// score ranks states: any feasible state beats any infeasible one; feasible
+// states rank by objective value, infeasible ones by violation.
+func score(ev *probir.Evaluation, maximize bool) float64 {
+	if ev.Feasible {
+		if maximize {
+			return -ev.Value
+		}
+		return ev.Value
+	}
+	return 1e15 * (1 + ev.Violation)
+}
+
+// stateRng derives a deterministic rng for a state so evaluation results do
+// not depend on scheduling order or device.
+func stateRng(seed int64, key string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// evaluateBatch scores states on the device.
+func evaluateBatch(sp Space, states []State, opt Options) []scored {
+	out := make([]scored, len(states))
+	opt.Device.Map(len(states), func(i int) {
+		key := states[i].Key()
+		ev, err := sp.Evaluate(states[i], stateRng(opt.Seed, key))
+		out[i] = scored{state: states[i], key: key, eval: ev, err: err}
+	})
+	return out
+}
+
+func fillDefaults(opt *Options) {
+	if opt.Device == nil {
+		opt.Device = device.Parallel{}
+	}
+	if opt.MaxStates <= 0 {
+		opt.MaxStates = 4000
+	}
+	if opt.BeamWidth <= 0 {
+		opt.BeamWidth = 8
+	}
+	if opt.Patience <= 0 {
+		opt.Patience = 12
+	}
+}
+
+// MultiStartSpace is an optional extension: a space offering several start
+// states. The scheduling space uses it so tight-deadline problems (where
+// the all-cheapest start is far from feasibility) also search downhill from
+// the all-fastest state — the Demote direction of the transformation set.
+type MultiStartSpace interface {
+	Space
+	Starts() []State
+}
+
+// Search runs the solver over the space and returns the best state found. It
+// dispatches to A* when opt.AStar is set, otherwise to the generic search of
+// Algorithm 2. For MultiStartSpaces all starts seed the same frontier, so
+// the shared budget flows to the most promising region and the exploitation
+// phase descends from the single global incumbent.
+func Search(sp Space, opt Options) (*Result, error) {
+	fillDefaults(&opt)
+	starts := []State{sp.Initial()}
+	if ms, ok := sp.(MultiStartSpace); ok {
+		if s := ms.Starts(); len(s) > 0 {
+			starts = s
+		}
+	}
+	if opt.AStar {
+		return astarSearch(sp, opt, starts)
+	}
+	return genericSearch(sp, opt, starts)
+}
+
+// genericSearch is Algorithm 2 with device-parallel level evaluation and a
+// beam-bounded frontier, seeded with one or more start states.
+func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	visited := map[string]bool{}
+	var frontier []State
+	for _, st := range starts {
+		k := st.Key()
+		if !visited[k] {
+			visited[k] = true
+			frontier = append(frontier, st)
+		}
+	}
+	var best *scored
+	stale := 0
+
+	// pool keeps every evaluated state for the exploitation phase.
+	pool := pq{}
+	heap.Init(&pool)
+
+	// Exploration gets 40% of the budget; the rest funds the exploitation
+	// (best-first descent) phase, which advances one level per
+	// ~branching-factor evaluations and therefore converges much deeper per
+	// evaluation.
+	exploreBudget := opt.MaxStates * 2 / 5
+	if exploreBudget < 1 {
+		exploreBudget = 1
+	}
+
+	for len(frontier) > 0 && res.Evaluated < exploreBudget {
+		// Trim the level to the remaining budget.
+		if res.Evaluated+len(frontier) > exploreBudget {
+			frontier = frontier[:exploreBudget-res.Evaluated]
+		}
+		batch := evaluateBatch(sp, frontier, opt)
+		res.Evaluated += len(batch)
+		res.Levels++
+
+		improved := false
+		for i := range batch {
+			if batch[i].err != nil {
+				return nil, batch[i].err
+			}
+			pool.PushItem(pqItem{scored: batch[i], priority: score(batch[i].eval, opt.Maximize)})
+			if best == nil || score(batch[i].eval, opt.Maximize) < score(best.eval, opt.Maximize) {
+				b := batch[i]
+				best = &b
+				improved = true
+			}
+		}
+		if improved {
+			stale = 0
+		} else {
+			stale++
+			if stale >= opt.Patience {
+				break
+			}
+		}
+
+		// Rank this level's states and expand the best BeamWidth of them.
+		sort.Slice(batch, func(i, j int) bool {
+			si, sj := score(batch[i].eval, opt.Maximize), score(batch[j].eval, opt.Maximize)
+			if si != sj {
+				return si < sj
+			}
+			return batch[i].key < batch[j].key // deterministic ties
+		})
+		expand := batch
+		if len(expand) > opt.BeamWidth {
+			expand = expand[:opt.BeamWidth]
+		}
+		frontier = frontier[:0]
+		for _, s := range expand {
+			for _, c := range sp.Neighbors(s.state) {
+				k := c.Key()
+				if !visited[k] {
+					visited[k] = true
+					frontier = append(frontier, c)
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no states evaluated")
+	}
+
+	// Exploitation phase (§5.3's exploration/exploitation balance): spend
+	// the remaining budget on best-first expansion over the pool of states
+	// seen so far, so a stalled greedy line falls back to the next most
+	// promising state instead of giving up.
+	for pool.Len() > 0 && res.Evaluated < opt.MaxStates {
+		item := heap.Pop(&pool).(pqItem)
+		var children []State
+		for _, c := range sp.Neighbors(item.state) {
+			k := c.Key()
+			if !visited[k] {
+				visited[k] = true
+				children = append(children, c)
+			}
+		}
+		if len(children) == 0 {
+			continue
+		}
+		if res.Evaluated+len(children) > opt.MaxStates {
+			children = children[:opt.MaxStates-res.Evaluated]
+		}
+		batch := evaluateBatch(sp, children, opt)
+		res.Evaluated += len(batch)
+		for i := range batch {
+			if batch[i].err != nil {
+				return nil, batch[i].err
+			}
+			sc := score(batch[i].eval, opt.Maximize)
+			if sc < score(best.eval, opt.Maximize) {
+				b := batch[i]
+				best = &b
+			}
+			pool.PushItem(pqItem{scored: batch[i], priority: sc})
+		}
+	}
+
+	res.Best = best.state
+	res.BestEval = best.eval
+	res.Feasible = best.eval.Feasible
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// pqItem is an entry of the A* open list.
+type pqItem struct {
+	scored
+	priority float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].priority != p[j].priority {
+		return p[i].priority < p[j].priority
+	}
+	return p[i].key < p[j].key
+}
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+func (p pq) Peek() pqItem       { return p[0] }
+func (p *pq) PushItem(i pqItem) { heap.Push(p, i) }
+
+// astarSearch expands states best-first by g+h score (here: the evaluation
+// score, matching the paper's example where both scores are the estimated
+// monetary cost) and prunes states that cannot beat the best found solution.
+func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	visited := map[string]bool{}
+	var initial []State
+	for _, st := range starts {
+		k := st.Key()
+		if !visited[k] {
+			visited[k] = true
+			initial = append(initial, st)
+		}
+	}
+	initBatch := evaluateBatch(sp, initial, opt)
+	res.Evaluated = len(initBatch)
+	open := pq{}
+	heap.Init(&open)
+	var best *scored
+	for i := range initBatch {
+		if initBatch[i].err != nil {
+			return nil, initBatch[i].err
+		}
+		sc := score(initBatch[i].eval, opt.Maximize)
+		open.PushItem(pqItem{scored: initBatch[i], priority: sc})
+		if initBatch[i].eval.Feasible && (best == nil || sc < score(best.eval, opt.Maximize)) {
+			b := initBatch[i]
+			best = &b
+		}
+	}
+	var leastBad *scored
+	stale := 0
+
+	for open.Len() > 0 && res.Evaluated < opt.MaxStates {
+		item := heap.Pop(&open).(pqItem)
+		if leastBad == nil || score(item.eval, opt.Maximize) < score(leastBad.eval, opt.Maximize) {
+			s := item.scored
+			leastBad = &s
+		}
+		// Prune: under the monotone assumption of §5.3 ("child states ...
+		// always generate higher cost than their parent") a state strictly
+		// worse than the incumbent is a dead end. States tying the incumbent
+		// (including the incumbent itself) still expand: with plan-level
+		// packing the objective is not perfectly monotone.
+		if best != nil && score(item.eval, opt.Maximize) > score(best.eval, opt.Maximize) {
+			continue
+		}
+		var children []State
+		for _, c := range sp.Neighbors(item.state) {
+			k := c.Key()
+			if !visited[k] {
+				visited[k] = true
+				children = append(children, c)
+			}
+		}
+		if len(children) == 0 {
+			continue
+		}
+		if res.Evaluated+len(children) > opt.MaxStates {
+			children = children[:opt.MaxStates-res.Evaluated]
+		}
+		batch := evaluateBatch(sp, children, opt)
+		res.Evaluated += len(batch)
+		res.Levels++
+		improved := false
+		for i := range batch {
+			if batch[i].err != nil {
+				return nil, batch[i].err
+			}
+			sc := score(batch[i].eval, opt.Maximize)
+			if batch[i].eval.Feasible && (best == nil || sc < score(best.eval, opt.Maximize)) {
+				b := batch[i]
+				best = &b
+				improved = true
+			}
+			open.PushItem(pqItem{scored: batch[i], priority: sc})
+		}
+		if improved {
+			stale = 0
+		} else if best != nil {
+			stale++
+			if stale >= opt.Patience {
+				break
+			}
+		}
+	}
+	chosen := best
+	if chosen == nil {
+		chosen = leastBad
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("opt: no states evaluated")
+	}
+	res.Best = chosen.state
+	res.BestEval = chosen.eval
+	res.Feasible = chosen.eval.Feasible
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

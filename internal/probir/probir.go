@@ -1,0 +1,315 @@
+// Package probir implements the probabilistic intermediate representation of
+// §5.1-5.2: WLog programs are translated into probability-annotated rules
+// ("p_j : exetime(Tid,Vid,T_j)" with p_j taken from the calibrated
+// performance histograms), and queries on goals and constraints are answered
+// by Monte-Carlo approximate inference (Algorithm 1): sample realizations
+// (worlds) of the probabilistic facts, evaluate the query deterministically
+// in each world, and aggregate — the mean value for goal queries, the
+// satisfaction probability for constraint queries.
+//
+// Two evaluators implement the same interface:
+//
+//   - Native: the engine-native fast path behind WLog's built-in
+//     deadline/budget/totalcost/maxtime constructs (Table 1). It computes the
+//     workflow makespan per world with a longest-path dynamic program and the
+//     cost from mean task times (Eq. 1-3), exactly matching the semantics of
+//     Example 1's rules.
+//   - Prolog: the general path that interprets arbitrary user-defined WLog
+//     rules with the Prolog machine per sampled world.
+//
+// Property tests assert the two agree on the standard scheduling program.
+package probir
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deco/internal/dag"
+	"deco/internal/estimate"
+	"deco/internal/wlog"
+)
+
+// Evaluation is the outcome of evaluating one provisioning plan (search
+// state).
+type Evaluation struct {
+	// Value of the optimization goal (mean over sampled worlds).
+	Value float64
+	// Feasible reports whether every constraint holds at its required
+	// probability.
+	Feasible bool
+	// ConsProb is the estimated satisfaction probability of each constraint
+	// (for the deterministic 'mean' notion, 1 if satisfied else 0).
+	ConsProb []float64
+	// Violation measures how far the state is from feasibility (0 when
+	// feasible); the solver uses it to rank infeasible states so the search
+	// climbs toward the feasible region.
+	Violation float64
+}
+
+// Evaluator scores a configuration: config[i] is the catalog type index
+// assigned to workflow task i (in Workflow.Tasks order).
+type Evaluator interface {
+	Evaluate(config []int, rng *rand.Rand) (*Evaluation, error)
+	// NumTasks and NumTypes give the dimensions of the configuration space.
+	NumTasks() int
+	NumTypes() int
+}
+
+// GoalKind selects what the native evaluator's goal query computes.
+type GoalKind int
+
+// Native goal kinds.
+const (
+	// GoalCost is the total monetary cost Σ M_ij×U_j×vm_ij (Eq. 1).
+	GoalCost GoalKind = iota
+	// GoalMakespan is the mean workflow execution time (Eq. 3's t_w).
+	GoalMakespan
+)
+
+// Native is the histogram-driven Monte-Carlo evaluator for the standard
+// workflow constructs.
+type Native struct {
+	W     *dag.Workflow
+	Table *estimate.Table
+	// PricePerHour per catalog type index.
+	PricePerHour []float64
+	Goal         GoalKind
+	Constraints  []wlog.Constraint
+	// Iters is Max_iter of Algorithm 1.
+	Iters int
+
+	order []string // topological order, cached
+	index map[string]int
+}
+
+// NewNative builds a native evaluator. The constraint list may contain
+// deadline and budget constraints; Query/Var fields are ignored (the native
+// evaluator implements maxtime and totalcost itself).
+func NewNative(w *dag.Workflow, tbl *estimate.Table, prices []float64, goal GoalKind, cons []wlog.Constraint, iters int) (*Native, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("probir: iters must be >= 1, got %d", iters)
+	}
+	if len(prices) != len(tbl.Types) {
+		return nil, fmt.Errorf("probir: %d prices for %d types", len(prices), len(tbl.Types))
+	}
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cons {
+		if c.Kind != "deadline" && c.Kind != "budget" {
+			return nil, fmt.Errorf("probir: unsupported constraint kind %q", c.Kind)
+		}
+	}
+	idx := make(map[string]int, len(order))
+	for i, t := range w.Tasks {
+		idx[t.ID] = i
+	}
+	return &Native{
+		W: w, Table: tbl, PricePerHour: prices, Goal: goal,
+		Constraints: cons, Iters: iters, order: order, index: idx,
+	}, nil
+}
+
+// NumTasks implements Evaluator.
+func (n *Native) NumTasks() int { return n.W.Len() }
+
+// NumTypes implements Evaluator.
+func (n *Native) NumTypes() int { return len(n.Table.Types) }
+
+// MeanCost returns the deterministic total cost of a configuration from mean
+// task times (Eq. 1-2): Σ_i mean_i(config)/3600 × U_config(i).
+func (n *Native) MeanCost(config []int) (float64, error) {
+	if len(config) != n.W.Len() {
+		return 0, fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
+	}
+	total := 0.0
+	for i, t := range n.W.Tasks {
+		j := config[i]
+		td, err := n.Table.Dist(t.ID, j)
+		if err != nil {
+			return 0, err
+		}
+		total += td.Mean() / 3600 * n.PricePerHour[j]
+	}
+	return total, nil
+}
+
+// sampleMakespan draws one world and returns its makespan via the
+// longest-path DP over the DAG (virtual root/tail of zero weight are
+// implicit).
+func (n *Native) sampleMakespan(config []int, rng *rand.Rand) (float64, error) {
+	finish := make(map[string]float64, len(n.order))
+	ms := 0.0
+	for _, id := range n.order {
+		start := 0.0
+		for _, p := range n.W.Parents(id) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		td, err := n.Table.Dist(id, config[n.index[id]])
+		if err != nil {
+			return 0, err
+		}
+		end := start + td.Sample(rng)
+		finish[id] = end
+		if end > ms {
+			ms = end
+		}
+	}
+	return ms, nil
+}
+
+// sampleCost draws one world's realized cost.
+func (n *Native) sampleCost(config []int, rng *rand.Rand) (float64, error) {
+	total := 0.0
+	for i, t := range n.W.Tasks {
+		j := config[i]
+		td, err := n.Table.Dist(t.ID, j)
+		if err != nil {
+			return 0, err
+		}
+		total += td.Sample(rng) / 3600 * n.PricePerHour[j]
+	}
+	return total, nil
+}
+
+// MeanMakespan estimates the expected makespan by Monte-Carlo sampling.
+func (n *Native) MeanMakespan(config []int, rng *rand.Rand) (float64, error) {
+	sum := 0.0
+	for it := 0; it < n.Iters; it++ {
+		ms, err := n.sampleMakespan(config, rng)
+		if err != nil {
+			return 0, err
+		}
+		sum += ms
+	}
+	return sum / float64(n.Iters), nil
+}
+
+// Evaluate implements Evaluator: Monte-Carlo inference per Algorithm 1.
+func (n *Native) Evaluate(config []int, rng *rand.Rand) (*Evaluation, error) {
+	if len(config) != n.W.Len() {
+		return nil, fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
+	}
+	for _, j := range config {
+		if j < 0 || j >= n.NumTypes() {
+			return nil, fmt.Errorf("probir: type index %d out of range", j)
+		}
+	}
+	ev := &Evaluation{Feasible: true, ConsProb: make([]float64, len(n.Constraints))}
+
+	needMakespanSamples := n.Goal == GoalMakespan
+	needCostSamples := false
+	for _, c := range n.Constraints {
+		if c.Kind == "deadline" {
+			needMakespanSamples = true
+		}
+		if c.Kind == "budget" && c.Percentile >= 0 {
+			needCostSamples = true
+		}
+	}
+
+	var msSamples, costSamples []float64
+	if needMakespanSamples || needCostSamples {
+		msSamples = make([]float64, 0, n.Iters)
+		costSamples = make([]float64, 0, n.Iters)
+		for it := 0; it < n.Iters; it++ {
+			if needMakespanSamples {
+				ms, err := n.sampleMakespan(config, rng)
+				if err != nil {
+					return nil, err
+				}
+				msSamples = append(msSamples, ms)
+			}
+			if needCostSamples {
+				c, err := n.sampleCost(config, rng)
+				if err != nil {
+					return nil, err
+				}
+				costSamples = append(costSamples, c)
+			}
+		}
+	}
+
+	meanCost, err := n.MeanCost(config)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n.Goal {
+	case GoalCost:
+		ev.Value = meanCost
+	case GoalMakespan:
+		sum := 0.0
+		for _, ms := range msSamples {
+			sum += ms
+		}
+		ev.Value = sum / float64(len(msSamples))
+	default:
+		return nil, fmt.Errorf("probir: unknown goal kind %d", n.Goal)
+	}
+
+	for ci, c := range n.Constraints {
+		var prob, mean float64
+		switch c.Kind {
+		case "deadline":
+			sum := 0.0
+			cnt := 0
+			for _, ms := range msSamples {
+				sum += ms
+				if ms <= c.Bound {
+					cnt++
+				}
+			}
+			mean = sum / float64(len(msSamples))
+			if c.Percentile < 0 {
+				// Deterministic notion: expected makespan within bound.
+				if mean <= c.Bound {
+					prob = 1
+				}
+			} else {
+				prob = float64(cnt) / float64(len(msSamples))
+			}
+		case "budget":
+			if c.Percentile < 0 {
+				mean = meanCost
+				if meanCost <= c.Bound {
+					prob = 1
+				}
+			} else {
+				cnt := 0
+				sum := 0.0
+				for _, cs := range costSamples {
+					sum += cs
+					if cs <= c.Bound {
+						cnt++
+					}
+				}
+				mean = sum / float64(len(costSamples))
+				prob = float64(cnt) / float64(len(costSamples))
+			}
+		}
+		ev.ConsProb[ci] = prob
+		if c.Percentile < 0 {
+			if prob < 1 {
+				ev.Feasible = false
+				if c.Bound > 0 {
+					ev.Violation += (mean - c.Bound) / c.Bound
+				} else {
+					ev.Violation += mean
+				}
+			}
+		} else if prob < c.Percentile {
+			ev.Feasible = false
+			// The probability gap alone has no gradient once prob hits 0, so
+			// add the relative mean excess to keep the search climbing.
+			ev.Violation += c.Percentile - prob
+			if mean > c.Bound && c.Bound > 0 {
+				ev.Violation += (mean - c.Bound) / c.Bound
+			}
+		}
+	}
+	return ev, nil
+}

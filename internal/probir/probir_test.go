@@ -1,0 +1,382 @@
+package probir
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/dist"
+	"deco/internal/estimate"
+	"deco/internal/wlog"
+)
+
+// schedProgram is Example 1 with parameterized deadline, minus imports
+// (facts are installed by the evaluator).
+func schedProgram(t *testing.T, deadline string) *wlog.Program {
+	t.Helper()
+	src := `
+minimize Ct in totalcost(Ct).
+T in maxtime(Path,T) satisfies ` + deadline + `.
+configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+
+path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T), configs(X,Vid,Con), Con==1, Tp is T.
+path(X,Y,Z,Tp) :- edge(X,Z), Z\==Y, path(Z,Y,Z2,T1), exetime(X,Vid,T),
+  configs(X,Vid,Con), Con==1, Tp is T+T1.
+maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set), max(Set, [Path,T]).
+cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T), configs(Tid,Vid,Con), C is T*Up*Con.
+totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+`
+	prog, err := wlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// fixture builds a diamond workflow, catalog prices, and an estimate table.
+func fixture(t *testing.T, cpuOnly bool) (*dag.Workflow, *estimate.Table, []float64) {
+	t.Helper()
+	w := dag.New("diamond")
+	mb := 200.0
+	if cpuOnly {
+		mb = 0
+	}
+	mk := func(id string, cpu float64) *dag.Task {
+		task := &dag.Task{ID: id, CPUSeconds: cpu}
+		if mb > 0 {
+			task.Inputs = []dag.File{{Name: "in_" + id, SizeMB: mb}}
+			task.Outputs = []dag.File{{Name: "out_" + id, SizeMB: mb / 2}}
+		}
+		return task
+	}
+	_ = w.AddTask(mk("a", 100))
+	_ = w.AddTask(mk("b", 300))
+	_ = w.AddTask(mk("c", 500))
+	_ = w.AddTask(mk("d", 200))
+	_ = w.AddEdge("a", "b")
+	_ = w.AddEdge("a", "c")
+	_ = w.AddEdge("b", "d")
+	_ = w.AddEdge("c", "d")
+
+	cat := cloud.DefaultCatalog()
+	md, err := cloud.MetadataFromTruth(cat, 15, 5000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := estimate.New(cat, md).BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := cat.Region(cloud.USEast)
+	prices := make([]float64, len(tbl.Types))
+	for j, name := range tbl.Types {
+		prices[j] = us.PricePerHour[name]
+	}
+	return w, tbl, prices
+}
+
+func TestNativeMeanCostMonotoneInTypes(t *testing.T) {
+	w, tbl, prices := fixture(t, true)
+	n, err := NewNative(w, tbl, prices, GoalCost, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With m1 pricing the $/ECU ratio is nearly constant, so CPU-bound cost
+	// is almost type-independent — the economics of the paper's tradeoff live
+	// in I/O, which larger types barely speed up while costing 8x.
+	costSmall, err := n.MeanCost([]int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costXL, err := n.MeanCost([]int{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(costSmall, costXL) > 0.02 {
+		t.Errorf("CPU-bound cost should be near-flat: small %v vs xlarge %v", costSmall, costXL)
+	}
+	// Exact check: 1100 CPU-s on small at 0.044/h.
+	want := 1100.0 / 3600 * 0.044
+	if math.Abs(costSmall-want) > 1e-12 {
+		t.Errorf("cost %v, want %v", costSmall, want)
+	}
+
+	// I/O-heavy workloads make larger types clearly more expensive (Fig 1).
+	wIO, tblIO, pricesIO := fixture(t, false)
+	nio, err := NewNative(wIO, tblIO, pricesIO, GoalCost, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ioSmall, _ := nio.MeanCost([]int{0, 0, 0, 0})
+	ioXL, _ := nio.MeanCost([]int{3, 3, 3, 3})
+	if ioXL <= ioSmall {
+		t.Errorf("I/O-heavy cost on xlarge %v should exceed small %v", ioXL, ioSmall)
+	}
+}
+
+func TestNativeDeadlineFeasibility(t *testing.T) {
+	w, tbl, prices := fixture(t, true)
+	// CPU-only diamond on m1.small: makespan = 100+500+200 = 800 exactly.
+	mk := func(bound float64, pct float64) *Evaluation {
+		cons := []wlog.Constraint{{Kind: "deadline", Percentile: pct, Bound: bound}}
+		n, err := NewNative(w, tbl, prices, GoalCost, cons, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := n.Evaluate([]int{0, 0, 0, 0}, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	if ev := mk(800, 0.95); !ev.Feasible || ev.ConsProb[0] != 1 {
+		t.Errorf("deadline exactly at makespan should hold: %+v", ev)
+	}
+	if ev := mk(799, 0.95); ev.Feasible {
+		t.Errorf("deadline below makespan should fail: %+v", ev)
+	}
+	// Deterministic (mean) notion.
+	if ev := mk(800, -1); !ev.Feasible {
+		t.Errorf("mean notion at bound should hold: %+v", ev)
+	}
+}
+
+func TestNativeProbabilisticDeadline(t *testing.T) {
+	w, tbl, prices := fixture(t, false) // stochastic I/O
+	// Pin the deadline at the empirical 60th percentile of the makespan
+	// distribution: a 40% requirement must pass, a 95% requirement must fail.
+	n0, err := NewNative(w, tbl, prices, GoalMakespan, nil, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	samples := make([]float64, 2000)
+	config := []int{0, 0, 0, 0}
+	for i := range samples {
+		if samples[i], err = n0.sampleMakespan(config, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := dist.NewEmpirical(samples)
+	deadline := e.Quantile(0.60)
+
+	mk := func(pct float64) *Evaluation {
+		cons := []wlog.Constraint{{Kind: "deadline", Percentile: pct, Bound: deadline}}
+		n, err := NewNative(w, tbl, prices, GoalCost, cons, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := n.Evaluate(config, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	loose := mk(0.40)
+	tight := mk(0.95)
+	if !loose.Feasible {
+		t.Errorf("40%% requirement should hold at the 60th percentile: %+v", loose)
+	}
+	if tight.Feasible {
+		t.Errorf("95%% requirement should fail at the 60th percentile: %+v", tight)
+	}
+	if loose.ConsProb[0] <= 0.45 || loose.ConsProb[0] >= 0.75 {
+		t.Errorf("satisfaction probability %v should be near 0.6", loose.ConsProb[0])
+	}
+}
+
+func TestNativeBudgetConstraint(t *testing.T) {
+	w, tbl, prices := fixture(t, true)
+	cost := 1100.0 / 3600 * 0.044
+	mk := func(bound, pct float64) bool {
+		cons := []wlog.Constraint{{Kind: "budget", Percentile: pct, Bound: bound}}
+		n, err := NewNative(w, tbl, prices, GoalCost, cons, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := n.Evaluate([]int{0, 0, 0, 0}, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Feasible
+	}
+	if !mk(cost+1e-9, 0.95) {
+		t.Error("budget above cost should hold")
+	}
+	if mk(cost*0.9, 0.95) {
+		t.Error("budget below cost should fail")
+	}
+	if !mk(cost+1e-9, -1) || mk(cost*0.9, -1) {
+		t.Error("mean-notion budget wrong")
+	}
+}
+
+func TestNativeValidation(t *testing.T) {
+	w, tbl, prices := fixture(t, true)
+	if _, err := NewNative(w, tbl, prices, GoalCost, nil, 0); err == nil {
+		t.Error("iters 0 accepted")
+	}
+	if _, err := NewNative(w, tbl, prices[:2], GoalCost, nil, 10); err == nil {
+		t.Error("price length mismatch accepted")
+	}
+	badCons := []wlog.Constraint{{Kind: "speed", Percentile: 0.9, Bound: 1}}
+	if _, err := NewNative(w, tbl, prices, GoalCost, badCons, 10); err == nil {
+		t.Error("bad constraint kind accepted")
+	}
+	n, _ := NewNative(w, tbl, prices, GoalCost, nil, 10)
+	if _, err := n.Evaluate([]int{0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("short config accepted")
+	}
+	if _, err := n.Evaluate([]int{9, 9, 9, 9}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("out-of-range type accepted")
+	}
+}
+
+func TestPrologEvaluatorDeterministicAgreesExactly(t *testing.T) {
+	w, tbl, prices := fixture(t, true) // CPU-only: no randomness
+	prog := schedProgram(t, "deadline(95%,10h)")
+	pe, err := NewProlog(w, tbl, prices, prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := NewNative(w, tbl, prices, GoalCost,
+		[]wlog.Constraint{{Kind: "deadline", Percentile: 0.95, Bound: 36000}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	config := []int{0, 1, 2, 3}
+	pv, err := pe.Evaluate(config, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := ne.Evaluate(config, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pv.Value-nv.Value) > 1e-9 {
+		t.Errorf("prolog cost %v vs native %v", pv.Value, nv.Value)
+	}
+	if pv.Feasible != nv.Feasible {
+		t.Errorf("feasibility disagrees: %v vs %v", pv.Feasible, nv.Feasible)
+	}
+}
+
+// The headline equivalence property: on the stochastic fixture the Prolog
+// interpretation of Example 1 converges to the native evaluator's answers.
+func TestPrologNativeEquivalenceStochastic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC equivalence is slow")
+	}
+	w, tbl, prices := fixture(t, false)
+	prog := schedProgram(t, "deadline(95%,10h)")
+	pe, err := NewProlog(w, tbl, prices, prog, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := NewNative(w, tbl, prices, GoalCost,
+		[]wlog.Constraint{{Kind: "deadline", Percentile: 0.95, Bound: 36000}}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, config := range [][]int{{0, 0, 0, 0}, {1, 2, 1, 3}, {3, 3, 3, 3}} {
+		pv, err := pe.Evaluate(config, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, err := ne.Evaluate(config, rand.New(rand.NewSource(10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(pv.Value, nv.Value) > 0.05 {
+			t.Errorf("config %v: prolog cost %v vs native %v", config, pv.Value, nv.Value)
+		}
+		if pv.Feasible != nv.Feasible {
+			t.Errorf("config %v: feasibility %v vs %v (probs %v vs %v)",
+				config, pv.Feasible, nv.Feasible, pv.ConsProb, nv.ConsProb)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestPrologValidation(t *testing.T) {
+	w, tbl, prices := fixture(t, true)
+	prog := schedProgram(t, "deadline(95%,10h)")
+	if _, err := NewProlog(w, tbl, prices, prog, 0); err == nil {
+		t.Error("iters 0 accepted")
+	}
+	if _, err := NewProlog(w, tbl, prices[:1], prog, 5); err == nil {
+		t.Error("price mismatch accepted")
+	}
+	noGoal := &wlog.Program{}
+	if _, err := NewProlog(w, tbl, prices, noGoal, 5); err == nil {
+		t.Error("program without goal accepted")
+	}
+	pe, _ := NewProlog(w, tbl, prices, prog, 5)
+	if _, err := pe.Evaluate([]int{0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("short config accepted")
+	}
+}
+
+func TestTranslateRendersProbIR(t *testing.T) {
+	w, tbl, _ := fixture(t, false)
+	prog := schedProgram(t, "deadline(95%,10h)")
+	rules, err := Translate(w, tbl, prog, 5, 500, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deterministic rules come first with probability 1.
+	if rules[0].Prob != 1 || !strings.Contains(rules[0].Clause, ":-") {
+		t.Errorf("first rule %+v", rules[0])
+	}
+	// Probabilistic exetime facts exist and their masses sum to ~1 per
+	// (task,type).
+	sums := map[string]float64{}
+	for _, r := range rules {
+		if r.Prob < 1 || strings.HasPrefix(r.Clause, "exetime") {
+			if strings.HasPrefix(r.Clause, "exetime") {
+				key := r.Clause[:strings.LastIndex(r.Clause, ",")]
+				sums[key] += r.Prob
+			}
+		}
+	}
+	if len(sums) == 0 {
+		t.Fatal("no probabilistic facts emitted")
+	}
+	for k, s := range sums {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("%s: bin masses sum to %v", k, s)
+		}
+	}
+	if _, err := Translate(w, tbl, prog, 0, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bins 0 accepted")
+	}
+}
+
+func TestNativeMakespanGoal(t *testing.T) {
+	w, tbl, prices := fixture(t, true)
+	n, err := NewNative(w, tbl, prices, GoalMakespan, nil, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := n.Evaluate([]int{0, 0, 0, 0}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Value != 800 { // deterministic CPU-only critical path
+		t.Errorf("makespan goal %v, want 800", ev.Value)
+	}
+	// xlarge divides by 8.
+	ev, _ = n.Evaluate([]int{3, 3, 3, 3}, rand.New(rand.NewSource(12)))
+	if ev.Value != 100 {
+		t.Errorf("makespan on xlarge %v, want 100", ev.Value)
+	}
+}

@@ -1,0 +1,471 @@
+package prolog
+
+import (
+	"fmt"
+	"math"
+)
+
+// builtin implements one built-in predicate: args are the call's arguments,
+// depth the current cut depth, and k the continuation proving the remaining
+// goals. A builtin may call k zero or more times (once per solution).
+type builtin func(m *Machine, args []Term, depth int, k func() error) error
+
+// builtins is the registry of built-in predicates. WLog highlights these in
+// its programs (§4.1: "Prolog offers many built-in predicates, such as the
+// ones for arithmetic operations (e.g., is, max and sum) and the ones for
+// list-based operations (e.g., setof, findall)").
+var builtins map[Indicator]builtin
+
+func init() {
+	builtins = map[Indicator]builtin{
+		{"is", 2}:      biIs,
+		{"<", 2}:       biCompare(func(a, b float64) bool { return a < b }),
+		{">", 2}:       biCompare(func(a, b float64) bool { return a > b }),
+		{"=<", 2}:      biCompare(func(a, b float64) bool { return a <= b }),
+		{">=", 2}:      biCompare(func(a, b float64) bool { return a >= b }),
+		{"=:=", 2}:     biCompare(func(a, b float64) bool { return a == b }),
+		{"=\\=", 2}:    biCompare(func(a, b float64) bool { return a != b }),
+		{"=", 2}:       biUnify,
+		{"==", 2}:      biIdentical,
+		{"\\==", 2}:    biNotIdentical,
+		{"findall", 3}: biFindall,
+		{"setof", 3}:   biSetof,
+		{"sum", 2}:     biSum,
+		{"max", 2}:     biMax,
+		{"min", 2}:     biMin,
+		{"member", 2}:  biMember,
+		{"append", 3}:  biAppend,
+		{"length", 2}:  biLength,
+		{"between", 3}: biBetween,
+		{"nth0", 3}:    biNth0,
+		{"sort", 2}:    biSort,
+		{"number", 1}:  biTypeCheck(func(t Term) bool { _, ok := t.(Number); return ok }),
+		{"atom", 1}:    biTypeCheck(func(t Term) bool { _, ok := t.(Atom); return ok }),
+		{"var", 1}:     biTypeCheck(func(t Term) bool { _, ok := t.(*Var); return ok }),
+		{"nonvar", 1}:  biTypeCheck(func(t Term) bool { _, ok := t.(*Var); return !ok }),
+		{"ground", 1}:  biTypeCheck(Ground),
+	}
+}
+
+// EvalArith evaluates an arithmetic expression term to a float64.
+func EvalArith(t Term) (float64, error) {
+	switch tt := deref(t).(type) {
+	case Number:
+		return float64(tt), nil
+	case *Var:
+		return 0, fmt.Errorf("prolog: arithmetic on unbound variable %s", tt)
+	case Atom:
+		switch tt {
+		case "pi":
+			return math.Pi, nil
+		case "e":
+			return math.E, nil
+		}
+		return 0, fmt.Errorf("prolog: atom %s is not arithmetic", tt)
+	case *Compound:
+		unary := func(f func(float64) float64) (float64, error) {
+			x, err := EvalArith(tt.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			return f(x), nil
+		}
+		binary := func(f func(a, b float64) float64) (float64, error) {
+			a, err := EvalArith(tt.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			b, err := EvalArith(tt.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			return f(a, b), nil
+		}
+		switch {
+		case tt.Functor == "+" && len(tt.Args) == 2:
+			return binary(func(a, b float64) float64 { return a + b })
+		case tt.Functor == "-" && len(tt.Args) == 2:
+			return binary(func(a, b float64) float64 { return a - b })
+		case tt.Functor == "*" && len(tt.Args) == 2:
+			return binary(func(a, b float64) float64 { return a * b })
+		case tt.Functor == "/" && len(tt.Args) == 2:
+			a, err := EvalArith(tt.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			b, err := EvalArith(tt.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				return 0, fmt.Errorf("prolog: division by zero")
+			}
+			return a / b, nil
+		case tt.Functor == "-" && len(tt.Args) == 1:
+			return unary(func(x float64) float64 { return -x })
+		case tt.Functor == "abs" && len(tt.Args) == 1:
+			return unary(math.Abs)
+		case tt.Functor == "sqrt" && len(tt.Args) == 1:
+			return unary(math.Sqrt)
+		case tt.Functor == "floor" && len(tt.Args) == 1:
+			return unary(math.Floor)
+		case tt.Functor == "ceiling" && len(tt.Args) == 1:
+			return unary(math.Ceil)
+		case tt.Functor == "min" && len(tt.Args) == 2:
+			return binary(math.Min)
+		case tt.Functor == "max" && len(tt.Args) == 2:
+			return binary(math.Max)
+		case tt.Functor == "mod" && len(tt.Args) == 2:
+			return binary(math.Mod)
+		}
+		return 0, fmt.Errorf("prolog: unknown arithmetic function %s/%d", tt.Functor, len(tt.Args))
+	}
+	return 0, fmt.Errorf("prolog: cannot evaluate %s", t)
+}
+
+func biIs(m *Machine, args []Term, depth int, k func() error) error {
+	v, err := EvalArith(args[1])
+	if err != nil {
+		return err
+	}
+	mark := m.mark()
+	if m.Unify(args[0], Number(v)) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+func biCompare(cmp func(a, b float64) bool) builtin {
+	return func(m *Machine, args []Term, depth int, k func() error) error {
+		a, err := EvalArith(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := EvalArith(args[1])
+		if err != nil {
+			return err
+		}
+		if cmp(a, b) {
+			return k()
+		}
+		return nil
+	}
+}
+
+func biUnify(m *Machine, args []Term, depth int, k func() error) error {
+	mark := m.mark()
+	if m.Unify(args[0], args[1]) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+func biIdentical(m *Machine, args []Term, depth int, k func() error) error {
+	if Compare(args[0], args[1]) == 0 {
+		return k()
+	}
+	return nil
+}
+
+func biNotIdentical(m *Machine, args []Term, depth int, k func() error) error {
+	if Compare(args[0], args[1]) != 0 {
+		return k()
+	}
+	return nil
+}
+
+func biFindall(m *Machine, args []Term, depth int, k func() error) error {
+	sols, err := m.collect(args[0], args[1], depth)
+	if err != nil {
+		return err
+	}
+	mark := m.mark()
+	if m.Unify(args[2], MkList(sols...)) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+// biSetof implements the sorted-unique collection of setof/3. Like standard
+// setof it fails when there are no solutions. (Free-variable grouping is not
+// implemented; WLog programs quantify all variables inside the goal.)
+func biSetof(m *Machine, args []Term, depth int, k func() error) error {
+	sols, err := m.collect(args[0], args[1], depth)
+	if err != nil {
+		return err
+	}
+	if len(sols) == 0 {
+		return nil
+	}
+	sols = SortUnique(sols)
+	mark := m.mark()
+	if m.Unify(args[2], MkList(sols...)) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+func biSum(m *Machine, args []Term, depth int, k func() error) error {
+	items, ok := ListSlice(args[0])
+	if !ok {
+		return fmt.Errorf("prolog: sum/2 needs a proper list, got %s", args[0])
+	}
+	total := 0.0
+	for _, it := range items {
+		v, err := EvalArith(it)
+		if err != nil {
+			return err
+		}
+		total += v
+	}
+	mark := m.mark()
+	if m.Unify(args[1], Number(total)) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+// extremumKey returns the numeric ordering key of a list element for
+// max/2 and min/2: a plain number orders by itself; a list such as the
+// [Path,T] pairs of Example 1 orders by its last element.
+func extremumKey(t Term) (float64, error) {
+	t = deref(t)
+	if n, ok := t.(Number); ok {
+		return float64(n), nil
+	}
+	if items, ok := ListSlice(t); ok && len(items) > 0 {
+		return EvalArith(items[len(items)-1])
+	}
+	return 0, fmt.Errorf("prolog: cannot order %s in max/min", t)
+}
+
+func biExtremum(better func(a, b float64) bool) builtin {
+	return func(m *Machine, args []Term, depth int, k func() error) error {
+		items, ok := ListSlice(args[0])
+		if !ok {
+			return fmt.Errorf("prolog: max/min needs a proper list, got %s", args[0])
+		}
+		if len(items) == 0 {
+			return nil // fail on empty list
+		}
+		best := items[0]
+		bestKey, err := extremumKey(best)
+		if err != nil {
+			return err
+		}
+		for _, it := range items[1:] {
+			key, err := extremumKey(it)
+			if err != nil {
+				return err
+			}
+			if better(key, bestKey) {
+				best, bestKey = it, key
+			}
+		}
+		mark := m.mark()
+		if m.Unify(args[1], best) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+		return nil
+	}
+}
+
+var (
+	biMax = biExtremum(func(a, b float64) bool { return a > b })
+	biMin = biExtremum(func(a, b float64) bool { return a < b })
+)
+
+func biMember(m *Machine, args []Term, depth int, k func() error) error {
+	items, ok := ListSlice(args[1])
+	if !ok {
+		return fmt.Errorf("prolog: member/2 needs a proper list, got %s", args[1])
+	}
+	for _, it := range items {
+		mark := m.mark()
+		if m.Unify(args[0], it) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+	}
+	return nil
+}
+
+func biAppend(m *Machine, args []Term, depth int, k func() error) error {
+	// If the first two are proper lists, concatenate directly.
+	if xs, ok := ListSlice(args[0]); ok {
+		if ys, ok2 := ListSlice(args[1]); ok2 {
+			mark := m.mark()
+			if m.Unify(args[2], MkList(append(append([]Term{}, xs...), ys...)...)) {
+				if err := k(); err != nil {
+					m.undo(mark)
+					return err
+				}
+			}
+			m.undo(mark)
+			return nil
+		}
+	}
+	// Otherwise enumerate splits of the third list.
+	zs, ok := ListSlice(args[2])
+	if !ok {
+		return fmt.Errorf("prolog: append/3 needs list arguments")
+	}
+	for i := 0; i <= len(zs); i++ {
+		mark := m.mark()
+		if m.Unify(args[0], MkList(zs[:i]...)) && m.Unify(args[1], MkList(zs[i:]...)) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+	}
+	return nil
+}
+
+func biLength(m *Machine, args []Term, depth int, k func() error) error {
+	if items, ok := ListSlice(args[0]); ok {
+		mark := m.mark()
+		if m.Unify(args[1], Number(len(items))) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+		return nil
+	}
+	// Generate a list of fresh variables of the requested length.
+	n, err := EvalArith(args[1])
+	if err != nil {
+		return fmt.Errorf("prolog: length/2 with unbound list needs a numeric length")
+	}
+	if n < 0 || n != math.Trunc(n) {
+		return nil
+	}
+	vars := make([]Term, int(n))
+	for i := range vars {
+		vars[i] = NewVar("")
+	}
+	mark := m.mark()
+	if m.Unify(args[0], MkList(vars...)) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+func biBetween(m *Machine, args []Term, depth int, k func() error) error {
+	lo, err := EvalArith(args[0])
+	if err != nil {
+		return err
+	}
+	hi, err := EvalArith(args[1])
+	if err != nil {
+		return err
+	}
+	for i := lo; i <= hi; i++ {
+		mark := m.mark()
+		if m.Unify(args[2], Number(i)) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+	}
+	return nil
+}
+
+func biNth0(m *Machine, args []Term, depth int, k func() error) error {
+	items, ok := ListSlice(args[1])
+	if !ok {
+		return fmt.Errorf("prolog: nth0/3 needs a proper list")
+	}
+	if n, isNum := deref(args[0]).(Number); isNum {
+		i := int(n)
+		if i < 0 || i >= len(items) {
+			return nil
+		}
+		mark := m.mark()
+		if m.Unify(args[2], items[i]) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+		return nil
+	}
+	for i, it := range items {
+		mark := m.mark()
+		if m.Unify(args[0], Number(i)) && m.Unify(args[2], it) {
+			if err := k(); err != nil {
+				m.undo(mark)
+				return err
+			}
+		}
+		m.undo(mark)
+	}
+	return nil
+}
+
+func biSort(m *Machine, args []Term, depth int, k func() error) error {
+	items, ok := ListSlice(args[0])
+	if !ok {
+		return fmt.Errorf("prolog: sort/2 needs a proper list")
+	}
+	snap := make([]Term, len(items))
+	for i, it := range items {
+		snap[i] = Snapshot(it)
+	}
+	sorted := SortUnique(snap)
+	mark := m.mark()
+	if m.Unify(args[1], MkList(sorted...)) {
+		if err := k(); err != nil {
+			m.undo(mark)
+			return err
+		}
+	}
+	m.undo(mark)
+	return nil
+}
+
+func biTypeCheck(pred func(Term) bool) builtin {
+	return func(m *Machine, args []Term, depth int, k func() error) error {
+		if pred(deref(args[0])) {
+			return k()
+		}
+		return nil
+	}
+}

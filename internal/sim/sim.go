@@ -1,0 +1,457 @@
+// Package sim is the CloudSim-like simulator the paper's evaluation runs on
+// (§6.1, "Implementation details"). It has the three components the paper
+// describes: a Cloud maintaining a pool of resources with acquisition and
+// release of Instances, Instances whose I/O and network performance vary
+// per-second according to the calibrated distributions, and a Workflow
+// executor that schedules tasks onto the simulated instances and reports
+// realized makespan and monetary cost (instance-hours plus cross-region
+// networking).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+)
+
+// Placement assigns a task to a logical instance slot. Tasks sharing a Slot
+// run serially on the same instance — this is how the Merge and
+// Co-Scheduling transformations materialize. Type selects the instance type
+// and Region the data center.
+type Placement struct {
+	Slot   int
+	Type   string
+	Region string
+}
+
+// Plan maps every task of a workflow to its placement.
+type Plan struct {
+	Place map[string]Placement
+}
+
+// UniformPlan places every task on its own instance of the given type.
+func UniformPlan(w *dag.Workflow, typ, region string) *Plan {
+	p := &Plan{Place: make(map[string]Placement, w.Len())}
+	for i, t := range w.Tasks {
+		p.Place[t.ID] = Placement{Slot: i, Type: typ, Region: region}
+	}
+	return p
+}
+
+// PlanFromConfig builds a plan from a task→type-index assignment, each task
+// on its own slot.
+func PlanFromConfig(w *dag.Workflow, config map[string]int, typeNames []string, region string) (*Plan, error) {
+	p := &Plan{Place: make(map[string]Placement, w.Len())}
+	for i, t := range w.Tasks {
+		j, ok := config[t.ID]
+		if !ok {
+			return nil, fmt.Errorf("sim: config missing task %q", t.ID)
+		}
+		if j < 0 || j >= len(typeNames) {
+			return nil, fmt.Errorf("sim: config for %q has type index %d out of range", t.ID, j)
+		}
+		p.Place[t.ID] = Placement{Slot: i, Type: typeNames[j], Region: region}
+	}
+	return p, nil
+}
+
+// RandomPlan places each task on its own instance of a uniformly random type
+// (the paper's "randomly chosen instance types" scenario and Pegasus's
+// default Random scheduler).
+func RandomPlan(w *dag.Workflow, cat *cloud.Catalog, region string, rng *rand.Rand) *Plan {
+	names := cat.TypeNames()
+	p := &Plan{Place: make(map[string]Placement, w.Len())}
+	for i, t := range w.Tasks {
+		p.Place[t.ID] = Placement{Slot: i, Type: names[rng.Intn(len(names))], Region: region}
+	}
+	return p
+}
+
+// Validate checks the plan covers the workflow and references known types,
+// regions, and consistent slot typing.
+func (p *Plan) Validate(w *dag.Workflow, cat *cloud.Catalog) error {
+	slotType := map[int]Placement{}
+	for _, t := range w.Tasks {
+		pl, ok := p.Place[t.ID]
+		if !ok {
+			return fmt.Errorf("sim: plan missing task %q", t.ID)
+		}
+		if _, err := cat.Type(pl.Type); err != nil {
+			return err
+		}
+		if _, err := cat.Region(pl.Region); err != nil {
+			return err
+		}
+		if prev, seen := slotType[pl.Slot]; seen {
+			if prev.Type != pl.Type || prev.Region != pl.Region {
+				return fmt.Errorf("sim: slot %d used with conflicting type/region", pl.Slot)
+			}
+		} else {
+			slotType[pl.Slot] = pl
+		}
+	}
+	return nil
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Cat *cloud.Catalog
+	Rng *rand.Rand
+	// ProvisionDelaySec is the lag between requesting an instance and it
+	// becoming usable.
+	ProvisionDelaySec float64
+	// BillingQuantumSec is the billing granularity (3600 = instance hours,
+	// the EC2 model of the paper).
+	BillingQuantumSec float64
+	// DynamicsPeriodSec is how long one drawn I/O or network rate persists
+	// before the simulator redraws it. Cloud interference is temporally
+	// correlated — the calibration measures once a minute (§6.1) — so the
+	// default is 60s; i.i.d. per-second draws would average the variance
+	// away and hide the Figure 2 dynamics.
+	DynamicsPeriodSec float64
+}
+
+// DefaultOptions returns EC2-like settings with the given catalog and rng.
+func DefaultOptions(cat *cloud.Catalog, rng *rand.Rand) Options {
+	return Options{Cat: cat, Rng: rng, BillingQuantumSec: 3600, DynamicsPeriodSec: 60}
+}
+
+// TaskRecord reports one task's realized execution.
+type TaskRecord struct {
+	Start, Finish float64
+	Instance      int
+	TransferMB    float64 // bytes fetched over the network
+}
+
+// InstanceRecord reports one simulated instance's lifetime and cost.
+type InstanceRecord struct {
+	Slot         int
+	Type, Region string
+	AcquiredAt   float64
+	ReleasedAt   float64
+	Cost         float64
+}
+
+// Result is the outcome of simulating one workflow execution.
+type Result struct {
+	Makespan      float64
+	InstanceCost  float64
+	NetworkCost   float64 // cross-region transfer charges
+	TotalCost     float64
+	Tasks         map[string]*TaskRecord
+	Instances     []InstanceRecord
+	InstanceHours float64
+}
+
+// transferSpec describes where a task's input bytes come from.
+type transferSpec struct {
+	localMB  float64 // produced on the same instance
+	sameMB   float64 // same region, different instance
+	crossMB  float64 // another region
+	sourceMB float64 // initial inputs from storage (same region)
+}
+
+// Sim executes workflows on the simulated cloud.
+type Sim struct {
+	opt Options
+}
+
+// New returns a simulator. Options must carry a catalog and rng.
+func New(opt Options) (*Sim, error) {
+	if opt.Cat == nil {
+		return nil, fmt.Errorf("sim: catalog required")
+	}
+	if opt.Rng == nil {
+		return nil, fmt.Errorf("sim: rng required")
+	}
+	if opt.BillingQuantumSec <= 0 {
+		opt.BillingQuantumSec = 3600
+	}
+	return &Sim{opt: opt}, nil
+}
+
+// integrate simulates moving mb megabytes at a rate drawn from d and held
+// for period seconds before redrawing — the temporally-correlated cloud
+// dynamics the calibration observes (one probe a minute for 7 days). The
+// final partial period is fractional. To bound the cost of pathological
+// inputs, after 100k periods the remaining volume moves at the mean rate.
+func integrate(mb float64, d interface {
+	Sample(*rand.Rand) float64
+	Mean() float64
+}, rng *rand.Rand, period float64) float64 {
+	if mb <= 0 {
+		return 0
+	}
+	if period <= 0 {
+		period = 60
+	}
+	t := 0.0
+	const maxSteps = 100000
+	for i := 0; i < maxSteps && mb > 0; i++ {
+		rate := d.Sample(rng)
+		if rate < 1e-6 {
+			rate = 1e-6
+		}
+		chunk := rate * period
+		if chunk >= mb {
+			t += mb / rate
+			return t
+		}
+		mb -= chunk
+		t += period
+	}
+	if mb > 0 {
+		mean := d.Mean()
+		if mean < 1e-6 {
+			mean = 1e-6
+		}
+		t += mb / mean
+	}
+	return t
+}
+
+// realizedDuration simulates one task's execution time on an instance type:
+// deterministic CPU time plus per-second-dynamic disk I/O and network
+// transfer phases.
+func (s *Sim) realizedDuration(t *dag.Task, typ string, xfer transferSpec) (float64, error) {
+	it, err := s.opt.Cat.Type(typ)
+	if err != nil {
+		return 0, err
+	}
+	perf := s.opt.Cat.Perf
+	d := t.CPUSeconds / it.ECU
+	// Disk: all inputs and outputs pass through the local disk.
+	ioMB := t.InputMB() + t.OutputMB()
+	d += integrate(ioMB, perf.SeqIO[typ], s.opt.Rng, s.opt.DynamicsPeriodSec)
+	// Network: bytes not already on this instance.
+	netMB := xfer.sameMB + xfer.sourceMB
+	d += integrate(netMB, perf.Net[typ], s.opt.Rng, s.opt.DynamicsPeriodSec)
+	d += integrate(xfer.crossMB, perf.CrossRegionNet, s.opt.Rng, s.opt.DynamicsPeriodSec)
+	return d, nil
+}
+
+// classifyTransfers splits task id's input bytes by origin relative to its
+// placement.
+func classifyTransfers(w *dag.Workflow, plan *Plan, id string) transferSpec {
+	t := w.Task(id)
+	pl := plan.Place[id]
+	producers := map[string]string{} // file -> producing parent
+	for _, p := range w.Parents(id) {
+		for _, f := range w.Task(p).Outputs {
+			producers[f.Name] = p
+		}
+	}
+	var spec transferSpec
+	for _, f := range t.Inputs {
+		p, produced := producers[f.Name]
+		switch {
+		case !produced:
+			spec.sourceMB += f.SizeMB
+		case plan.Place[p].Slot == pl.Slot:
+			spec.localMB += f.SizeMB
+		case plan.Place[p].Region == pl.Region:
+			spec.sameMB += f.SizeMB
+		default:
+			spec.crossMB += f.SizeMB
+		}
+	}
+	return spec
+}
+
+// Run simulates one execution of w under plan and returns the realized
+// makespan and costs.
+func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
+	if err := plan.Validate(w, s.opt.Cat); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Tasks: make(map[string]*TaskRecord, w.Len())}
+
+	type slotState struct {
+		freeAt     float64
+		acquiredAt float64
+		lastFinish float64
+		used       bool
+		place      Placement
+	}
+	slots := map[int]*slotState{}
+	for _, t := range w.Tasks {
+		pl := plan.Place[t.ID]
+		if _, ok := slots[pl.Slot]; !ok {
+			slots[pl.Slot] = &slotState{place: pl}
+		}
+	}
+
+	remainingParents := map[string]int{}
+	readyAt := map[string]float64{} // max parent finish
+	for _, t := range w.Tasks {
+		remainingParents[t.ID] = len(w.Parents(t.ID))
+	}
+	done := map[string]bool{}
+	pending := w.Len()
+
+	for pending > 0 {
+		// Pick the ready task with the earliest feasible start (breaking ties
+		// by task order for determinism).
+		bestID := ""
+		bestStart := math.Inf(1)
+		for _, t := range w.Tasks {
+			if done[t.ID] || remainingParents[t.ID] > 0 {
+				continue
+			}
+			st := slots[plan.Place[t.ID].Slot]
+			start := readyAt[t.ID]
+			if st.used && st.freeAt > start {
+				start = st.freeAt
+			}
+			if !st.used {
+				start += s.opt.ProvisionDelaySec
+			}
+			if start < bestStart {
+				bestStart = start
+				bestID = t.ID
+			}
+		}
+		if bestID == "" {
+			return nil, fmt.Errorf("sim: no ready task but %d pending (cycle?)", pending)
+		}
+		t := w.Task(bestID)
+		pl := plan.Place[bestID]
+		st := slots[pl.Slot]
+		if !st.used {
+			st.used = true
+			st.acquiredAt = bestStart // provision delay already folded in
+		}
+		xfer := classifyTransfers(w, plan, bestID)
+		dur, err := s.realizedDuration(t, pl.Type, xfer)
+		if err != nil {
+			return nil, err
+		}
+		finish := bestStart + dur
+		st.freeAt = finish
+		st.lastFinish = finish
+		res.Tasks[bestID] = &TaskRecord{
+			Start: bestStart, Finish: finish, Instance: pl.Slot,
+			TransferMB: xfer.sameMB + xfer.crossMB + xfer.sourceMB,
+		}
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+		// Cross-region networking charges accrue per transferred GB.
+		if xfer.crossMB > 0 {
+			// Price charged by the sending region; take the max over parents'
+			// regions for a conservative single-rate model.
+			rate := 0.0
+			for _, p := range w.Parents(bestID) {
+				srcRegion := plan.Place[p].Region
+				if srcRegion == pl.Region {
+					continue
+				}
+				r, err := s.opt.Cat.Region(srcRegion)
+				if err != nil {
+					return nil, err
+				}
+				if pr := r.NetPricePerGB[pl.Region]; pr > rate {
+					rate = pr
+				}
+			}
+			res.NetworkCost += xfer.crossMB / 1024 * rate
+		}
+		done[bestID] = true
+		pending--
+		for _, c := range w.Children(bestID) {
+			remainingParents[c]--
+			if finish > readyAt[c] {
+				readyAt[c] = finish
+			}
+		}
+	}
+
+	// Billing: each used slot is one instance billed in whole quanta.
+	var slotIDs []int
+	for id := range slots {
+		slotIDs = append(slotIDs, id)
+	}
+	sort.Ints(slotIDs)
+	for _, id := range slotIDs {
+		st := slots[id]
+		if !st.used {
+			continue
+		}
+		up := st.lastFinish - st.acquiredAt + s.opt.ProvisionDelaySec
+		quanta := math.Ceil(up / s.opt.BillingQuantumSec)
+		if quanta < 1 {
+			quanta = 1
+		}
+		price, err := s.opt.Cat.Price(st.place.Region, st.place.Type)
+		if err != nil {
+			return nil, err
+		}
+		cost := quanta * price * (s.opt.BillingQuantumSec / 3600)
+		res.InstanceCost += cost
+		res.InstanceHours += quanta * s.opt.BillingQuantumSec / 3600
+		res.Instances = append(res.Instances, InstanceRecord{
+			Slot: id, Type: st.place.Type, Region: st.place.Region,
+			AcquiredAt: st.acquiredAt - s.opt.ProvisionDelaySec,
+			ReleasedAt: st.lastFinish, Cost: cost,
+		})
+	}
+	res.TotalCost = res.InstanceCost + res.NetworkCost
+	return res, nil
+}
+
+// RunMany simulates n independent executions and returns all results.
+func (s *Sim) RunMany(w *dag.Workflow, plan *Plan, n int) ([]*Result, error) {
+	out := make([]*Result, n)
+	for i := range out {
+		r, err := s.Run(w, plan)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Makespans extracts the makespans from a result list.
+func Makespans(rs []*Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Makespan
+	}
+	return out
+}
+
+// Costs extracts the total costs from a result list.
+func Costs(rs []*Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.TotalCost
+	}
+	return out
+}
+
+// Utilization is the fraction of billed instance time actually spent
+// executing tasks — the resource-waste measure behind the Merge and
+// Co-Scheduling transformations (idle partial hours are pure waste).
+func (r *Result) Utilization() float64 {
+	billedSec := r.InstanceHours * 3600
+	if billedSec <= 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, t := range r.Tasks {
+		busy += t.Finish - t.Start
+	}
+	u := busy / billedSec
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,547 @@
+// Package wfgen generates synthetic scientific workflows with the structures
+// and profiles of the applications the paper evaluates: Montage (astronomy
+// mosaics), Ligo/Inspiral (gravitational-wave analysis), and Epigenomics
+// (genome sequencing), plus CyberShake and a simple Pipeline. Structure and
+// task profiles follow the published workflow characterisation the paper
+// cites (Juve et al., "Characterizing and Profiling Scientific Workflows"),
+// which is also the basis of the Pegasus workflow generator the authors use
+// for the non-public applications.
+//
+// All generators are deterministic given the caller's *rand.Rand.
+package wfgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deco/internal/dag"
+)
+
+// jitter returns base scaled by a uniform factor in [1-f, 1+f].
+func jitter(rng *rand.Rand, base, f float64) float64 {
+	return base * (1 - f + 2*f*rng.Float64())
+}
+
+// Montage builds a Montage mosaic workflow for a square sky survey of the
+// given degree (the paper's Montage-1, Montage-4 and Montage-8 are degrees 1,
+// 4 and 8). The number of input images grows with the surveyed area; the
+// structure is:
+//
+//	mProjectPP (per image) → mDiffFit (per overlapping pair) → mConcatFit →
+//	mBgModel → mBackground (per image) → mImgtbl → mAdd → mShrink → mJPEG
+func Montage(degree int, rng *rand.Rand) (*dag.Workflow, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("wfgen: montage degree must be >= 1, got %d", degree)
+	}
+	nImages := 2*degree*degree + 6
+	w := dag.New(fmt.Sprintf("Montage-%d", degree))
+	imgMB := 600.0 // one reprojected survey tile with auxiliary data: Montage is I/O-intensive (§1: "Montage and Ligo on hundreds of GB")
+
+	// mProjectPP: reproject each input image.
+	proj := make([]string, nImages)
+	for i := 0; i < nImages; i++ {
+		id := fmt.Sprintf("proj%04d", i)
+		proj[i] = id
+		if err := w.AddTask(&dag.Task{
+			ID: id, Executable: "mProjectPP",
+			CPUSeconds: jitter(rng, 90, 0.3),
+			Inputs:     []dag.File{{Name: fmt.Sprintf("img%04d.fits", i), SizeMB: imgMB}},
+			Outputs:    []dag.File{{Name: fmt.Sprintf("p%04d.fits", i), SizeMB: imgMB * 1.1}},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// mDiffFit: one per overlapping pair; images overlap their neighbours.
+	var diffs []string
+	for i := 0; i < nImages-1; i++ {
+		// Neighbour overlaps: (i, i+1) always, (i, i+2) half of the time, so
+		// the diff count is ~1.5x the projection count as in real mosaics.
+		pairs := [][2]int{{i, i + 1}}
+		if i+2 < nImages && i%2 == 0 {
+			pairs = append(pairs, [2]int{i, i + 2})
+		}
+		for _, pr := range pairs {
+			id := fmt.Sprintf("diff%04d_%04d", pr[0], pr[1])
+			diffs = append(diffs, id)
+			if err := w.AddTask(&dag.Task{
+				ID: id, Executable: "mDiffFit",
+				CPUSeconds: jitter(rng, 45, 0.3),
+				Inputs: []dag.File{
+					{Name: fmt.Sprintf("p%04d.fits", pr[0]), SizeMB: imgMB * 1.1},
+					{Name: fmt.Sprintf("p%04d.fits", pr[1]), SizeMB: imgMB * 1.1},
+				},
+				Outputs: []dag.File{{Name: id + ".fit", SizeMB: 0.01}},
+			}); err != nil {
+				return nil, err
+			}
+			if err := w.AddEdge(proj[pr[0]], id); err != nil {
+				return nil, err
+			}
+			if err := w.AddEdge(proj[pr[1]], id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// mConcatFit: merge all plane-fit parameters.
+	concatIn := make([]dag.File, len(diffs))
+	for i, d := range diffs {
+		concatIn[i] = dag.File{Name: d + ".fit", SizeMB: 0.01}
+	}
+	if err := w.AddTask(&dag.Task{
+		ID: "concatfit", Executable: "mConcatFit",
+		CPUSeconds: jitter(rng, 150, 0.2),
+		Inputs:     concatIn,
+		Outputs:    []dag.File{{Name: "fits.tbl", SizeMB: 0.1}},
+	}); err != nil {
+		return nil, err
+	}
+	for _, d := range diffs {
+		if err := w.AddEdge(d, "concatfit"); err != nil {
+			return nil, err
+		}
+	}
+	// mBgModel: global background model.
+	if err := w.AddTask(&dag.Task{
+		ID: "bgmodel", Executable: "mBgModel",
+		CPUSeconds: jitter(rng, 300, 0.2),
+		Inputs:     []dag.File{{Name: "fits.tbl", SizeMB: 0.1}},
+		Outputs:    []dag.File{{Name: "corrections.tbl", SizeMB: 0.1}},
+	}); err != nil {
+		return nil, err
+	}
+	if err := w.AddEdge("concatfit", "bgmodel"); err != nil {
+		return nil, err
+	}
+	// mBackground: apply correction to each projected image.
+	bg := make([]string, nImages)
+	for i := 0; i < nImages; i++ {
+		id := fmt.Sprintf("bg%04d", i)
+		bg[i] = id
+		if err := w.AddTask(&dag.Task{
+			ID: id, Executable: "mBackground",
+			CPUSeconds: jitter(rng, 60, 0.3),
+			Inputs: []dag.File{
+				{Name: fmt.Sprintf("p%04d.fits", i), SizeMB: imgMB * 1.1},
+				{Name: "corrections.tbl", SizeMB: 0.1},
+			},
+			Outputs: []dag.File{{Name: fmt.Sprintf("c%04d.fits", i), SizeMB: imgMB * 1.1}},
+		}); err != nil {
+			return nil, err
+		}
+		if err := w.AddEdge(proj[i], id); err != nil {
+			return nil, err
+		}
+		if err := w.AddEdge("bgmodel", id); err != nil {
+			return nil, err
+		}
+	}
+	// mImgtbl → mAdd → mShrink → mJPEG tail.
+	addIn := make([]dag.File, nImages)
+	for i := 0; i < nImages; i++ {
+		addIn[i] = dag.File{Name: fmt.Sprintf("c%04d.fits", i), SizeMB: imgMB * 1.1}
+	}
+	mosaicMB := float64(nImages) * imgMB
+	tail := []*dag.Task{
+		{ID: "imgtbl", Executable: "mImgtbl", CPUSeconds: jitter(rng, 75, 0.2),
+			Inputs:  addIn,
+			Outputs: []dag.File{{Name: "images.tbl", SizeMB: 0.1}}},
+		{ID: "add", Executable: "mAdd", CPUSeconds: jitter(rng, 450+25*float64(nImages), 0.2),
+			Inputs:  append(append([]dag.File{}, addIn...), dag.File{Name: "images.tbl", SizeMB: 0.1}),
+			Outputs: []dag.File{{Name: "mosaic.fits", SizeMB: mosaicMB}}},
+		{ID: "shrink", Executable: "mShrink", CPUSeconds: jitter(rng, 225, 0.2),
+			Inputs:  []dag.File{{Name: "mosaic.fits", SizeMB: mosaicMB}},
+			Outputs: []dag.File{{Name: "shrunken.fits", SizeMB: mosaicMB / 16}}},
+		{ID: "jpeg", Executable: "mJPEG", CPUSeconds: jitter(rng, 110, 0.2),
+			Inputs:  []dag.File{{Name: "shrunken.fits", SizeMB: mosaicMB / 16}},
+			Outputs: []dag.File{{Name: "mosaic.jpg", SizeMB: mosaicMB / 64}}},
+	}
+	for _, t := range tail {
+		if err := w.AddTask(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range bg {
+		if err := w.AddEdge(b, "imgtbl"); err != nil {
+			return nil, err
+		}
+		if err := w.AddEdge(b, "add"); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range [][2]string{{"imgtbl", "add"}, {"add", "shrink"}, {"shrink", "jpeg"}} {
+		if err := w.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return w, w.Validate()
+}
+
+// Ligo builds a LIGO Inspiral gravitational-wave analysis workflow with the
+// given number of analysis blocks. Each block is
+//
+//	TmpltBank* → Inspiral* → Thinca → TrigBank* → Inspiral2* → Thinca2
+//
+// with fan-in at the Thinca (coincidence) stages.
+func Ligo(blocks int, rng *rand.Rand) (*dag.Workflow, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("wfgen: ligo blocks must be >= 1, got %d", blocks)
+	}
+	w := dag.New(fmt.Sprintf("Ligo-%d", blocks))
+	const perBlock = 5 // parallel channels per block
+	for b := 0; b < blocks; b++ {
+		thinca1 := fmt.Sprintf("b%02d_thinca1", b)
+		thinca2 := fmt.Sprintf("b%02d_thinca2", b)
+		var t1In, t2In []dag.File
+		for c := 0; c < perBlock; c++ {
+			tb := fmt.Sprintf("b%02d_tmplt%02d", b, c)
+			in1 := fmt.Sprintf("b%02d_insp%02d", b, c)
+			trb := fmt.Sprintf("b%02d_trig%02d", b, c)
+			in2 := fmt.Sprintf("b%02d_insp2_%02d", b, c)
+			chanMB := jitter(rng, 220, 0.2) // raw channel data
+			tasks := []*dag.Task{
+				{ID: tb, Executable: "TmpltBank", CPUSeconds: jitter(rng, 180, 0.3),
+					Inputs:  []dag.File{{Name: tb + ".gwf", SizeMB: chanMB}},
+					Outputs: []dag.File{{Name: tb + ".xml", SizeMB: 1}}},
+				{ID: in1, Executable: "Inspiral", CPUSeconds: jitter(rng, 460, 0.3),
+					Inputs: []dag.File{{Name: tb + ".xml", SizeMB: 1},
+						{Name: tb + ".gwf", SizeMB: chanMB}},
+					Outputs: []dag.File{{Name: in1 + ".xml", SizeMB: 2}}},
+				{ID: trb, Executable: "TrigBank", CPUSeconds: jitter(rng, 30, 0.3),
+					Inputs:  []dag.File{{Name: thinca1 + ".xml", SizeMB: 2}},
+					Outputs: []dag.File{{Name: trb + ".xml", SizeMB: 1}}},
+				{ID: in2, Executable: "Inspiral", CPUSeconds: jitter(rng, 440, 0.3),
+					Inputs: []dag.File{{Name: trb + ".xml", SizeMB: 1},
+						{Name: tb + ".gwf", SizeMB: chanMB}},
+					Outputs: []dag.File{{Name: in2 + ".xml", SizeMB: 2}}},
+			}
+			for _, t := range tasks {
+				if err := w.AddTask(t); err != nil {
+					return nil, err
+				}
+			}
+			t1In = append(t1In, dag.File{Name: in1 + ".xml", SizeMB: 2})
+			t2In = append(t2In, dag.File{Name: in2 + ".xml", SizeMB: 2})
+			for _, e := range [][2]string{{tb, in1}, {in1, thinca1}, {trb, in2}, {in2, thinca2}} {
+				_ = e // edges added after thincas exist
+			}
+		}
+		if err := w.AddTask(&dag.Task{ID: thinca1, Executable: "Thinca",
+			CPUSeconds: jitter(rng, 10, 0.2), Inputs: t1In,
+			Outputs: []dag.File{{Name: thinca1 + ".xml", SizeMB: 2}}}); err != nil {
+			return nil, err
+		}
+		if err := w.AddTask(&dag.Task{ID: thinca2, Executable: "Thinca",
+			CPUSeconds: jitter(rng, 10, 0.2), Inputs: t2In,
+			Outputs: []dag.File{{Name: thinca2 + ".xml", SizeMB: 2}}}); err != nil {
+			return nil, err
+		}
+		for c := 0; c < perBlock; c++ {
+			tb := fmt.Sprintf("b%02d_tmplt%02d", b, c)
+			in1 := fmt.Sprintf("b%02d_insp%02d", b, c)
+			trb := fmt.Sprintf("b%02d_trig%02d", b, c)
+			in2 := fmt.Sprintf("b%02d_insp2_%02d", b, c)
+			for _, e := range [][2]string{
+				{tb, in1}, {in1, thinca1}, {thinca1, trb}, {trb, in2}, {in2, thinca2},
+			} {
+				if err := w.AddEdge(e[0], e[1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, w.Validate()
+}
+
+// Epigenomics builds an Epigenomics DNA-methylation workflow with the given
+// number of parallel lanes and chunks per lane:
+//
+//	fastqSplit (per lane) → [filterContams → sol2sanger → fastq2bfq → map]
+//	(per chunk) → mapMerge (per lane) → mapMergeGlobal → maqIndex → pileup
+func Epigenomics(lanes, chunks int, rng *rand.Rand) (*dag.Workflow, error) {
+	if lanes < 1 || chunks < 1 {
+		return nil, fmt.Errorf("wfgen: epigenomics needs lanes,chunks >= 1, got %d,%d", lanes, chunks)
+	}
+	w := dag.New(fmt.Sprintf("Epigenomics-%dx%d", lanes, chunks))
+	laneMB := 2200.0 // dozens of GB overall input, split across lanes
+	var laneMerges []string
+	for l := 0; l < lanes; l++ {
+		split := fmt.Sprintf("l%02d_split", l)
+		merge := fmt.Sprintf("l%02d_merge", l)
+		laneMerges = append(laneMerges, merge)
+		splitOuts := make([]dag.File, chunks)
+		mergeIns := make([]dag.File, chunks)
+		for c := 0; c < chunks; c++ {
+			splitOuts[c] = dag.File{Name: fmt.Sprintf("l%02d_c%02d.fastq", l, c), SizeMB: laneMB / float64(chunks)}
+			mergeIns[c] = dag.File{Name: fmt.Sprintf("l%02d_c%02d.map", l, c), SizeMB: laneMB / float64(chunks) / 4}
+		}
+		if err := w.AddTask(&dag.Task{ID: split, Executable: "fastqSplit",
+			CPUSeconds: jitter(rng, 35, 0.2),
+			Inputs:     []dag.File{{Name: fmt.Sprintf("lane%02d.fastq", l), SizeMB: laneMB}},
+			Outputs:    splitOuts}); err != nil {
+			return nil, err
+		}
+		for c := 0; c < chunks; c++ {
+			chunkMB := laneMB / float64(chunks)
+			prefix := fmt.Sprintf("l%02d_c%02d", l, c)
+			chain := []*dag.Task{
+				{ID: prefix + "_filter", Executable: "filterContams", CPUSeconds: jitter(rng, 20, 0.3),
+					Inputs:  []dag.File{{Name: prefix + ".fastq", SizeMB: chunkMB}},
+					Outputs: []dag.File{{Name: prefix + ".filtered", SizeMB: chunkMB * 0.9}}},
+				{ID: prefix + "_sol", Executable: "sol2sanger", CPUSeconds: jitter(rng, 120, 0.3),
+					Inputs:  []dag.File{{Name: prefix + ".filtered", SizeMB: chunkMB * 0.9}},
+					Outputs: []dag.File{{Name: prefix + ".sanger", SizeMB: chunkMB * 0.9}}},
+				{ID: prefix + "_bfq", Executable: "fastq2bfq", CPUSeconds: jitter(rng, 90, 0.3),
+					Inputs:  []dag.File{{Name: prefix + ".sanger", SizeMB: chunkMB * 0.9}},
+					Outputs: []dag.File{{Name: prefix + ".bfq", SizeMB: chunkMB * 0.4}}},
+				{ID: prefix + "_map", Executable: "map", CPUSeconds: jitter(rng, 210, 0.3),
+					Inputs:  []dag.File{{Name: prefix + ".bfq", SizeMB: chunkMB * 0.4}},
+					Outputs: []dag.File{{Name: prefix + ".map", SizeMB: chunkMB / 4}}},
+			}
+			prev := split
+			for _, t := range chain {
+				if err := w.AddTask(t); err != nil {
+					return nil, err
+				}
+				if err := w.AddEdge(prev, t.ID); err != nil {
+					return nil, err
+				}
+				prev = t.ID
+			}
+		}
+		if err := w.AddTask(&dag.Task{ID: merge, Executable: "mapMerge",
+			CPUSeconds: jitter(rng, 45, 0.2), Inputs: mergeIns,
+			Outputs: []dag.File{{Name: merge + ".map", SizeMB: laneMB / 4}}}); err != nil {
+			return nil, err
+		}
+		for c := 0; c < chunks; c++ {
+			if err := w.AddEdge(fmt.Sprintf("l%02d_c%02d_map", l, c), merge); err != nil {
+				return nil, err
+			}
+		}
+	}
+	globalIns := make([]dag.File, lanes)
+	for l, m := range laneMerges {
+		globalIns[l] = dag.File{Name: m + ".map", SizeMB: laneMB / 4}
+	}
+	tail := []*dag.Task{
+		{ID: "gmerge", Executable: "mapMerge", CPUSeconds: jitter(rng, 80, 0.2),
+			Inputs:  globalIns,
+			Outputs: []dag.File{{Name: "all.map", SizeMB: laneMB * float64(lanes) / 4}}},
+		{ID: "maqindex", Executable: "maqIndex", CPUSeconds: jitter(rng, 140, 0.2),
+			Inputs:  []dag.File{{Name: "all.map", SizeMB: laneMB * float64(lanes) / 4}},
+			Outputs: []dag.File{{Name: "all.index", SizeMB: 100}}},
+		{ID: "pileup", Executable: "pileup", CPUSeconds: jitter(rng, 160, 0.2),
+			Inputs:  []dag.File{{Name: "all.index", SizeMB: 100}},
+			Outputs: []dag.File{{Name: "methylation.txt", SizeMB: 50}}},
+	}
+	for _, t := range tail {
+		if err := w.AddTask(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range laneMerges {
+		if err := w.AddEdge(m, "gmerge"); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.AddEdge("gmerge", "maqindex"); err != nil {
+		return nil, err
+	}
+	if err := w.AddEdge("maqindex", "pileup"); err != nil {
+		return nil, err
+	}
+	return w, w.Validate()
+}
+
+// CyberShake builds a CyberShake seismic-hazard workflow with the given
+// number of SGT variations and synthesis tasks per variation.
+func CyberShake(variations, perVar int, rng *rand.Rand) (*dag.Workflow, error) {
+	if variations < 1 || perVar < 1 {
+		return nil, fmt.Errorf("wfgen: cybershake needs variations,perVar >= 1")
+	}
+	w := dag.New(fmt.Sprintf("CyberShake-%dx%d", variations, perVar))
+	zipSeisIn := []dag.File{}
+	zipPSAIn := []dag.File{}
+	for v := 0; v < variations; v++ {
+		ex := fmt.Sprintf("v%02d_extract", v)
+		sgtMB := jitter(rng, 150, 0.2)
+		if err := w.AddTask(&dag.Task{ID: ex, Executable: "ExtractSGT",
+			CPUSeconds: jitter(rng, 110, 0.3),
+			Inputs:     []dag.File{{Name: fmt.Sprintf("sgt%02d", v), SizeMB: sgtMB * 4}},
+			Outputs:    []dag.File{{Name: ex + ".sgt", SizeMB: sgtMB}}}); err != nil {
+			return nil, err
+		}
+		for s := 0; s < perVar; s++ {
+			syn := fmt.Sprintf("v%02d_synth%03d", v, s)
+			pk := fmt.Sprintf("v%02d_peak%03d", v, s)
+			if err := w.AddTask(&dag.Task{ID: syn, Executable: "SeismogramSynthesis",
+				CPUSeconds: jitter(rng, 50, 0.3),
+				Inputs:     []dag.File{{Name: ex + ".sgt", SizeMB: sgtMB}},
+				Outputs:    []dag.File{{Name: syn + ".seis", SizeMB: 0.2}}}); err != nil {
+				return nil, err
+			}
+			if err := w.AddTask(&dag.Task{ID: pk, Executable: "PeakValCalc",
+				CPUSeconds: jitter(rng, 2, 0.3),
+				Inputs:     []dag.File{{Name: syn + ".seis", SizeMB: 0.2}},
+				Outputs:    []dag.File{{Name: pk + ".bsa", SizeMB: 0.05}}}); err != nil {
+				return nil, err
+			}
+			if err := w.AddEdge(ex, syn); err != nil {
+				return nil, err
+			}
+			if err := w.AddEdge(syn, pk); err != nil {
+				return nil, err
+			}
+			zipSeisIn = append(zipSeisIn, dag.File{Name: syn + ".seis", SizeMB: 0.2})
+			zipPSAIn = append(zipPSAIn, dag.File{Name: pk + ".bsa", SizeMB: 0.05})
+		}
+	}
+	if err := w.AddTask(&dag.Task{ID: "zipseis", Executable: "ZipSeis",
+		CPUSeconds: jitter(rng, 30, 0.2), Inputs: zipSeisIn,
+		Outputs: []dag.File{{Name: "seis.zip", SizeMB: float64(len(zipSeisIn)) * 0.1}}}); err != nil {
+		return nil, err
+	}
+	if err := w.AddTask(&dag.Task{ID: "zippsa", Executable: "ZipPSA",
+		CPUSeconds: jitter(rng, 20, 0.2), Inputs: zipPSAIn,
+		Outputs: []dag.File{{Name: "psa.zip", SizeMB: float64(len(zipPSAIn)) * 0.02}}}); err != nil {
+		return nil, err
+	}
+	for v := 0; v < variations; v++ {
+		for s := 0; s < perVar; s++ {
+			if err := w.AddEdge(fmt.Sprintf("v%02d_synth%03d", v, s), "zipseis"); err != nil {
+				return nil, err
+			}
+			if err := w.AddEdge(fmt.Sprintf("v%02d_peak%03d", v, s), "zippsa"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, w.Validate()
+}
+
+// Pipeline builds a linear chain of n tasks, the workflow shape of the DAX
+// example in Figure 4.
+func Pipeline(n int, rng *rand.Rand) (*dag.Workflow, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wfgen: pipeline needs n >= 1, got %d", n)
+	}
+	w := dag.New(fmt.Sprintf("Pipeline-%d", n))
+	prev := ""
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ID%02d", i+1)
+		t := &dag.Task{ID: id, Executable: fmt.Sprintf("process%d", i+1),
+			CPUSeconds: jitter(rng, 60, 0.4)}
+		if i > 0 {
+			t.Inputs = []dag.File{{Name: fmt.Sprintf("f.b%d", i), SizeMB: 20}}
+		} else {
+			t.Inputs = []dag.File{{Name: "f.a", SizeMB: 20}}
+		}
+		t.Outputs = []dag.File{{Name: fmt.Sprintf("f.b%d", i+1), SizeMB: 20}}
+		if err := w.AddTask(t); err != nil {
+			return nil, err
+		}
+		if prev != "" {
+			if err := w.AddEdge(prev, id); err != nil {
+				return nil, err
+			}
+		}
+		prev = id
+	}
+	return w, w.Validate()
+}
+
+// App identifies a workflow application type.
+type App string
+
+// The application types used in the paper's evaluation.
+const (
+	AppMontage     App = "montage"
+	AppLigo        App = "ligo"
+	AppEpigenomics App = "epigenomics"
+	AppCyberShake  App = "cybershake"
+	AppPipeline    App = "pipeline"
+)
+
+// BySize generates a workflow of the given application type with
+// approximately n tasks, as the paper's ensemble experiments require
+// ("3 different workflow sizes from 20, 100 to 1000 tasks").
+func BySize(app App, n int, rng *rand.Rand) (*dag.Workflow, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wfgen: size must be >= 1, got %d", n)
+	}
+	switch app {
+	case AppMontage:
+		// Task count ≈ 4.5*images + 6; images = 2d^2+6.
+		d := 1
+		for 4*(2*d*d+6)+6 < n {
+			d++
+		}
+		return Montage(d, rng)
+	case AppLigo:
+		// 22 tasks per block.
+		b := (n + 21) / 22
+		if b < 1 {
+			b = 1
+		}
+		return Ligo(b, rng)
+	case AppEpigenomics:
+		// lanes*(4*chunks+2)+3 tasks.
+		lanes := 2
+		chunks := (n/lanes - 2) / 4
+		if chunks < 1 {
+			chunks = 1
+		}
+		return Epigenomics(lanes, chunks, rng)
+	case AppCyberShake:
+		// variations*(1+2*perVar)+2 tasks.
+		variations := 4
+		perVar := (n/variations - 1) / 2
+		if perVar < 1 {
+			perVar = 1
+		}
+		return CyberShake(variations, perVar, rng)
+	case AppPipeline:
+		return Pipeline(n, rng)
+	default:
+		return nil, fmt.Errorf("wfgen: unknown application %q", app)
+	}
+}
+
+// Funnel builds an ingest-then-reduce pipeline: stage 0 reads a large raw
+// dataset (rawMB), later stages chain small intermediates (interMB). The
+// shape makes multi-cloud migration decisions genuinely dynamic (§3.3):
+// moving the raw input across regions never pays, but once the ingest task
+// has consumed it the live data shrinks by orders of magnitude and
+// migrating to a cheaper region becomes profitable — a moment only runtime
+// re-optimization catches.
+func Funnel(n int, rawMB, interMB float64, rng *rand.Rand) (*dag.Workflow, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("wfgen: funnel needs at least 2 stages, got %d", n)
+	}
+	if rawMB <= 0 || interMB <= 0 {
+		return nil, fmt.Errorf("wfgen: funnel needs positive data sizes")
+	}
+	w := dag.New(fmt.Sprintf("Funnel-%d", n))
+	prev := ""
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		t := &dag.Task{ID: id, Executable: fmt.Sprintf("stage%d", i),
+			CPUSeconds: jitter(rng, 60, 0.2)}
+		if i == 0 {
+			t.Inputs = []dag.File{{Name: "raw", SizeMB: rawMB}}
+		} else {
+			t.Inputs = []dag.File{{Name: fmt.Sprintf("d%03d", i-1), SizeMB: interMB}}
+		}
+		t.Outputs = []dag.File{{Name: fmt.Sprintf("d%03d", i), SizeMB: interMB}}
+		if err := w.AddTask(t); err != nil {
+			return nil, err
+		}
+		if prev != "" {
+			if err := w.AddEdge(prev, id); err != nil {
+				return nil, err
+			}
+		}
+		prev = id
+	}
+	return w, w.Validate()
+}

@@ -1,0 +1,207 @@
+package wfgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"deco/internal/dag"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestMontageStructure(t *testing.T) {
+	w, err := Montage(1, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All nine Montage executables present.
+	execs := map[string]int{}
+	for _, task := range w.Tasks {
+		execs[task.Executable]++
+	}
+	for _, e := range []string{"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",
+		"mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"} {
+		if execs[e] == 0 {
+			t.Errorf("missing executable %s", e)
+		}
+	}
+	// One projection and one background per image.
+	if execs["mProjectPP"] != execs["mBackground"] {
+		t.Errorf("proj=%d bg=%d should match", execs["mProjectPP"], execs["mBackground"])
+	}
+	// Diffs outnumber projections (overlapping pairs).
+	if execs["mDiffFit"] < execs["mProjectPP"]-1 {
+		t.Errorf("too few diffs: %d", execs["mDiffFit"])
+	}
+	// Single final jpeg leaf.
+	leaves := w.Leaves()
+	if len(leaves) != 1 || leaves[0] != "jpeg" {
+		t.Errorf("leaves %v", leaves)
+	}
+}
+
+func TestMontageScalesWithDegree(t *testing.T) {
+	w1, _ := Montage(1, rng(1))
+	w4, _ := Montage(4, rng(1))
+	w8, _ := Montage(8, rng(1))
+	if !(w1.Len() < w4.Len() && w4.Len() < w8.Len()) {
+		t.Errorf("sizes not increasing: %d %d %d", w1.Len(), w4.Len(), w8.Len())
+	}
+	if w1.Len() < 20 {
+		t.Errorf("Montage-1 too small: %d", w1.Len())
+	}
+	if _, err := Montage(0, rng(1)); err == nil {
+		t.Error("degree 0 accepted")
+	}
+}
+
+func TestMontageDeterministicGivenSeed(t *testing.T) {
+	a, _ := Montage(2, rng(99))
+	b, _ := Montage(2, rng(99))
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for _, ta := range a.Tasks {
+		tb := b.Task(ta.ID)
+		if tb == nil || tb.CPUSeconds != ta.CPUSeconds {
+			t.Fatalf("task %s differs between same-seed runs", ta.ID)
+		}
+	}
+}
+
+func TestLigoStructure(t *testing.T) {
+	w, err := Ligo(3, rng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3*22 {
+		t.Errorf("ligo size %d, want 66", w.Len())
+	}
+	// Each block: thinca1 has 5 inspiral parents, feeds 5 trigbanks.
+	if got := len(w.Parents("b00_thinca1")); got != 5 {
+		t.Errorf("thinca1 parents %d", got)
+	}
+	if got := len(w.Children("b00_thinca1")); got != 5 {
+		t.Errorf("thinca1 children %d", got)
+	}
+	if _, err := Ligo(0, rng(1)); err == nil {
+		t.Error("0 blocks accepted")
+	}
+}
+
+func TestEpigenomicsStructure(t *testing.T) {
+	w, err := Epigenomics(2, 4, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lanes*(4*chunks+2)+3 = 2*(16+2)+3 = 39.
+	if w.Len() != 39 {
+		t.Errorf("epigenomics size %d, want 39", w.Len())
+	}
+	if leaves := w.Leaves(); len(leaves) != 1 || leaves[0] != "pileup" {
+		t.Errorf("leaves %v", leaves)
+	}
+	// Chains inside a lane: filter -> sol -> bfq -> map.
+	if ps := w.Parents("l00_c00_map"); len(ps) != 1 || ps[0] != "l00_c00_bfq" {
+		t.Errorf("map parents %v", ps)
+	}
+	if _, err := Epigenomics(0, 1, rng(1)); err == nil {
+		t.Error("0 lanes accepted")
+	}
+}
+
+func TestCyberShakeStructure(t *testing.T) {
+	w, err := CyberShake(2, 3, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// variations*(1+2*perVar)+2 = 2*7+2 = 16.
+	if w.Len() != 16 {
+		t.Errorf("cybershake size %d, want 16", w.Len())
+	}
+	if _, err := CyberShake(0, 1, rng(1)); err == nil {
+		t.Error("0 variations accepted")
+	}
+}
+
+func TestPipelineStructure(t *testing.T) {
+	w, err := Pipeline(5, rng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 5 {
+		t.Fatalf("pipeline size %d", w.Len())
+	}
+	// Strictly linear: single root, single leaf, everyone else 1-in 1-out.
+	if len(w.Roots()) != 1 || len(w.Leaves()) != 1 {
+		t.Error("pipeline not linear")
+	}
+	ms, _, err := w.Makespan(map[string]float64{"ID01": 1, "ID02": 1, "ID03": 1, "ID04": 1, "ID05": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 5 {
+		t.Errorf("pipeline makespan %v, want 5 (sequential)", ms)
+	}
+	if _, err := Pipeline(0, rng(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestBySizeApproximatesTargets(t *testing.T) {
+	for _, app := range []App{AppMontage, AppLigo, AppEpigenomics, AppCyberShake, AppPipeline} {
+		for _, n := range []int{20, 100, 1000} {
+			w, err := BySize(app, n, rng(6))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", app, n, err)
+			}
+			if err := w.Validate(); err != nil {
+				t.Fatalf("%s/%d: %v", app, n, err)
+			}
+			// Within a factor of 3 of the requested size (structure is quantized).
+			if w.Len() < n/3 || w.Len() > n*3 {
+				t.Errorf("%s size %d for target %d out of range", app, w.Len(), n)
+			}
+		}
+	}
+	if _, err := BySize("nosuch", 10, rng(1)); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := BySize(AppMontage, 0, rng(1)); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+// All generators must produce validated DAGs with positive CPU seconds and
+// non-negative file sizes.
+func TestGeneratorInvariants(t *testing.T) {
+	gens := map[string]func() (*dag.Workflow, error){
+		"montage":     func() (*dag.Workflow, error) { return Montage(3, rng(7)) },
+		"ligo":        func() (*dag.Workflow, error) { return Ligo(4, rng(7)) },
+		"epigenomics": func() (*dag.Workflow, error) { return Epigenomics(3, 5, rng(7)) },
+		"cybershake":  func() (*dag.Workflow, error) { return CyberShake(3, 4, rng(7)) },
+		"pipeline":    func() (*dag.Workflow, error) { return Pipeline(10, rng(7)) },
+	}
+	for name, gen := range gens {
+		w, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, task := range w.Tasks {
+			if task.CPUSeconds <= 0 {
+				t.Errorf("%s/%s: non-positive CPU seconds", name, task.ID)
+			}
+			for _, f := range append(task.Inputs, task.Outputs...) {
+				if f.SizeMB < 0 {
+					t.Errorf("%s/%s: negative file size %v", name, task.ID, f.SizeMB)
+				}
+				if f.Name == "" {
+					t.Errorf("%s/%s: unnamed file", name, task.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package wlog implements the WLog declarative language of §4: ProLog syntax
+// extended with workflow/cloud constructs — import(...) facts, minimize/
+// maximize goals, probabilistic deadline(p,d) and budget(p,b) constraints
+// with percentage and duration literals (95%, 10h), optimization-variable
+// declarations ("configs(Tid,Vid,Con) forall task(Tid) and vm(Vid)"), and
+// the enabled(astar) switch for heuristic search.
+package wlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokAtom
+	tokVar
+	tokNumber
+	tokPunct // ( ) [ ] , | .
+	tokOp    // :- is < > =< >= == \== =:= =\= + - * / = ; ! \+
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64 // valid for tokNumber, with units applied
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("wlog: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipSpace consumes whitespace and comments (% line, /* */ block).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// unitFactor maps a literal unit suffix to a multiplier into base units
+// (seconds for durations; percentages divide by 100).
+var unitFactor = map[string]float64{
+	"%": 0.01,
+	"s": 1, "m": 60, "h": 3600, "d": 86400,
+}
+
+func isAtomStart(r rune) bool { return unicode.IsLower(r) }
+func isVarStart(r rune) bool  { return unicode.IsUpper(r) || r == '_' }
+func isIdent(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' && unicode.IsDigit(l.peekAt(1)) {
+			l.advance()
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := string(l.src[start:l.pos])
+		n, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return tok, l.errf("bad number %q", text)
+		}
+		// Unit suffix: %, s, m, h, d — only when not the start of a longer
+		// identifier (so "10h" is 36000 but "10hello" is an error).
+		if f, ok := unitFactor[string(l.peek())]; ok && !isIdent(l.peekAt(1)) {
+			suffix := l.advance()
+			if suffix == '%' {
+				n /= 100 // divide, not multiply by 0.01: keeps 95% == 0.95 exactly
+			} else {
+				n *= f
+			}
+			text += string(suffix)
+		}
+		tok.kind = tokNumber
+		tok.text = text
+		tok.num = n
+		return tok, nil
+
+	case isAtomStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		tok.kind = tokAtom
+		tok.text = string(l.src[start:l.pos])
+		return tok, nil
+
+	case isVarStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		tok.kind = tokVar
+		tok.text = string(l.src[start:l.pos])
+		return tok, nil
+
+	case r == '\'':
+		// Quoted atom.
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, l.errf("unterminated quoted atom")
+			}
+			c := l.advance()
+			if c == '\'' {
+				break
+			}
+			b.WriteRune(c)
+		}
+		tok.kind = tokAtom
+		tok.text = b.String()
+		return tok, nil
+
+	case strings.ContainsRune("()[],|.", r):
+		// '.' could start ':-'? No — just punct. But distinguish the
+		// end-of-clause '.' from a decimal point (handled in number case).
+		l.advance()
+		tok.kind = tokPunct
+		tok.text = string(r)
+		return tok, nil
+
+	default:
+		// Operators, longest match first.
+		ops := []string{":-", "?-", "=<", ">=", "==", "\\==", "=:=", "=\\=", "\\+",
+			"<", ">", "+", "-", "*", "/", "=", ";", "!"}
+		rest := string(l.src[l.pos:])
+		for _, op := range ops {
+			if strings.HasPrefix(rest, op) {
+				for range op {
+					l.advance()
+				}
+				tok.kind = tokOp
+				tok.text = op
+				return tok, nil
+			}
+		}
+		return tok, l.errf("unexpected character %q", r)
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package wlog
+
+import (
+	"fmt"
+
+	"deco/internal/prolog"
+)
+
+// Goal is the optimization objective: minimize or maximize Var, which Query
+// binds (e.g. "minimize Ct in totalcost(Ct)").
+type Goal struct {
+	Maximize bool
+	Var      prolog.Term
+	Query    prolog.Term
+}
+
+// Constraint is a probabilistic requirement: Var, bound by Query, must
+// satisfy the deadline/budget built-in (e.g. "T in maxtime(Path,T) satisfies
+// deadline(95%,10h)").
+type Constraint struct {
+	Var   prolog.Term
+	Query prolog.Term
+	// Kind is "deadline" (bound on time) or "budget" (bound on cost).
+	Kind string
+	// Percentile p of the probabilistic notion P(X <= Bound) >= p, in [0,1].
+	// The sentinel -1 selects the deterministic notion (expected value <=
+	// Bound), written deadline(mean, D) — used by dynamic problems such as
+	// follow-the-cost (§3.3).
+	Percentile float64
+	// Bound in base units (seconds for deadlines, dollars for budgets).
+	Bound float64
+}
+
+// VarDecl declares the optimization variables: Template instantiated for
+// every solution of the generator conjunction ("configs(Tid,Vid,Con) forall
+// task(Tid) and vm(Vid)").
+type VarDecl struct {
+	Template   prolog.Term
+	Generators []prolog.Term
+}
+
+// Program is a parsed WLog program.
+type Program struct {
+	Imports     []string
+	Goal        *Goal
+	Constraints []Constraint
+	Decls       []VarDecl
+	Rules       []*prolog.Clause
+	AStar       bool
+}
+
+// HasRule reports whether the program defines the given predicate itself
+// (which overrides any engine-native implementation).
+func (p *Program) HasRule(functor string, arity int) bool {
+	for _, r := range p.Rules {
+		ind, err := prolog.IndicatorOf(r.Head)
+		if err == nil && ind.Functor == functor && ind.Arity == arity {
+			return true
+		}
+	}
+	return false
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	vars map[string]*prolog.Var // per-statement variable scope
+}
+
+// Parse parses WLog source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		if err := p.statement(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token    { return p.toks[p.pos] }
+func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("wlog: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, found %s", s, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectAtom(s string) error {
+	t := p.peek()
+	if t.kind != tokAtom || t.text != s {
+		return p.errf(t, "expected %q, found %s", s, t)
+	}
+	p.advance()
+	return nil
+}
+
+// atPunct reports whether the next token is the given punctuation.
+func (p *parser) atPunct(s string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == s
+}
+
+// atAtom reports whether the next token is the given atom.
+func (p *parser) atAtom(s string) bool {
+	t := p.peek()
+	return t.kind == tokAtom && t.text == s
+}
+
+// statement parses one top-level WLog statement into prog.
+func (p *parser) statement(prog *Program) error {
+	p.vars = map[string]*prolog.Var{}
+	t := p.peek()
+
+	// import(name).
+	if t.kind == tokAtom && t.text == "import" && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+		p.advance()
+		p.advance()
+		name := p.peek()
+		if name.kind != tokAtom {
+			return p.errf(name, "import needs an atom, found %s", name)
+		}
+		p.advance()
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		prog.Imports = append(prog.Imports, name.text)
+		return nil
+	}
+
+	// minimize/maximize Var in Query.
+	if t.kind == tokAtom && (t.text == "minimize" || t.text == "maximize") {
+		if prog.Goal != nil {
+			return p.errf(t, "duplicate optimization goal")
+		}
+		p.advance()
+		v, err := p.term(1200)
+		if err != nil {
+			return err
+		}
+		if err := p.expectAtom("in"); err != nil {
+			return err
+		}
+		q, err := p.term(1200)
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		prog.Goal = &Goal{Maximize: t.text == "maximize", Var: v, Query: q}
+		return nil
+	}
+
+	// enabled(astar).
+	if t.kind == tokAtom && t.text == "enabled" && p.toks[p.pos+1].text == "(" {
+		p.advance()
+		p.advance()
+		feat := p.peek()
+		if feat.kind != tokAtom {
+			return p.errf(feat, "enabled needs an atom")
+		}
+		p.advance()
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		switch feat.text {
+		case "astar":
+			prog.AStar = true
+		default:
+			return p.errf(feat, "unknown feature %q in enabled/1", feat.text)
+		}
+		return nil
+	}
+
+	// General term, then dispatch on what follows.
+	head, err := p.term(1200)
+	if err != nil {
+		return err
+	}
+	next := p.peek()
+	switch {
+	case next.kind == tokOp && next.text == ":-":
+		p.advance()
+		var body []prolog.Term
+		for {
+			g, err := p.term(999)
+			if err != nil {
+				return err
+			}
+			body = append(body, g)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		prog.Rules = append(prog.Rules, &prolog.Clause{Head: head, Body: body})
+		return nil
+
+	case next.kind == tokAtom && next.text == "in":
+		// Constraint: Var in Query satisfies deadline(p,d)/budget(p,b).
+		p.advance()
+		q, err := p.term(1200)
+		if err != nil {
+			return err
+		}
+		if err := p.expectAtom("satisfies"); err != nil {
+			return err
+		}
+		ct, err := p.term(1200)
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		cons, err := parseConstraintTerm(head, q, ct)
+		if err != nil {
+			return p.errf(next, "%v", err)
+		}
+		prog.Constraints = append(prog.Constraints, *cons)
+		return nil
+
+	case next.kind == tokAtom && next.text == "forall":
+		p.advance()
+		var gens []prolog.Term
+		for {
+			g, err := p.term(999)
+			if err != nil {
+				return err
+			}
+			gens = append(gens, g)
+			if p.atAtom("and") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		prog.Decls = append(prog.Decls, VarDecl{Template: head, Generators: gens})
+		return nil
+
+	case next.kind == tokPunct && next.text == ".":
+		p.advance()
+		prog.Rules = append(prog.Rules, &prolog.Clause{Head: head})
+		return nil
+	}
+	return p.errf(next, "expected ':-', 'in', 'forall' or '.', found %s", next)
+}
+
+// parseConstraintTerm interprets the term after "satisfies".
+func parseConstraintTerm(v, q, ct prolog.Term) (*Constraint, error) {
+	c, ok := prolog.Deref(ct).(*prolog.Compound)
+	if !ok || (c.Functor != "deadline" && c.Functor != "budget") || len(c.Args) != 2 {
+		return nil, fmt.Errorf("constraint must be deadline(p,d) or budget(p,b), found %s", ct)
+	}
+	cons := &Constraint{Var: v, Query: q, Kind: c.Functor}
+	switch arg := prolog.Deref(c.Args[0]).(type) {
+	case prolog.Number:
+		pct := float64(arg)
+		if pct <= 0 || pct > 1 {
+			return nil, fmt.Errorf("%s percentile %v out of (0,1]; write e.g. 95%%", c.Functor, pct)
+		}
+		cons.Percentile = pct
+	case prolog.Atom:
+		if arg != "mean" {
+			return nil, fmt.Errorf("%s first argument must be a percentage or 'mean', found %s", c.Functor, arg)
+		}
+		cons.Percentile = -1
+	default:
+		return nil, fmt.Errorf("%s first argument must be a percentage or 'mean', found %s", c.Functor, c.Args[0])
+	}
+	b, ok := prolog.Deref(c.Args[1]).(prolog.Number)
+	if !ok {
+		return nil, fmt.Errorf("%s bound must be a number, found %s", c.Functor, c.Args[1])
+	}
+	if b < 0 {
+		return nil, fmt.Errorf("%s bound must be non-negative, found %v", c.Functor, float64(b))
+	}
+	cons.Bound = float64(b)
+	return cons, nil
+}
+
+// binary operator precedence table (lower binds tighter; Prolog convention).
+var binPrec = map[string]int{
+	"is": 700, "<": 700, ">": 700, "=<": 700, ">=": 700,
+	"==": 700, "\\==": 700, "=:=": 700, "=\\=": 700, "=": 700,
+	"+": 500, "-": 500,
+	"*": 400, "/": 400,
+	";": 1100,
+}
+
+// term parses a term with operators of precedence <= maxPrec.
+func (p *parser) term(maxPrec int) (prolog.Term, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op string
+		if t.kind == tokOp {
+			op = t.text
+		} else if t.kind == tokAtom && t.text == "is" {
+			op = "is"
+		} else {
+			break
+		}
+		prec, ok := binPrec[op]
+		if !ok || prec > maxPrec {
+			break
+		}
+		p.advance()
+		// Left-associative: the right operand binds tighter.
+		right, err := p.term(prec - 1)
+		if err != nil {
+			return nil, err
+		}
+		left = prolog.Comp(op, left, right)
+	}
+	return left, nil
+}
+
+// primary parses an operand: number, variable, atom/compound, list,
+// parenthesized term, unary minus, negation, cut.
+func (p *parser) primary() (prolog.Term, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return prolog.Number(t.num), nil
+
+	case t.kind == tokVar:
+		p.advance()
+		if t.text == "_" {
+			return prolog.NewVar("_"), nil
+		}
+		if v, ok := p.vars[t.text]; ok {
+			return v, nil
+		}
+		v := prolog.NewVar(t.text)
+		p.vars[t.text] = v
+		return v, nil
+
+	case t.kind == tokAtom:
+		p.advance()
+		if p.atPunct("(") {
+			p.advance()
+			var args []prolog.Term
+			for {
+				a, err := p.term(999)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.atPunct(",") {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return prolog.Comp(t.text, args...), nil
+		}
+		return prolog.Atom(t.text), nil
+
+	case t.kind == tokPunct && t.text == "[":
+		p.advance()
+		if p.atPunct("]") {
+			p.advance()
+			return prolog.EmptyList, nil
+		}
+		var items []prolog.Term
+		for {
+			a, err := p.term(999)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, a)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		var tail prolog.Term = prolog.EmptyList
+		if p.atPunct("|") {
+			p.advance()
+			var err error
+			tail, err = p.term(999)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		list := tail
+		for i := len(items) - 1; i >= 0; i-- {
+			list = prolog.Cons(items[i], list)
+		}
+		return list, nil
+
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		inner, err := p.term(1200)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+
+	case t.kind == tokOp && t.text == "-":
+		p.advance()
+		operand, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := operand.(prolog.Number); ok {
+			return prolog.Number(-float64(n)), nil
+		}
+		return prolog.Comp("-", operand), nil
+
+	case t.kind == tokOp && t.text == "\\+":
+		p.advance()
+		operand, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return prolog.Comp("\\+", operand), nil
+
+	case t.kind == tokOp && t.text == "!":
+		p.advance()
+		return prolog.Atom("!"), nil
+	}
+	return nil, p.errf(t, "unexpected token %s", t)
+}

@@ -1,0 +1,141 @@
+package wlog
+
+import (
+	"fmt"
+	"strings"
+
+	"deco/internal/prolog"
+)
+
+// This file renders parsed programs back to WLog source. Rendering is the
+// inverse of Parse up to whitespace and comments: Parse(Render(p)) yields a
+// structurally identical program, which the tests assert — a strong check
+// on both the parser and the AST.
+
+// renderTerm writes a term in parseable WLog syntax (operators infix,
+// lists bracketed).
+func renderTerm(t prolog.Term) string {
+	t = prolog.Deref(t)
+	switch tt := t.(type) {
+	case prolog.Atom:
+		return renderAtom(string(tt))
+	case prolog.Number:
+		return tt.String()
+	case *prolog.Var:
+		if tt.Name == "" || tt.Name == "_" {
+			return "_"
+		}
+		return tt.Name
+	case *prolog.Compound:
+		// Lists.
+		if tt.Functor == "." && len(tt.Args) == 2 {
+			return renderList(tt)
+		}
+		// Binary operators parse back as operators.
+		if _, isOp := binPrec[tt.Functor]; isOp && len(tt.Args) == 2 {
+			return fmt.Sprintf("(%s %s %s)", renderTerm(tt.Args[0]), tt.Functor, renderTerm(tt.Args[1]))
+		}
+		if tt.Functor == "\\+" && len(tt.Args) == 1 {
+			return "\\+ " + renderTerm(tt.Args[0])
+		}
+		if tt.Functor == "-" && len(tt.Args) == 1 {
+			return "-" + renderTerm(tt.Args[0])
+		}
+		parts := make([]string, len(tt.Args))
+		for i, a := range tt.Args {
+			parts[i] = renderTerm(a)
+		}
+		return fmt.Sprintf("%s(%s)", renderAtom(tt.Functor), strings.Join(parts, ", "))
+	}
+	return "?"
+}
+
+// renderAtom quotes atoms that would not lex as plain atoms.
+func renderAtom(s string) string {
+	if s == "" {
+		return "''"
+	}
+	plain := s[0] >= 'a' && s[0] <= 'z'
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_') {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return s
+	}
+	return "'" + s + "'"
+}
+
+func renderList(c *prolog.Compound) string {
+	var items []string
+	var t prolog.Term = c
+	for {
+		cc, ok := prolog.Deref(t).(*prolog.Compound)
+		if !ok || cc.Functor != "." || len(cc.Args) != 2 {
+			break
+		}
+		items = append(items, renderTerm(cc.Args[0]))
+		t = prolog.Deref(cc.Args[1])
+	}
+	if a, ok := prolog.Deref(t).(prolog.Atom); ok && a == "[]" {
+		return "[" + strings.Join(items, ", ") + "]"
+	}
+	return "[" + strings.Join(items, ", ") + " | " + renderTerm(t) + "]"
+}
+
+// renderConstraint writes a percentile/bound pair back in parseable syntax.
+// The percentile renders as a plain probability (0.95 rather than 95%) so
+// the round trip is exact in floating point; bounds are plain seconds or
+// dollars.
+func renderConstraint(c Constraint) string {
+	pct := "mean"
+	if c.Percentile >= 0 {
+		pct = fmt.Sprintf("%g", c.Percentile)
+	}
+	return fmt.Sprintf("%s in %s satisfies %s(%s, %g).",
+		renderTerm(c.Var), renderTerm(c.Query), c.Kind, pct, c.Bound)
+}
+
+// Render writes the program back as WLog source.
+func (p *Program) Render() string {
+	var b strings.Builder
+	for _, imp := range p.Imports {
+		fmt.Fprintf(&b, "import(%s).\n", renderAtom(imp))
+	}
+	if p.Goal != nil {
+		verb := "minimize"
+		if p.Goal.Maximize {
+			verb = "maximize"
+		}
+		fmt.Fprintf(&b, "%s %s in %s.\n", verb, renderTerm(p.Goal.Var), renderTerm(p.Goal.Query))
+	}
+	for _, c := range p.Constraints {
+		b.WriteString(renderConstraint(c))
+		b.WriteByte('\n')
+	}
+	for _, d := range p.Decls {
+		gens := make([]string, len(d.Generators))
+		for i, g := range d.Generators {
+			gens[i] = renderTerm(g)
+		}
+		fmt.Fprintf(&b, "%s forall %s.\n", renderTerm(d.Template), strings.Join(gens, " and "))
+	}
+	if p.AStar {
+		b.WriteString("enabled(astar).\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(renderTerm(r.Head))
+		for i, g := range r.Body {
+			if i == 0 {
+				b.WriteString(" :- ")
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderTerm(g))
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}

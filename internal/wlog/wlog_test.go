@@ -1,0 +1,387 @@
+package wlog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deco/internal/prolog"
+)
+
+// example1 is the WLog program of Example 1 in the paper (workflow
+// scheduling: minimize monetary cost under a 95% probabilistic deadline).
+const example1 = `
+import(amazonec2).
+import(montage).
+minimize Ct in totalcost(Ct).
+T in maxtime(Path,T) satisfies deadline(95%,10h).
+configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+
+/*calculate the time on the edge from X to Y*/
+path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+  configs(X,Vid,Con), Con==1, Tp is T.
+/*calculate the time on the path from X to Y, with Z as the next hop for X*/
+path(X,Y,Z,Tp) :- edge(X,Z), Z\==Y,
+  path(Z,Y,Z2,T1), exetime(X,Vid,T),
+  configs(X,Vid,Con), Con==1, Tp is T+T1.
+/*calculate the time on the critical path from root to tail*/
+maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set), max(Set, [Path,T]).
+/*calculate the cost of Tid executing on Vid*/
+cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T), configs(Tid,Vid,Con), C is T*Up*Con.
+/*calculate the total cost of all tasks*/
+totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+`
+
+func TestParseExample1(t *testing.T) {
+	prog, err := Parse(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Imports) != 2 || prog.Imports[0] != "amazonec2" || prog.Imports[1] != "montage" {
+		t.Errorf("imports %v", prog.Imports)
+	}
+	if prog.Goal == nil || prog.Goal.Maximize {
+		t.Fatal("goal missing or wrong direction")
+	}
+	if prog.Goal.Query.String() != "totalcost(Ct)" {
+		t.Errorf("goal query %s", prog.Goal.Query)
+	}
+	// Goal var is shared with the query.
+	gq := prog.Goal.Query.(*prolog.Compound)
+	if prog.Goal.Var != gq.Args[0] {
+		t.Error("goal variable not shared with query")
+	}
+	if len(prog.Constraints) != 1 {
+		t.Fatalf("constraints %d", len(prog.Constraints))
+	}
+	c := prog.Constraints[0]
+	if c.Kind != "deadline" {
+		t.Errorf("kind %s", c.Kind)
+	}
+	if c.Percentile != 0.95 {
+		t.Errorf("percentile %v, want 0.95", c.Percentile)
+	}
+	if c.Bound != 36000 {
+		t.Errorf("bound %v, want 36000 (10h)", c.Bound)
+	}
+	if len(prog.Decls) != 1 {
+		t.Fatalf("decls %d", len(prog.Decls))
+	}
+	d := prog.Decls[0]
+	if d.Template.String() != "configs(Tid,Vid,Con)" {
+		t.Errorf("template %s", d.Template)
+	}
+	if len(d.Generators) != 2 || d.Generators[0].String() != "task(Tid)" || d.Generators[1].String() != "vm(Vid)" {
+		t.Errorf("generators %v", d.Generators)
+	}
+	if len(prog.Rules) != 5 {
+		t.Fatalf("rules %d, want 5", len(prog.Rules))
+	}
+	if !prog.HasRule("totalcost", 1) || !prog.HasRule("path", 4) {
+		t.Error("HasRule misses defined predicates")
+	}
+	if prog.HasRule("makespan", 1) {
+		t.Error("HasRule invents predicates")
+	}
+	if prog.AStar {
+		t.Error("astar should be off")
+	}
+}
+
+func TestParseAStarHints(t *testing.T) {
+	src := `
+enabled(astar).
+cal_g_score(C) :- totalcost(C).
+est_h_score(C) :- totalcost(C).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.AStar {
+		t.Error("astar not enabled")
+	}
+	if !prog.HasRule("cal_g_score", 1) || !prog.HasRule("est_h_score", 1) {
+		t.Error("score rules missing")
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	cases := []struct {
+		src  string
+		pct  float64
+		bnd  float64
+		kind string
+	}{
+		{"T in q(T) satisfies deadline(90%, 2h).", 0.90, 7200, "deadline"},
+		{"T in q(T) satisfies deadline(99.9%, 30m).", 0.999, 1800, "deadline"},
+		{"T in q(T) satisfies deadline(mean, 45s).", -1, 45, "deadline"},
+		{"C in q(C) satisfies budget(96%, 100).", 0.96, 100, "budget"},
+		{"T in q(T) satisfies deadline(95%, 1d).", 0.95, 86400, "deadline"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		got := prog.Constraints[0]
+		if math.Abs(got.Percentile-c.pct) > 1e-12 || got.Bound != c.bnd || got.Kind != c.kind {
+			t.Errorf("%s: got %+v", c.src, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad import", "import(X)."},
+		{"unterminated", "p(a"},
+		{"missing dot", "p(a)"},
+		{"bad constraint kind", "T in q(T) satisfies speedlimit(95%, 10h)."},
+		{"percentile over 1", "T in q(T) satisfies deadline(500%, 10h)."},
+		{"percentile zero", "T in q(T) satisfies deadline(0%, 10h)."},
+		{"bad percentile atom", "T in q(T) satisfies deadline(median, 10h)."},
+		{"non-number bound", "T in q(T) satisfies deadline(95%, soon)."},
+		{"negative bound", "T in q(T) satisfies deadline(95%, -3)."},
+		{"duplicate goal", "minimize X in c(X). minimize Y in c(Y)."},
+		{"bad enabled", "enabled(warpdrive)."},
+		{"unterminated comment", "/* hello"},
+		{"unexpected char", "p(a) @ q."},
+		{"number ident", "p(10hello)."},
+		{"unterminated quote", "p('abc)."},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestVariableScopePerStatement(t *testing.T) {
+	prog, err := Parse("p(X) :- q(X).\nr(X) :- s(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := prog.Rules[0].Head.(*prolog.Compound).Args[0]
+	x2 := prog.Rules[1].Head.(*prolog.Compound).Args[0]
+	if x1 == x2 {
+		t.Error("variables leak across clauses")
+	}
+	// Within a clause, same name is the same variable.
+	bx := prog.Rules[0].Body[0].(*prolog.Compound).Args[0]
+	if x1 != bx {
+		t.Error("variable not shared within clause")
+	}
+}
+
+func TestUnderscoreAlwaysFresh(t *testing.T) {
+	prog, err := Parse("p(_, _).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := prog.Rules[0].Head.(*prolog.Compound).Args
+	if args[0] == args[1] {
+		t.Error("underscores unified")
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	prog, err := Parse("p(C) :- C is 1+2*3-4.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prolog.NewMachine()
+	for _, r := range prog.Rules {
+		if err := m.Assert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := prolog.NewVar("V")
+	res, found, err := m.Once(v, prolog.Comp("p", v))
+	if err != nil || !found {
+		t.Fatalf("eval: %v %v", found, err)
+	}
+	if res != prolog.Number(3) {
+		t.Errorf("1+2*3-4 = %v, want 3", res)
+	}
+}
+
+func TestListsAndNegation(t *testing.T) {
+	prog, err := Parse(`p([1,2|T], T). q(X) :- \+ member(X, [a,b]).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules %d", len(prog.Rules))
+	}
+	if !strings.HasPrefix(prog.Rules[0].Head.String(), "p([1,2|") {
+		t.Errorf("list head %s", prog.Rules[0].Head)
+	}
+	m := prolog.NewMachine()
+	for _, r := range prog.Rules {
+		if err := m.Assert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := m.Query(prolog.Comp("q", prolog.Atom("z")))
+	if err != nil || !ok {
+		t.Fatalf("negation rule: %v %v", ok, err)
+	}
+	ok, _ = m.Query(prolog.Comp("q", prolog.Atom("a")))
+	if ok {
+		t.Error("q(a) should fail")
+	}
+}
+
+func TestQuotedAtomsAndComments(t *testing.T) {
+	prog, err := Parse(`
+% line comment
+p('m1.small'). /* block
+comment */ p('m1.xlarge').
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules %d", len(prog.Rules))
+	}
+	if prog.Rules[0].Head.String() != "p(m1.small)" {
+		t.Errorf("quoted atom %s", prog.Rules[0].Head)
+	}
+}
+
+func TestNegativeNumbersAndUnaryMinus(t *testing.T) {
+	prog, err := Parse("p(-5). q(X, Y) :- Y is -X.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Head.String() != "p(-5)" {
+		t.Errorf("negative literal %s", prog.Rules[0].Head)
+	}
+	m := prolog.NewMachine()
+	for _, r := range prog.Rules {
+		_ = m.Assert(r)
+	}
+	v := prolog.NewVar("V")
+	res, found, err := m.Once(v, prolog.Comp("q", prolog.Number(7), v))
+	if err != nil || !found || res != prolog.Number(-7) {
+		t.Errorf("unary minus: %v %v %v", res, found, err)
+	}
+}
+
+func TestCutParses(t *testing.T) {
+	prog, err := Parse("first(X) :- p(X), !.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules[0].Body) != 2 || prog.Rules[0].Body[1] != prolog.Atom("!") {
+		t.Errorf("cut body %v", prog.Rules[0].Body)
+	}
+}
+
+func TestDisjunctionParses(t *testing.T) {
+	prog, err := Parse("p(X) :- (q(X) ; r(X)).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := prog.Rules[0].Body[0].(*prolog.Compound)
+	if b.Functor != ";" {
+		t.Errorf("disjunction %s", b)
+	}
+}
+
+// structurallyEqual compares two programs modulo variable identity.
+func structurallyEqual(t *testing.T, a, b *Program) {
+	t.Helper()
+	if len(a.Imports) != len(b.Imports) || len(a.Constraints) != len(b.Constraints) ||
+		len(a.Decls) != len(b.Decls) || len(a.Rules) != len(b.Rules) || a.AStar != b.AStar {
+		t.Fatalf("structure differs:\nA: %+v\nB: %+v", a, b)
+	}
+	for i := range a.Imports {
+		if a.Imports[i] != b.Imports[i] {
+			t.Errorf("import %d: %q vs %q", i, a.Imports[i], b.Imports[i])
+		}
+	}
+	if (a.Goal == nil) != (b.Goal == nil) {
+		t.Fatal("goal presence differs")
+	}
+	if a.Goal != nil {
+		if a.Goal.Maximize != b.Goal.Maximize || a.Goal.Query.String() != b.Goal.Query.String() {
+			t.Errorf("goal differs: %s vs %s", a.Goal.Query, b.Goal.Query)
+		}
+	}
+	for i := range a.Constraints {
+		ca, cb := a.Constraints[i], b.Constraints[i]
+		if ca.Kind != cb.Kind || ca.Percentile != cb.Percentile || ca.Bound != cb.Bound ||
+			ca.Query.String() != cb.Query.String() {
+			t.Errorf("constraint %d differs: %+v vs %+v", i, ca, cb)
+		}
+	}
+	for i := range a.Rules {
+		if a.Rules[i].Head.String() != b.Rules[i].Head.String() ||
+			len(a.Rules[i].Body) != len(b.Rules[i].Body) {
+			t.Errorf("rule %d differs: %s vs %s", i, a.Rules[i].Head, b.Rules[i].Head)
+			continue
+		}
+		for j := range a.Rules[i].Body {
+			if a.Rules[i].Body[j].String() != b.Rules[i].Body[j].String() {
+				t.Errorf("rule %d body %d differs: %s vs %s", i, j,
+					a.Rules[i].Body[j], b.Rules[i].Body[j])
+			}
+		}
+	}
+}
+
+func TestRenderRoundTripExample1(t *testing.T) {
+	orig, err := Parse(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := orig.Render()
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, src)
+	}
+	structurallyEqual(t, orig, back)
+}
+
+func TestRenderRoundTripFeatures(t *testing.T) {
+	src := `
+import('my.cloud').
+maximize S in score(S).
+C in total(C) satisfies budget(mean, 42.5).
+admit(W, A) forall workflow(W) and active(W).
+enabled(astar).
+p([1, 2 | T], T).
+q(X) :- \+ member(X, [a, b]), Y is -X + 3*2, Y > 0.
+first(X) :- p(X, _), !.
+`
+	orig, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := orig.Render()
+	back, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, rendered)
+	}
+	structurallyEqual(t, orig, back)
+	// And the round trip is a fixed point: render(parse(render(p))) == render(p).
+	if back.Render() != rendered {
+		t.Errorf("render not idempotent:\nfirst:\n%s\nsecond:\n%s", rendered, back.Render())
+	}
+}
+
+func TestRenderQuotedAtoms(t *testing.T) {
+	prog, err := Parse(`p('m1.small'). q(simple).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prog.Render()
+	if !strings.Contains(out, "'m1.small'") {
+		t.Errorf("dotted atom not quoted: %s", out)
+	}
+	if strings.Contains(out, "'simple'") {
+		t.Errorf("plain atom needlessly quoted: %s", out)
+	}
+}

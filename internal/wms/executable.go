@@ -1,0 +1,70 @@
+package wms
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"deco/internal/dag"
+	"deco/internal/sim"
+)
+
+// This file renders the mapper's output: the "executable workflow" of §2,
+// which "contains information such as where to find the executable file of a
+// task and which site the task should execute on". Deco's provisioning plan
+// supplies the site (instance) per task; the XML is the concrete document a
+// Pegasus-like execution engine would distribute to cloud resources.
+
+type executableDoc struct {
+	XMLName xml.Name        `xml:"executable-workflow"`
+	Name    string          `xml:"name,attr"`
+	Sites   []siteElem      `xml:"site"`
+	Jobs    []executableJob `xml:"job"`
+}
+
+type siteElem struct {
+	ID     int    `xml:"id,attr"`
+	Type   string `xml:"instance-type,attr"`
+	Region string `xml:"region,attr"`
+}
+
+type executableJob struct {
+	ID         string  `xml:"id,attr"`
+	Executable string  `xml:"executable,attr"`
+	Site       int     `xml:"site,attr"`
+	Runtime    float64 `xml:"runtime,attr"`
+}
+
+// WriteExecutable renders the executable workflow for w under plan.
+func WriteExecutable(out io.Writer, w *dag.Workflow, plan *sim.Plan) error {
+	doc := executableDoc{Name: w.Name}
+	seen := map[int]sim.Placement{}
+	for _, t := range w.Tasks {
+		pl, ok := plan.Place[t.ID]
+		if !ok {
+			return fmt.Errorf("wms: plan missing task %q", t.ID)
+		}
+		seen[pl.Slot] = pl
+		doc.Jobs = append(doc.Jobs, executableJob{
+			ID: t.ID, Executable: t.Executable, Site: pl.Slot, Runtime: t.CPUSeconds,
+		})
+	}
+	slots := make([]int, 0, len(seen))
+	for s := range seen {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		doc.Sites = append(doc.Sites, siteElem{ID: s, Type: seen[s].Type, Region: seen[s].Region})
+	}
+	if _, err := io.WriteString(out, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(out)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("wms: %w", err)
+	}
+	return enc.Close()
+}

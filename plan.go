@@ -1,0 +1,84 @@
+package deco
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deco/internal/calib"
+	"deco/internal/estimate"
+	"deco/internal/opt"
+	"deco/internal/sim"
+)
+
+// Materialize turns the plan's type configuration into an executable
+// placement, applying the plan-level transformation operations (Merge and
+// Co-Scheduling pack compatible tasks onto shared instances to reuse
+// partial hours; Move is implicit in the serial ordering).
+func (p *Plan) Materialize() (*sim.Plan, error) {
+	if p.engine == nil {
+		return nil, fmt.Errorf("deco: plan is not attached to an engine")
+	}
+	tbl, err := p.engine.est.BuildTable(p.Workflow)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Consolidate(p.Workflow, p.Config, tbl, p.engine.region)
+}
+
+// Execute materializes the plan and runs it on the engine's cloud simulator
+// the given number of times, returning per-run realized makespan and cost.
+// The paper's Figures 1, 2, 8 and 11 are produced this way (100 runs each).
+func (p *Plan) Execute(runs int, seed int64) ([]*sim.Result, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("deco: runs must be >= 1")
+	}
+	splan, err := p.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.DefaultOptions(p.engine.cat, rand.New(rand.NewSource(seed))))
+	if err != nil {
+		return nil, err
+	}
+	return s.RunMany(p.Workflow, splan, runs)
+}
+
+// Calibrate runs the cloud-calibration micro-benchmarks (package calib)
+// against the engine's catalog and installs the measured histograms as the
+// engine's metadata store, returning the calibration report (Table 2).
+func (e *Engine) Calibrate(samples, bins int) (*calib.Result, error) {
+	opt := calib.DefaultOptions()
+	if samples > 0 {
+		opt.Samples = samples
+	}
+	if bins > 0 {
+		opt.Bins = bins
+	}
+	res, err := calib.Run(e.cat, opt, rand.New(rand.NewSource(e.seed)))
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Metadata.Validate(e.cat); err != nil {
+		return nil, err
+	}
+	// Install the measured histograms and rebuild the estimator over them.
+	e.meta = res.Metadata
+	e.est = estimate.New(e.cat, e.meta)
+	return res, nil
+}
+
+// WriteDOT renders the workflow in Graphviz DOT format with tasks colored by
+// their assigned instance type.
+func (p *Plan) WriteDOT(w io.Writer) error {
+	palette := map[string]string{
+		"m1.small":  "lightyellow",
+		"m1.medium": "lightblue",
+		"m1.large":  "lightgreen",
+		"m1.xlarge": "salmon",
+	}
+	asg := p.Assignments()
+	return p.Workflow.WriteDOT(w, func(id string) string {
+		return palette[asg[id]]
+	})
+}
