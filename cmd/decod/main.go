@@ -1,0 +1,74 @@
+// Command decod runs Deco as a provisioning-plan service: an HTTP/JSON API
+// over an asynchronous job manager with a worker pool and a content-addressed
+// plan cache. See the "Running Deco as a service" section of the README for
+// the endpoint reference and curl examples.
+//
+// Usage:
+//
+//	decod -addr :8080 -workers 4 -queue 128 -cache 512
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, accepted
+// jobs drain, and after -drain-timeout any still-running solves are
+// cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deco/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "solver worker pool size")
+	queue := flag.Int("queue", 64, "bounded queue depth; submissions beyond it get HTTP 429")
+	cache := flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
+	iters := flag.Int("iters", 100, "default Monte-Carlo iterations per state evaluation")
+	budget := flag.Int("budget", 4000, "default solver state-evaluation budget")
+	seed := flag.Int64("seed", 1, "default rng seed")
+	drain := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain bound")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Addr:                *addr,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheCapacity:       *cache,
+		DefaultIters:        *iters,
+		DefaultSearchBudget: *budget,
+		DefaultSeed:         *seed,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("decod: listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decod:", err)
+			os.Exit(1)
+		}
+		return
+	case <-ctx.Done():
+	}
+
+	log.Printf("decod: shutting down, draining jobs (bound %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "decod: shutdown:", err)
+		os.Exit(1)
+	}
+	log.Printf("decod: drained cleanly")
+}

@@ -22,6 +22,7 @@ import (
 	"deco/internal/dax"
 	"deco/internal/dist"
 	"deco/internal/probir"
+	"deco/internal/service"
 	"deco/internal/sim"
 	"deco/internal/wlog"
 )
@@ -87,18 +88,12 @@ func main() {
 		fatal(err)
 	}
 	if *asJSON {
-		doc := map[string]any{
-			"workflow":         plan.Workflow.Name,
-			"tasks":            plan.Workflow.Len(),
-			"feasible":         plan.Feasible,
-			"estimated_cost":   plan.EstimatedCost,
-			"objective":        plan.Objective,
-			"constraint_probs": plan.ConsProb,
-			"assignments":      plan.Assignments(),
-		}
+		// The canonical plan document of the decod service: assignments are
+		// an array sorted by task ID, so identical plans serialize to
+		// byte-identical JSON and diff cleanly run-to-run.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
+		if err := enc.Encode(service.PlanResultOf(plan)); err != nil {
 			fatal(err)
 		}
 		return

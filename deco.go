@@ -28,6 +28,7 @@
 package deco
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -216,6 +217,13 @@ func (p *Plan) Assignments() map[string]string {
 // the mean monetary cost subject to the probabilistic deadline. This is the
 // native path behind the standard WLog program of Example 1.
 func (e *Engine) Schedule(w *dag.Workflow, d Deadline) (*Plan, error) {
+	return e.ScheduleContext(context.Background(), w, d)
+}
+
+// ScheduleContext is Schedule with cancellation: the context is threaded into
+// the solver's search loop, which aborts between state evaluations and
+// returns the context's error (wrapped) when ctx is cancelled.
+func (e *Engine) ScheduleContext(ctx context.Context, w *dag.Workflow, d Deadline) (*Plan, error) {
 	if d.Seconds <= 0 {
 		return nil, fmt.Errorf("deco: deadline must be positive")
 	}
@@ -224,7 +232,7 @@ func (e *Engine) Schedule(w *dag.Workflow, d Deadline) (*Plan, error) {
 		pct = -1
 	}
 	cons := []wlog.Constraint{{Kind: "deadline", Percentile: pct, Bound: d.Seconds}}
-	return e.optimizeNative(w, probir.GoalCost, cons, false)
+	return e.optimizeNative(ctx, w, probir.GoalCost, cons, false)
 }
 
 // ScheduleForPerformance solves the dual problem the paper's introduction
@@ -236,6 +244,11 @@ func (e *Engine) Schedule(w *dag.Workflow, d Deadline) (*Plan, error) {
 //	minimize T in maxtime(Path,T).
 //	C in totalcost(C) satisfies budget(96%, 10).
 func (e *Engine) ScheduleForPerformance(w *dag.Workflow, b Budget) (*Plan, error) {
+	return e.ScheduleForPerformanceContext(context.Background(), w, b)
+}
+
+// ScheduleForPerformanceContext is ScheduleForPerformance with cancellation.
+func (e *Engine) ScheduleForPerformanceContext(ctx context.Context, w *dag.Workflow, b Budget) (*Plan, error) {
 	if b.Dollars <= 0 {
 		return nil, fmt.Errorf("deco: budget must be positive")
 	}
@@ -244,7 +257,7 @@ func (e *Engine) ScheduleForPerformance(w *dag.Workflow, b Budget) (*Plan, error
 		pct = -1
 	}
 	cons := []wlog.Constraint{{Kind: "budget", Percentile: pct, Bound: b.Dollars}}
-	return e.optimizeNative(w, probir.GoalMakespan, cons, false)
+	return e.optimizeNative(ctx, w, probir.GoalMakespan, cons, false)
 }
 
 // ScheduleConstrained solves the general form: a goal (cost or makespan)
@@ -252,6 +265,11 @@ func (e *Engine) ScheduleForPerformance(w *dag.Workflow, b Budget) (*Plan, error
 // both built-ins would. Constraints with zero bounds are skipped; at least
 // one must be set.
 func (e *Engine) ScheduleConstrained(w *dag.Workflow, minimizeCost bool, d Deadline, b Budget) (*Plan, error) {
+	return e.ScheduleConstrainedContext(context.Background(), w, minimizeCost, d, b)
+}
+
+// ScheduleConstrainedContext is ScheduleConstrained with cancellation.
+func (e *Engine) ScheduleConstrainedContext(ctx context.Context, w *dag.Workflow, minimizeCost bool, d Deadline, b Budget) (*Plan, error) {
 	var cons []wlog.Constraint
 	if d.Seconds > 0 {
 		pct := d.Percentile
@@ -274,10 +292,10 @@ func (e *Engine) ScheduleConstrained(w *dag.Workflow, minimizeCost bool, d Deadl
 	if minimizeCost {
 		goal = probir.GoalCost
 	}
-	return e.optimizeNative(w, goal, cons, false)
+	return e.optimizeNative(ctx, w, goal, cons, false)
 }
 
-func (e *Engine) optimizeNative(w *dag.Workflow, goal probir.GoalKind, cons []wlog.Constraint, astar bool) (*Plan, error) {
+func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probir.GoalKind, cons []wlog.Constraint, astar bool) (*Plan, error) {
 	prices, err := e.Prices()
 	if err != nil {
 		return nil, err
@@ -300,6 +318,7 @@ func (e *Engine) optimizeNative(w *dag.Workflow, goal probir.GoalKind, cons []wl
 	}
 	search := e.search
 	search.AStar = astar
+	search.Ctx = ctx
 	res, err := opt.Search(space, search)
 	if err != nil {
 		return nil, err
@@ -356,10 +375,25 @@ func resolveWorkflowImport(name string, rng *rand.Rand) (*dag.Workflow, error) {
 	return nil, fmt.Errorf("deco: unknown workflow import %q", name)
 }
 
+// NamedWorkflow generates (or loads, for .dax/.xml paths) the workflow an
+// import(name) atom would resolve to, seeding the synthetic generators with
+// seed. It is the public face of resolveWorkflowImport, used by the decod
+// service and available to any caller that wants the paper's benchmark
+// applications without writing a WLog program.
+func NamedWorkflow(name string, seed int64) (*dag.Workflow, error) {
+	return resolveWorkflowImport(name, rand.New(rand.NewSource(seed)))
+}
+
 // RunProgram parses and solves a WLog program. The workflow may be supplied
 // explicitly (overriding any workflow import); pass nil to let the program's
 // import(...) statements provide it.
 func (e *Engine) RunProgram(src string, w *dag.Workflow) (*Plan, error) {
+	return e.RunProgramContext(context.Background(), src, w)
+}
+
+// RunProgramContext is RunProgram with cancellation: ctx aborts the solver's
+// search between state evaluations.
+func (e *Engine) RunProgramContext(ctx context.Context, src string, w *dag.Workflow) (*Plan, error) {
 	prog, err := wlog.Parse(src)
 	if err != nil {
 		return nil, err
@@ -415,7 +449,7 @@ func (e *Engine) RunProgram(src string, w *dag.Workflow) (*Plan, error) {
 	// Exact interpretation: the program defines its own goal predicate and
 	// the workflow is small enough for per-world Prolog evaluation.
 	if prog.HasRule(goalInd.name, goalInd.arity) && w.Len() <= e.prologMaxTasks {
-		return eng.runProgramProlog(prog, w)
+		return eng.runProgramProlog(ctx, prog, w)
 	}
 
 	// Engine-native constructs (Table 1): recognize the standard goal names.
@@ -432,7 +466,7 @@ func (e *Engine) RunProgram(src string, w *dag.Workflow) (*Plan, error) {
 	if prog.Goal.Maximize {
 		return nil, fmt.Errorf("deco: the scheduling problem minimizes; use the ensemble API for maximization")
 	}
-	return eng.optimizeNative(w, goal, prog.Constraints, prog.AStar)
+	return eng.optimizeNative(ctx, w, goal, prog.Constraints, prog.AStar)
 }
 
 type indicator struct {
@@ -449,7 +483,7 @@ func goalIndicator(prog *wlog.Program) (indicator, error) {
 }
 
 // runProgramProlog interprets the program's own rules per sampled world.
-func (e *Engine) runProgramProlog(prog *wlog.Program, w *dag.Workflow) (*Plan, error) {
+func (e *Engine) runProgramProlog(ctx context.Context, prog *wlog.Program, w *dag.Workflow) (*Plan, error) {
 	prices, err := e.Prices()
 	if err != nil {
 		return nil, err
@@ -470,6 +504,7 @@ func (e *Engine) runProgramProlog(prog *wlog.Program, w *dag.Workflow) (*Plan, e
 	search := e.search
 	search.AStar = prog.AStar
 	search.Maximize = prog.Goal.Maximize
+	search.Ctx = ctx
 	res, err := opt.Search(space, search)
 	if err != nil {
 		return nil, err

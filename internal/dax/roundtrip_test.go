@@ -1,0 +1,98 @@
+package dax
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deco/internal/dag"
+	"deco/internal/wfgen"
+)
+
+// TestGeneratorRoundTrip writes every synthetic-application generator's
+// output as a DAX document, reads it back, and requires the parsed workflow
+// to be structurally equal to the original: same tasks (executable, CPU
+// work, files) and the same dependency edges.
+func TestGeneratorRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(rng *rand.Rand) (*dag.Workflow, error)
+	}{
+		{"montage", func(r *rand.Rand) (*dag.Workflow, error) { return wfgen.Montage(2, r) }},
+		{"ligo", func(r *rand.Rand) (*dag.Workflow, error) { return wfgen.Ligo(3, r) }},
+		{"epigenomics", func(r *rand.Rand) (*dag.Workflow, error) { return wfgen.Epigenomics(2, 4, r) }},
+		{"cybershake", func(r *rand.Rand) (*dag.Workflow, error) { return wfgen.CyberShake(3, 5, r) }},
+		{"pipeline", func(r *rand.Rand) (*dag.Workflow, error) { return wfgen.Pipeline(6, r) }},
+		{"funnel", func(r *rand.Rand) (*dag.Workflow, error) { return wfgen.Funnel(5, 200, 40, r) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig, err := tc.gen(rand.New(rand.NewSource(42)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, orig); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Parse(&buf)
+			if err != nil {
+				t.Fatalf("parsing written DAX: %v\ndocument:\n%s", err, buf.String())
+			}
+			assertStructurallyEqual(t, orig, parsed)
+		})
+	}
+}
+
+// fileSizeTolMB absorbs the byte-rounding of dax.Write (sizes are written as
+// whole bytes, so at most 0.5 bytes ≈ 5e-7 MB of error per file).
+const fileSizeTolMB = 1e-6
+
+func assertStructurallyEqual(t *testing.T, want, got *dag.Workflow) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("name = %q, want %q", got.Name, want.Name)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("task count = %d, want %d", got.Len(), want.Len())
+	}
+	for _, wt := range want.Tasks {
+		gt := got.Task(wt.ID)
+		if gt == nil {
+			t.Fatalf("task %q missing after round trip", wt.ID)
+		}
+		if gt.Executable != wt.Executable {
+			t.Errorf("task %s executable = %q, want %q", wt.ID, gt.Executable, wt.Executable)
+		}
+		if gt.CPUSeconds != wt.CPUSeconds {
+			t.Errorf("task %s cpu = %v, want %v (runtime must round-trip exactly)", wt.ID, gt.CPUSeconds, wt.CPUSeconds)
+		}
+		assertFilesEqual(t, wt.ID+" inputs", wt.Inputs, gt.Inputs)
+		assertFilesEqual(t, wt.ID+" outputs", wt.Outputs, gt.Outputs)
+	}
+	wantEdges, gotEdges := want.Edges(), got.Edges()
+	if len(gotEdges) != len(wantEdges) {
+		t.Fatalf("edge count = %d, want %d\ngot  %v\nwant %v", len(gotEdges), len(wantEdges), gotEdges, wantEdges)
+	}
+	for i := range wantEdges {
+		if wantEdges[i] != gotEdges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, gotEdges[i], wantEdges[i])
+		}
+	}
+}
+
+func assertFilesEqual(t *testing.T, what string, want, got []dag.File) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d files, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Errorf("%s[%d] = %q, want %q", what, i, got[i].Name, want[i].Name)
+		}
+		if math.Abs(got[i].SizeMB-want[i].SizeMB) > fileSizeTolMB {
+			t.Errorf("%s[%d] size = %v MB, want %v MB (±%v)", what, i, got[i].SizeMB, want[i].SizeMB, fileSizeTolMB)
+		}
+	}
+}

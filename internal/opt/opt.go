@@ -20,6 +20,7 @@ package opt
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -87,6 +88,10 @@ type Options struct {
 	// AStar selects best-first search with pruning instead of the generic
 	// breadth-first search.
 	AStar bool
+	// Ctx cancels the search between evaluation batches; nil means
+	// context.Background(). A cancelled search returns the context's error
+	// (test with errors.Is against context.Canceled / DeadlineExceeded).
+	Ctx context.Context
 }
 
 // DefaultOptions returns a reasonable configuration on the given device.
@@ -140,10 +145,19 @@ func stateRng(seed int64, key string) *rand.Rand {
 	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 }
 
-// evaluateBatch scores states on the device.
+// evaluateBatch scores states on the device. Cancellation is honored at
+// per-state granularity: states not yet started when the context is cancelled
+// surface the context error instead of being evaluated, so even a large batch
+// aborts promptly.
 func evaluateBatch(sp Space, states []State, opt Options) []scored {
 	out := make([]scored, len(states))
 	opt.Device.Map(len(states), func(i int) {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				out[i] = scored{state: states[i], key: states[i].Key(), err: fmt.Errorf("opt: search cancelled: %w", err)}
+				return
+			}
+		}
 		key := states[i].Key()
 		ev, err := sp.Evaluate(states[i], stateRng(opt.Seed, key))
 		out[i] = scored{state: states[i], key: key, eval: ev, err: err}
@@ -154,6 +168,9 @@ func evaluateBatch(sp Space, states []State, opt Options) []scored {
 func fillDefaults(opt *Options) {
 	if opt.Device == nil {
 		opt.Device = device.Parallel{}
+	}
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
 	}
 	if opt.MaxStates <= 0 {
 		opt.MaxStates = 4000
@@ -225,6 +242,9 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	}
 
 	for len(frontier) > 0 && res.Evaluated < exploreBudget {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("opt: search cancelled: %w", err)
+		}
 		// Trim the level to the remaining budget.
 		if res.Evaluated+len(frontier) > exploreBudget {
 			frontier = frontier[:exploreBudget-res.Evaluated]
@@ -286,6 +306,9 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	// seen so far, so a stalled greedy line falls back to the next most
 	// promising state instead of giving up.
 	for pool.Len() > 0 && res.Evaluated < opt.MaxStates {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("opt: search cancelled: %w", err)
+		}
 		item := heap.Pop(&pool).(pqItem)
 		var children []State
 		for _, c := range sp.Neighbors(item.state) {
@@ -359,6 +382,9 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 			initial = append(initial, st)
 		}
 	}
+	if err := opt.Ctx.Err(); err != nil {
+		return nil, fmt.Errorf("opt: search cancelled: %w", err)
+	}
 	initBatch := evaluateBatch(sp, initial, opt)
 	res.Evaluated = len(initBatch)
 	open := pq{}
@@ -379,6 +405,9 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	stale := 0
 
 	for open.Len() > 0 && res.Evaluated < opt.MaxStates {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("opt: search cancelled: %w", err)
+		}
 		item := heap.Pop(&open).(pqItem)
 		if leastBad == nil || score(item.eval, opt.Maximize) < score(leastBad.eval, opt.Maximize) {
 			s := item.scored

@@ -1,0 +1,86 @@
+// The plan cache makes decod idempotent over its hot working set: a
+// provisioning plan is a pure function of (workflow structure, catalog,
+// constraints, seed, iteration budget, search budget), so identical
+// submissions are answered from memory without re-running the solver. Keys
+// are content hashes of exactly those inputs — see (*Manager).jobKey.
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed LRU cache of serialized plan results.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+// NewCache returns a cache holding at most capacity plans; capacity <= 0
+// disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached plan for key, counting a hit or a miss.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a plan under key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache) Put(key string, val json.RawMessage) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", json.RawMessage(`1`))
+	c.Put("b", json.RawMessage(`2`))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", json.RawMessage(`3`))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived eviction")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 3/1", hits, misses)
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", json.RawMessage(`1`))
+	c.Put("k", json.RawMessage(`2`))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get("k")
+	if string(v) != `2` {
+		t.Errorf("value = %s, want 2", v)
+	}
+}
+
+func TestCacheZeroCapacityDisables(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", json.RawMessage(`1`))
+	if _, ok := c.Get("k"); ok {
+		t.Error("zero-capacity cache should never hit")
+	}
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache should stay empty")
+	}
+}

@@ -1,0 +1,597 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"deco"
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/dax"
+	"deco/internal/wlog"
+)
+
+// JobState is the lifecycle of a planning job.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// PctBound is a probabilistic bound: P(X <= Value) >= Percentile. A
+// Percentile <= 0 selects the deterministic (expected-value) notion.
+type PctBound struct {
+	Percentile float64 `json:"percentile"`
+	Value      float64 `json:"value"`
+}
+
+// SubmitRequest is the body of POST /v1/jobs. Exactly one workflow source
+// must be set: Workflow (a named synthetic application: montage, montage4,
+// montage8, ligo, epigenomics, cybershake, pipeline — or a .dax/.xml path),
+// DAX (an inline DAX XML document), or Program (a raw WLog program, which
+// carries its own goal and constraints).
+type SubmitRequest struct {
+	Workflow string `json:"workflow,omitempty"`
+	DAX      string `json:"dax,omitempty"`
+	Program  string `json:"program,omitempty"`
+
+	// Goal is "cost" or "makespan" (workflow/DAX modes only). Empty defaults
+	// to "cost" when a deadline is present, else "makespan".
+	Goal string `json:"goal,omitempty"`
+	// Deadline bounds execution time in seconds; Budget bounds cost in
+	// dollars. Workflow/DAX modes require at least one.
+	Deadline *PctBound `json:"deadline,omitempty"`
+	Budget   *PctBound `json:"budget,omitempty"`
+
+	// Solver knobs; zero values take the server defaults.
+	Seed         int64 `json:"seed,omitempty"`
+	Iters        int   `json:"iters,omitempty"`
+	SearchBudget int   `json:"search_budget,omitempty"`
+}
+
+// Assignment maps one task to its provisioned instance type.
+type Assignment struct {
+	Task string `json:"task"`
+	Type string `json:"type"`
+}
+
+// PlanResult is the JSON form of a provisioning plan. Assignments are sorted
+// by task ID so identical plans serialize identically (and diff cleanly).
+type PlanResult struct {
+	Workflow        string       `json:"workflow"`
+	Tasks           int          `json:"tasks"`
+	Feasible        bool         `json:"feasible"`
+	EstimatedCost   float64      `json:"estimated_cost"`
+	Objective       float64      `json:"objective"`
+	ConstraintProbs []float64    `json:"constraint_probs,omitempty"`
+	StatesEvaluated int          `json:"states_evaluated"`
+	Assignments     []Assignment `json:"assignments"`
+}
+
+// PlanResultOf converts an engine plan into its canonical JSON form.
+func PlanResultOf(p *deco.Plan) PlanResult {
+	asg := p.Assignments()
+	ids := make([]string, 0, len(asg))
+	for id := range asg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := PlanResult{
+		Workflow:        p.Workflow.Name,
+		Tasks:           p.Workflow.Len(),
+		Feasible:        p.Feasible,
+		EstimatedCost:   p.EstimatedCost,
+		Objective:       p.Objective,
+		ConstraintProbs: p.ConsProb,
+		StatesEvaluated: p.StatesEvaluated,
+		Assignments:     make([]Assignment, 0, len(ids)),
+	}
+	for _, id := range ids {
+		out.Assignments = append(out.Assignments, Assignment{Task: id, Type: asg[id]})
+	}
+	return out
+}
+
+// JobView is the externally visible state of a job.
+type JobView struct {
+	ID        string          `json:"id"`
+	State     JobState        `json:"state"`
+	Cached    bool            `json:"cached,omitempty"`
+	Workflow  string          `json:"workflow,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// job is the manager's internal record; all fields below mu-guarded state are
+// written only under Manager.mu.
+type job struct {
+	id  string
+	req SubmitRequest
+	// wf is the resolved workflow (nil in program mode).
+	wf  *dag.Workflow
+	key string // content-addressed cache key
+
+	state     JobState
+	cached    bool
+	result    json.RawMessage
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull    = errors.New("service: job queue is full")
+	ErrShuttingDown = errors.New("service: server is shutting down")
+	ErrNotFound     = errors.New("service: no such job")
+)
+
+// Manager owns the job table, the bounded queue, and the worker pool. Each
+// worker keeps its own deco.Engine instances (engines are not shared across
+// goroutines), reusing them across jobs with the same solver configuration.
+type Manager struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	catHash string
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for List and retention pruning
+	nextID int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// NewManager starts cfg.Workers workers over a queue of depth cfg.QueueDepth.
+func NewManager(cfg Config, cache *Cache, metrics *Metrics) *Manager {
+	m := &Manager{
+		cfg:     cfg,
+		cache:   cache,
+		metrics: metrics,
+		catHash: catalogHash(cloud.DefaultCatalog()),
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// catalogHash fingerprints the pricing/performance catalog the engines use,
+// so plans cached against one catalog are never served for another.
+func catalogHash(cat *cloud.Catalog) string {
+	b, err := json.Marshal(cat)
+	if err != nil {
+		panic(fmt.Sprintf("service: catalog not serializable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// normalize applies server defaults and validates the request, resolving the
+// workflow for workflow/DAX modes. It returns the resolved workflow (nil for
+// program mode) or a user error.
+func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
+	if req.Seed == 0 {
+		req.Seed = m.cfg.DefaultSeed
+	}
+	if req.Iters == 0 {
+		req.Iters = m.cfg.DefaultIters
+	}
+	if req.Iters < 1 {
+		return nil, fmt.Errorf("iters must be >= 1")
+	}
+	if req.SearchBudget == 0 {
+		req.SearchBudget = m.cfg.DefaultSearchBudget
+	}
+	if req.SearchBudget < 1 {
+		return nil, fmt.Errorf("search_budget must be >= 1")
+	}
+	sources := 0
+	for _, s := range []string{req.Workflow, req.DAX, req.Program} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of workflow, dax, program must be set")
+	}
+	if req.Program != "" {
+		if req.Goal != "" || req.Deadline != nil || req.Budget != nil {
+			return nil, fmt.Errorf("program mode carries its own goal and constraints; goal/deadline/budget must be empty")
+		}
+		if _, err := wlog.Parse(req.Program); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+
+	// Workflow / DAX mode: resolve the DAG and check constraints.
+	var w *dag.Workflow
+	var err error
+	if req.DAX != "" {
+		w, err = dax.Parse(strings.NewReader(req.DAX))
+	} else {
+		w, err = deco.NamedWorkflow(req.Workflow, req.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.Deadline == nil && req.Budget == nil {
+		return nil, fmt.Errorf("at least one of deadline, budget is required")
+	}
+	if req.Deadline != nil && req.Deadline.Value <= 0 {
+		return nil, fmt.Errorf("deadline value must be positive")
+	}
+	if req.Budget != nil && req.Budget.Value <= 0 {
+		return nil, fmt.Errorf("budget value must be positive")
+	}
+	switch req.Goal {
+	case "":
+		if req.Deadline != nil {
+			req.Goal = "cost"
+		} else {
+			req.Goal = "makespan"
+		}
+	case "cost", "makespan":
+	default:
+		return nil, fmt.Errorf("goal must be \"cost\" or \"makespan\", got %q", req.Goal)
+	}
+	return w, nil
+}
+
+// jobKey computes the content-addressed cache key: a hash over the workflow
+// structure (or program text), the catalog, the goal and constraints, and the
+// solver configuration. Two requests with the same key provably ask for the
+// same plan.
+func (m *Manager) jobKey(req *SubmitRequest, w *dag.Workflow) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|cat=%s|seed=%d|iters=%d|budget=%d|goal=%s|", m.catHash, req.Seed, req.Iters, req.SearchBudget, req.Goal)
+	if req.Deadline != nil {
+		fmt.Fprintf(h, "deadline=%s@%s|", floatKey(req.Deadline.Value), floatKey(req.Deadline.Percentile))
+	}
+	if req.Budget != nil {
+		fmt.Fprintf(h, "budget=%s@%s|", floatKey(req.Budget.Value), floatKey(req.Budget.Percentile))
+	}
+	if req.Program != "" {
+		io.WriteString(h, "program|")
+		io.WriteString(h, req.Program)
+	} else {
+		io.WriteString(h, "workflow|")
+		io.WriteString(h, workflowFingerprint(w))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func floatKey(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// workflowFingerprint serializes the structural content of a workflow
+// deterministically: tasks sorted by ID with their work and files, then the
+// sorted edge list.
+func workflowFingerprint(w *dag.Workflow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%s;", w.Name)
+	ids := make([]string, 0, w.Len())
+	for _, t := range w.Tasks {
+		ids = append(ids, t.ID)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := w.Task(id)
+		fmt.Fprintf(&b, "task=%s|%s|%s", t.ID, t.Executable, floatKey(t.CPUSeconds))
+		for _, f := range t.Inputs {
+			fmt.Fprintf(&b, "|i:%s:%s", f.Name, floatKey(f.SizeMB))
+		}
+		for _, f := range t.Outputs {
+			fmt.Fprintf(&b, "|o:%s:%s", f.Name, floatKey(f.SizeMB))
+		}
+		b.WriteByte(';')
+	}
+	for _, e := range w.Edges() {
+		fmt.Fprintf(&b, "edge=%s>%s;", e[0], e[1])
+	}
+	return b.String()
+}
+
+// Submit validates and enqueues a planning request. Cache hits complete
+// immediately without touching the queue; a full queue rejects the request
+// with ErrQueueFull.
+func (m *Manager) Submit(req SubmitRequest) (JobView, error) {
+	w, err := m.normalize(&req)
+	if err != nil {
+		return JobView{}, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	key := m.jobKey(&req, w)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, ErrShuttingDown
+	}
+	m.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", m.nextID),
+		req:       req,
+		wf:        w,
+		key:       key,
+		submitted: time.Now(),
+	}
+
+	if cached, ok := m.cache.Get(key); ok {
+		j.state = JobDone
+		j.cached = true
+		j.result = cached
+		j.started = j.submitted
+		j.finished = j.submitted
+		m.metrics.JobsDone.Add(1)
+		m.recordLocked(j)
+		return j.viewLocked(), nil
+	}
+
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.state = JobQueued
+	select {
+	case m.queue <- j:
+	default:
+		j.cancel()
+		return JobView{}, ErrQueueFull
+	}
+	m.metrics.JobsQueued.Add(1)
+	m.recordLocked(j)
+	return j.viewLocked(), nil
+}
+
+// errBadRequest tags validation failures for the HTTP layer.
+var errBadRequest = errors.New("service: bad request")
+
+// recordLocked inserts the job into the table and prunes old finished jobs
+// beyond the retention limit. Caller holds m.mu.
+func (m *Manager) recordLocked(j *job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if m.cfg.MaxJobsRetained <= 0 {
+		return
+	}
+	for len(m.order) > m.cfg.MaxJobsRetained {
+		pruned := false
+		for i, id := range m.order {
+			switch m.jobs[id].state {
+			case JobDone, JobFailed, JobCancelled:
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				pruned = true
+			}
+			if pruned {
+				break
+			}
+		}
+		if !pruned {
+			break // everything retained is still live
+		}
+	}
+}
+
+// Get returns the current view of a job.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.viewLocked(), nil
+}
+
+// List returns all retained jobs in submission order, without results (poll
+// the job endpoint for the full document).
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		v := m.jobs[id].viewLocked()
+		v.Result = nil
+		out = append(out, v)
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Cancelling a finished job is a
+// no-op; the current view is returned either way.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	switch j.state {
+	case JobQueued:
+		// The worker drops it when it reaches the head of the queue.
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.cancel()
+		m.metrics.JobsQueued.Add(-1)
+		m.metrics.JobsCancelled.Add(1)
+	case JobRunning:
+		// The solver aborts between state evaluations; the worker marks the
+		// terminal state when ScheduleContext returns.
+		j.cancel()
+	}
+	return j.viewLocked(), nil
+}
+
+// Shutdown stops accepting submissions, drains every accepted job (queued
+// and running), and waits for the workers to exit. If ctx expires first, the
+// remaining jobs are cancelled and Shutdown waits for them to abort.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	alreadyClosed := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !alreadyClosed {
+		close(m.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue, keeping one engine per solver configuration.
+// Engines are not safe for concurrent use, so they are strictly
+// worker-local; the map lets a worker alternate between configurations
+// without rebuilding calibrated metadata every job.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	type engineCfg struct {
+		seed   int64
+		iters  int
+		budget int
+	}
+	engines := make(map[engineCfg]*deco.Engine)
+	for j := range m.queue {
+		m.mu.Lock()
+		if j.state != JobQueued { // cancelled while queued
+			m.mu.Unlock()
+			continue
+		}
+		j.state = JobRunning
+		j.started = time.Now()
+		m.metrics.JobsQueued.Add(-1)
+		m.metrics.JobsRunning.Add(1)
+		m.mu.Unlock()
+
+		cfg := engineCfg{seed: j.req.Seed, iters: j.req.Iters, budget: j.req.SearchBudget}
+		eng, ok := engines[cfg]
+		var err error
+		if !ok {
+			eng, err = deco.NewEngine(deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters), deco.WithSearchBudget(cfg.budget))
+			if err == nil {
+				if len(engines) >= 8 { // bound worker-local engine memory
+					for k := range engines {
+						delete(engines, k)
+						break
+					}
+				}
+				engines[cfg] = eng
+			}
+		}
+
+		var plan *deco.Plan
+		if err == nil {
+			plan, err = solve(j.ctx, eng, j)
+		}
+
+		m.mu.Lock()
+		j.finished = time.Now()
+		m.metrics.JobsRunning.Add(-1)
+		switch {
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			j.state = JobCancelled
+			j.errMsg = err.Error()
+			m.metrics.JobsCancelled.Add(1)
+		case err != nil:
+			j.state = JobFailed
+			j.errMsg = err.Error()
+			m.metrics.JobsFailed.Add(1)
+		default:
+			doc, mErr := json.Marshal(PlanResultOf(plan))
+			if mErr != nil {
+				j.state = JobFailed
+				j.errMsg = mErr.Error()
+				m.metrics.JobsFailed.Add(1)
+			} else {
+				j.state = JobDone
+				j.result = doc
+				m.metrics.JobsDone.Add(1)
+				m.metrics.ObserveSolve(j.finished.Sub(j.started).Seconds())
+				m.cache.Put(j.key, doc)
+			}
+		}
+		j.cancel()
+		m.mu.Unlock()
+	}
+}
+
+// solve dispatches a job to the engine's context-aware entry points.
+func solve(ctx context.Context, eng *deco.Engine, j *job) (*deco.Plan, error) {
+	if j.req.Program != "" {
+		return eng.RunProgramContext(ctx, j.req.Program, nil)
+	}
+	var d deco.Deadline
+	var b deco.Budget
+	if j.req.Deadline != nil {
+		d = deco.Deadline{Percentile: j.req.Deadline.Percentile, Seconds: j.req.Deadline.Value}
+	}
+	if j.req.Budget != nil {
+		b = deco.Budget{Percentile: j.req.Budget.Percentile, Dollars: j.req.Budget.Value}
+	}
+	return eng.ScheduleConstrainedContext(ctx, j.wf, j.req.Goal == "cost", d, b)
+}
+
+// viewLocked snapshots the job; caller holds m.mu (or the job is still
+// private to the caller).
+func (j *job) viewLocked() JobView {
+	v := JobView{
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Submitted: j.submitted,
+		Error:     j.errMsg,
+		Result:    j.result,
+	}
+	if j.wf != nil {
+		v.Workflow = j.wf.Name
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

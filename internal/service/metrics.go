@@ -1,0 +1,102 @@
+package service
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics aggregates the service's operational counters and the solve-latency
+// distribution. Counters are lock-free; the latency reservoir is a fixed-size
+// uniform sample (Vitter's algorithm R) so p50/p95 stay O(1) memory no matter
+// how many jobs the daemon has served.
+type Metrics struct {
+	JobsQueued    atomic.Int64 // gauge: submitted, not yet started
+	JobsRunning   atomic.Int64 // gauge: currently solving
+	JobsDone      atomic.Int64 // cumulative successes (including cache hits)
+	JobsFailed    atomic.Int64 // cumulative failures
+	JobsCancelled atomic.Int64 // cumulative cancellations
+
+	mu        sync.Mutex
+	latencies []float64 // reservoir of solve latencies in seconds
+	seen      int64     // total latencies observed
+	rng       *rand.Rand
+}
+
+// reservoirCap bounds the latency sample; 512 points give quantile estimates
+// well within the noise of Monte-Carlo solve times.
+const reservoirCap = 512
+
+// NewMetrics returns an empty metrics store.
+func NewMetrics() *Metrics {
+	return &Metrics{rng: rand.New(rand.NewSource(1))}
+}
+
+// ObserveSolve records one solve latency in seconds.
+func (m *Metrics) ObserveSolve(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seen++
+	if len(m.latencies) < reservoirCap {
+		m.latencies = append(m.latencies, seconds)
+		return
+	}
+	if j := m.rng.Int63n(m.seen); j < reservoirCap {
+		m.latencies[j] = seconds
+	}
+}
+
+// Snapshot is the JSON document served by /metrics.
+type Snapshot struct {
+	JobsQueued    int64 `json:"jobs_queued"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+
+	SolveSamples int64   `json:"solve_samples"`
+	SolveP50Ms   float64 `json:"solve_latency_p50_ms"`
+	SolveP95Ms   float64 `json:"solve_latency_p95_ms"`
+}
+
+// Snapshot captures the current counters plus the given cache's statistics.
+func (m *Metrics) Snapshot(c *Cache) Snapshot {
+	s := Snapshot{
+		JobsQueued:    m.JobsQueued.Load(),
+		JobsRunning:   m.JobsRunning.Load(),
+		JobsDone:      m.JobsDone.Load(),
+		JobsFailed:    m.JobsFailed.Load(),
+		JobsCancelled: m.JobsCancelled.Load(),
+	}
+	if c != nil {
+		s.CacheHits, s.CacheMisses = c.Stats()
+		s.CacheSize = c.Len()
+	}
+	m.mu.Lock()
+	s.SolveSamples = m.seen
+	sample := append([]float64(nil), m.latencies...)
+	m.mu.Unlock()
+	if len(sample) > 0 {
+		sort.Float64s(sample)
+		s.SolveP50Ms = 1000 * quantile(sample, 0.50)
+		s.SolveP95Ms = 1000 * quantile(sample, 0.95)
+	}
+	return s
+}
+
+// quantile reads the p-th quantile from an ascending sample (nearest rank).
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,136 @@
+// Package service runs Deco as a long-lived provisioning-plan service: an
+// HTTP/JSON API over an asynchronous job manager. Clients POST a planning
+// request (a named synthetic workflow, an inline DAX document, or a raw WLog
+// program, plus probabilistic deadline/budget constraints) and get back a job
+// ID; a bounded queue feeds a pool of workers, each owning its own
+// deco.Engine; finished plans land in a content-addressed LRU cache so
+// resubmissions of the same problem are answered without re-searching.
+//
+// This is the service face the paper implies for Deco-as-WMS-backend (§6.4's
+// WMS integration) and the natural step toward the Workflow-as-a-Service
+// hosting model: the engine stops being a library call and becomes shared
+// infrastructure with admission control (queue depth), cancellation, and
+// operational visibility (/metrics, /healthz).
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080".
+	Addr string
+	// Workers is the solver pool size (default 2).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 64);
+	// submissions beyond it are rejected with 429.
+	QueueDepth int
+	// CacheCapacity is the plan cache size in entries (default 256; 0
+	// disables caching).
+	CacheCapacity int
+	// MaxJobsRetained bounds the job table; the oldest finished jobs are
+	// dropped past it (default 1024).
+	MaxJobsRetained int
+
+	// Solver defaults applied to requests that leave them zero.
+	DefaultSeed         int64
+	DefaultIters        int
+	DefaultSearchBudget int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 256
+	}
+	if c.MaxJobsRetained == 0 {
+		c.MaxJobsRetained = 1024
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 1
+	}
+	if c.DefaultIters <= 0 {
+		c.DefaultIters = 100
+	}
+	if c.DefaultSearchBudget <= 0 {
+		c.DefaultSearchBudget = 4000
+	}
+}
+
+// Server ties the job manager to an HTTP listener.
+type Server struct {
+	cfg     Config
+	mgr     *Manager
+	cache   *Cache
+	metrics *Metrics
+	httpSrv *http.Server
+}
+
+// New builds a server (and starts its worker pool) without binding a socket;
+// use Handler with httptest for in-process use, or ListenAndServe.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	cache := NewCache(cfg.CacheCapacity)
+	metrics := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		metrics: metrics,
+		mgr:     NewManager(cfg, cache, metrics),
+	}
+	s.httpSrv = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Manager exposes the job manager (used by tests and embedded callers).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Metrics exposes the metrics store.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	err := s.httpSrv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting HTTP connections and submissions, then drains
+// every accepted job. The context bounds the drain: when it expires,
+// in-flight solves are cancelled and awaited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.httpSrv.Shutdown(ctx)
+	drainErr := s.mgr.Shutdown(ctx)
+	if httpErr != nil {
+		return fmt.Errorf("service: http shutdown: %w", httpErr)
+	}
+	return drainErr
+}
