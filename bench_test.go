@@ -173,13 +173,18 @@ func BenchmarkMonteCarloEvaluation(b *testing.B) {
 	}
 }
 
-// BenchmarkSearchSequential / Parallel measure the full search on the two
-// devices — the per-device cost behind the §6.3 speedup rows.
-func benchSearch(b *testing.B, dev device.Device) {
+// BenchmarkSearchSequential / Parallel / TwoLevel measure the full search on
+// each device — the per-device cost behind the §6.3 speedup rows. beam <= 0
+// keeps the default frontier width; the narrow-beam variants run batches far
+// smaller than the machine, the regime the two-level device exists for.
+func benchSearch(b *testing.B, dev device.Device, beam int) {
 	space := benchSpace(b, 100, 40)
 	so := opt.DefaultOptions(dev)
 	so.MaxStates = 400
 	so.Seed = 5
+	if beam > 0 {
+		so.BeamWidth = beam
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := opt.Search(space, so); err != nil {
@@ -188,8 +193,15 @@ func benchSearch(b *testing.B, dev device.Device) {
 	}
 }
 
-func BenchmarkSearchSequential(b *testing.B) { benchSearch(b, device.Sequential{}) }
-func BenchmarkSearchParallel(b *testing.B)   { benchSearch(b, device.Parallel{}) }
+func BenchmarkSearchSequential(b *testing.B) { benchSearch(b, device.Sequential{}, 0) }
+func BenchmarkSearchParallel(b *testing.B)   { benchSearch(b, device.Parallel{}, 0) }
+func BenchmarkSearchTwoLevel(b *testing.B)   { benchSearch(b, device.TwoLevel{}, 0) }
+
+// BenchmarkNarrowBatchSpeedup compares state-only parallelism against
+// two-level execution when the beam bounds every batch to a couple of
+// states (cf. the narrow-beam rows of env.Speedup).
+func BenchmarkNarrowBatchSpeedupParallel(b *testing.B) { benchSearch(b, device.Parallel{}, 2) }
+func BenchmarkNarrowBatchSpeedupTwoLevel(b *testing.B) { benchSearch(b, device.TwoLevel{}, 2) }
 
 // BenchmarkAStarSearch measures the pruned best-first variant.
 func BenchmarkAStarSearch(b *testing.B) {

@@ -32,6 +32,7 @@ func main() {
 	cache := flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
 	iters := flag.Int("iters", 100, "default Monte-Carlo iterations per state evaluation")
 	budget := flag.Int("budget", 4000, "default solver state-evaluation budget")
+	threads := flag.Int("threads", 0, "default Monte-Carlo threads per state evaluation (0 = unbounded, 1 = state-level parallelism only)")
 	seed := flag.Int64("seed", 1, "default rng seed")
 	drain := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain bound")
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		CacheCapacity:       *cache,
 		DefaultIters:        *iters,
 		DefaultSearchBudget: *budget,
+		DefaultThreads:      *threads,
 		DefaultSeed:         *seed,
 	})
 

@@ -1,0 +1,167 @@
+package deco
+
+// Cross-device determinism: the search must return the identical Result on
+// every device — the contract that lets decod cache plans regardless of the
+// worker's parallelism settings (jobKey deliberately excludes the threads
+// knob). The scheduling space exercises the two-level kernel path; the
+// ensemble and follow-the-cost spaces exercise the per-state fallback path.
+
+import (
+	"math/rand"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/device"
+	"deco/internal/ensemble"
+	"deco/internal/estimate"
+	"deco/internal/exp"
+	"deco/internal/ftc"
+	"deco/internal/opt"
+	"deco/internal/probir"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// crossDevices is the device matrix every space must agree across: both
+// one-level devices, the two-level default, the degenerate
+// one-thread-per-block shape, and an oversubscribed narrow shape.
+var crossDevices = []device.Device{
+	device.Sequential{},
+	device.Parallel{},
+	device.TwoLevel{},
+	device.TwoLevel{MaxThreads: 1},
+	device.TwoLevel{NumWorkers: 3, MaxThreads: 2},
+}
+
+// searchAllDevices runs the same search on every device and fails unless all
+// Results are identical: best state, exact evaluation figures, and the
+// number of states evaluated.
+func searchAllDevices(t *testing.T, sp opt.Space, base opt.Options) {
+	t.Helper()
+	var want *opt.Result
+	var wantName string
+	for _, dev := range crossDevices {
+		o := base
+		o.Device = dev
+		res, err := opt.Search(sp, o)
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name(), err)
+		}
+		if want == nil {
+			want, wantName = res, dev.Name()
+			continue
+		}
+		if res.Best.Key() != want.Best.Key() {
+			t.Errorf("%s: best %v != %s's %v", dev.Name(), res.Best, wantName, want.Best)
+		}
+		if res.Evaluated != want.Evaluated {
+			t.Errorf("%s: evaluated %d != %s's %d", dev.Name(), res.Evaluated, wantName, want.Evaluated)
+		}
+		if res.Levels != want.Levels {
+			t.Errorf("%s: levels %d != %s's %d", dev.Name(), res.Levels, wantName, want.Levels)
+		}
+		if res.Feasible != want.Feasible {
+			t.Errorf("%s: feasible %v != %s's %v", dev.Name(), res.Feasible, wantName, want.Feasible)
+		}
+		got, ref := res.BestEval, want.BestEval
+		if got.Value != ref.Value || got.Violation != ref.Violation || got.Feasible != ref.Feasible {
+			t.Errorf("%s: eval {%v %v %v} != %s's {%v %v %v}", dev.Name(),
+				got.Value, got.Feasible, got.Violation, wantName, ref.Value, ref.Feasible, ref.Violation)
+		}
+		if len(got.ConsProb) != len(ref.ConsProb) {
+			t.Fatalf("%s: ConsProb len %d != %d", dev.Name(), len(got.ConsProb), len(ref.ConsProb))
+		}
+		for i := range got.ConsProb {
+			if got.ConsProb[i] != ref.ConsProb[i] {
+				t.Errorf("%s: ConsProb[%d] %v != %v", dev.Name(), i, got.ConsProb[i], ref.ConsProb[i])
+			}
+		}
+	}
+}
+
+// TestCrossDeviceDeterminismScheduling covers the Monte-Carlo scheduling
+// space (§3.1), where evaluations decompose into per-world kernels and the
+// two-level devices run the block/thread path.
+func TestCrossDeviceDeterminismScheduling(t *testing.T) {
+	env, err := exp.NewEnv(exp.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wfgen.BySize(wfgen.AppMontage, 30, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := env.Est.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline, err := env.Deadline(w, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: deadline}}
+	eval, err := probir.NewNative(w, tbl, env.Prices, probir.GoalCost, cons, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := opt.NewScheduleSpace(w, eval)
+	o := opt.DefaultOptions(nil)
+	o.MaxStates = 150
+	o.Seed = 11
+	searchAllDevices(t, sp, o)
+}
+
+// TestCrossDeviceDeterminismEnsemble covers the admission space (§3.2):
+// deterministic per-state evaluations on the fallback Map path, with the
+// objective maximized.
+func TestCrossDeviceDeterminismEnsemble(t *testing.T) {
+	e := &ensemble.Ensemble{Kind: ensemble.Constant}
+	costs := []float64{3, 2, 4, 1, 5}
+	sp := &ensemble.Space{E: e, Budget: 6}
+	for i, c := range costs {
+		e.Workflows = append(e.Workflows, &dag.Workflow{Priority: i})
+		sp.Plans = append(sp.Plans, &ensemble.PlannedWorkflow{Cost: c, Feasible: true})
+	}
+	e.Workflows = append(e.Workflows, &dag.Workflow{Priority: len(costs)})
+	sp.Plans = append(sp.Plans, nil) // unplannable: never admitted
+
+	o := opt.DefaultOptions(nil)
+	o.Maximize = true
+	o.MaxStates = 100
+	o.Seed = 11
+	searchAllDevices(t, sp, o)
+}
+
+// TestCrossDeviceDeterminismFTC covers the region-assignment space (§3.3),
+// also on the fallback path but with a different feasibility structure
+// (deterministic deadlines, migration charges).
+func TestCrossDeviceDeterminismFTC(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	md, err := cloud.MetadataFromTruth(cat, 12, 3000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(cat, md)
+	var jobs []*ftc.Job
+	for i := 0; i < 3; i++ {
+		w, err := wfgen.Pipeline(6, rand.New(rand.NewSource(int64(10+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := est.BuildTable(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := ftc.NewJob(w, tbl, 0, 1, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	sp := ftc.NewSpace(&ftc.Runtime{Cat: cat, Jobs: jobs})
+	o := opt.DefaultOptions(nil)
+	o.MaxStates = 120
+	o.Seed = 11
+	searchAllDevices(t, sp, o)
+}

@@ -72,8 +72,18 @@ func WithCatalog(cat *cloud.Catalog) Option { return func(e *Engine) { e.cat = c
 // calib); the default discretizes the catalog's ground truth.
 func WithMetadata(md *cloud.Metadata) Option { return func(e *Engine) { e.meta = md } }
 
-// WithDevice selects the solver's execution device (default: Parallel).
+// WithDevice selects the solver's execution device (default: TwoLevel, the
+// block/thread model of §5.2-5.3). Overrides any WithThreads setting.
 func WithDevice(d device.Device) Option { return func(e *Engine) { e.dev = d } }
+
+// WithThreads bounds the Monte-Carlo iteration parallelism within one state's
+// evaluation (threads per block in the §5.2 model): n <= 1 restricts the
+// device to state-level parallelism only, 0 (the default) lets it split a
+// state's iterations freely. Plans are identical for every setting; the knob
+// trades scheduling overhead against narrow-batch utilization.
+func WithThreads(n int) Option {
+	return func(e *Engine) { e.dev = device.TwoLevel{MaxThreads: n} }
+}
 
 // WithIters sets the Monte-Carlo iteration budget per state evaluation
 // (Max_iter of Algorithm 1; default 100).
@@ -89,11 +99,12 @@ func WithRegion(r string) Option { return func(e *Engine) { e.region = r } }
 func WithSearchBudget(n int) Option { return func(e *Engine) { e.search.MaxStates = n } }
 
 // NewEngine builds an engine with the paper's defaults: the EC2 m1 catalog,
-// metadata discretized from the calibrated Table 2 distributions, a
-// parallel device, and 100 Monte-Carlo iterations per evaluation.
+// metadata discretized from the calibrated Table 2 distributions, the
+// two-level (block per state, thread per Monte-Carlo iteration) device, and
+// 100 Monte-Carlo iterations per evaluation.
 func NewEngine(options ...Option) (*Engine, error) {
 	e := &Engine{
-		dev:            device.Parallel{},
+		dev:            device.TwoLevel{},
 		region:         cloud.USEast,
 		iters:          100,
 		seed:           1,

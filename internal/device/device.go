@@ -7,15 +7,26 @@
 // goroutines, with the Sequential device standing in for the single-thread
 // CPU baseline the paper's speedup numbers compare against.
 //
-// The two implementations run the same work and produce identical results
-// given per-block deterministic seeds; only wall-clock time differs, which
-// is what the §6.3 speedup experiments measure.
+// The execution model has two levels:
+//
+//   - Map schedules blocks only (one per searched state) — the outer level.
+//   - MapBlocks schedules blocks *and* the threads within them (one per
+//     Monte-Carlo iteration), so a batch narrower than the machine — one A*
+//     expansion, a handful of multi-start seeds, an exploitation-phase child
+//     set — still saturates every core. The TwoLevel device shares thread
+//     chunks across its worker pool, stealing work from wide blocks when the
+//     batch is narrow.
+//
+// All implementations run the same work and produce identical results given
+// per-(block,thread) deterministic seeds; only wall-clock time differs,
+// which is what the §6.3 speedup experiments measure.
 package device
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Device schedules n independent work items ("blocks"). Implementations must
@@ -28,6 +39,19 @@ type Device interface {
 	Blocks() int
 	// Map runs fn(i) for every i in [0, n).
 	Map(n int, fn func(i int))
+}
+
+// BlockDevice is a Device that also exposes the inner level of the paper's
+// execution model: kernels addressed by (block, thread) pairs, one thread per
+// Monte-Carlo iteration. Implementations must call kernel exactly once for
+// every pair in [0, nBlocks) x [0, threads); the schedule (which worker runs
+// which pair, in what order) is unspecified, so kernels must write only to
+// per-(block,thread) state.
+type BlockDevice interface {
+	Device
+	// MapBlocks runs kernel(b, t) for every block b in [0, nBlocks) and
+	// thread t in [0, threads).
+	MapBlocks(nBlocks, threads int, kernel func(block, thread int))
 }
 
 // Sequential runs blocks one at a time — the single-thread CPU baseline.
@@ -46,8 +70,20 @@ func (Sequential) Map(n int, fn func(i int)) {
 	}
 }
 
+// MapBlocks implements BlockDevice: block-major, thread order.
+func (Sequential) MapBlocks(nBlocks, threads int, kernel func(block, thread int)) {
+	for b := 0; b < nBlocks; b++ {
+		for t := 0; t < threads; t++ {
+			kernel(b, t)
+		}
+	}
+}
+
 // Parallel runs blocks across a goroutine pool, standing in for the GPU's
-// multiprocessors.
+// multiprocessors. It parallelizes the outer level only: each block's
+// threads run sequentially on the worker that owns the block, so a batch
+// narrower than the pool leaves workers idle (the state-only-parallel
+// baseline the narrow-batch speedup series compares against).
 type Parallel struct {
 	// NumBlocks is the number of worker goroutines; 0 means GOMAXPROCS.
 	NumBlocks int
@@ -98,16 +134,164 @@ func (p Parallel) Map(n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// Reduce runs fn(i) for every i in [0, n) on the device and sums the
-// results — the shared-memory reduction pattern of the paper's Monte-Carlo
-// kernel (§5.2: "store the temporary results of each thread into the shared
-// memory for fast synchronization").
-func Reduce(d Device, n int, fn func(i int) float64) float64 {
-	partial := make([]float64, n)
-	d.Map(n, func(i int) { partial[i] = fn(i) })
-	total := 0.0
-	for _, v := range partial {
-		total += v
+// MapBlocks implements BlockDevice with outer-level parallelism only.
+func (p Parallel) MapBlocks(nBlocks, threads int, kernel func(block, thread int)) {
+	p.Map(nBlocks, func(b int) {
+		for t := 0; t < threads; t++ {
+			kernel(b, t)
+		}
+	})
+}
+
+// TwoLevel is the full block/thread device of §5.2-5.3: states are blocks,
+// Monte-Carlo iterations are threads within a block, and the worker pool
+// shares thread chunks across blocks. A wide batch degenerates to block
+// scheduling (each worker drains whole blocks); a narrow batch splits each
+// block's threads across many workers, so even a single-state evaluation
+// uses the whole machine.
+type TwoLevel struct {
+	// NumWorkers is the goroutine pool size; 0 means GOMAXPROCS.
+	NumWorkers int
+	// MaxThreads caps how many thread chunks of one block may be in flight
+	// concurrently — the iteration-parallelism knob. 0 means unbounded
+	// (split blocks as finely as keeps all workers busy); 1 pins each block
+	// to a single worker, reproducing the state-only-parallel baseline.
+	MaxThreads int
+}
+
+// Name implements Device.
+func (d TwoLevel) Name() string {
+	if d.MaxThreads > 0 {
+		return fmt.Sprintf("twolevel-%dx%d", d.workers(), d.MaxThreads)
 	}
-	return total
+	return fmt.Sprintf("twolevel-%d", d.workers())
+}
+
+// Blocks implements Device.
+func (d TwoLevel) Blocks() int { return d.workers() }
+
+func (d TwoLevel) workers() int {
+	if d.NumWorkers > 0 {
+		return d.NumWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map implements Device (outer level only), for callers that have no
+// per-thread decomposition.
+func (d TwoLevel) Map(n int, fn func(i int)) {
+	Parallel{NumBlocks: d.workers()}.Map(n, fn)
+}
+
+// MapBlocks implements BlockDevice. Every block's threads are cut into
+// chunks that never span blocks; workers pull chunks from a shared counter,
+// so when the batch is narrower than the pool the surplus workers steal
+// chunks from the blocks that remain — the cross-block work-sharing a real
+// GPU gets from oversubscribing its multiprocessors.
+func (d TwoLevel) MapBlocks(nBlocks, threads int, kernel func(block, thread int)) {
+	if nBlocks <= 0 || threads <= 0 {
+		return
+	}
+	workers := d.workers()
+	if total := nBlocks * threads; workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		Sequential{}.MapBlocks(nBlocks, threads, kernel)
+		return
+	}
+	// Aim for ~4 chunks per worker so stealing stays cheap but no worker
+	// idles behind one long chunk; never split finer than MaxThreads allows.
+	chunksPerBlock := (4*workers + nBlocks - 1) / nBlocks
+	if chunksPerBlock > threads {
+		chunksPerBlock = threads
+	}
+	if d.MaxThreads > 0 && chunksPerBlock > d.MaxThreads {
+		chunksPerBlock = d.MaxThreads
+	}
+	if chunksPerBlock < 1 {
+		chunksPerBlock = 1
+	}
+	chunk := (threads + chunksPerBlock - 1) / chunksPerBlock
+	chunksPerBlock = (threads + chunk - 1) / chunk // tight after rounding
+	units := nBlocks * chunksPerBlock
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= units {
+					return
+				}
+				b := u / chunksPerBlock
+				lo := (u % chunksPerBlock) * chunk
+				hi := lo + chunk
+				if hi > threads {
+					hi = threads
+				}
+				for t := lo; t < hi; t++ {
+					kernel(b, t)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceBlocks runs kernel(b, t, out) for every (block, thread) pair on the
+// device — out being the thread's private width-sized slot — and folds each
+// block's slots figure-wise in thread order: the deterministic software
+// analogue of the paper's shared-memory block reduction (§5.2: "store the
+// temporary results of each thread into the shared memory for fast
+// synchronization"). Because the fold order is canonical, the returned sums
+// are bit-identical on every device regardless of how the work was
+// scheduled.
+//
+// The returned slice is block-major (sums[b*width+w]); errs[b] is block b's
+// first error in thread order, or nil. A block with an error still has its
+// remaining threads run (threads are independent); its sums are meaningless.
+func ReduceBlocks(d BlockDevice, nBlocks, threads, width int, kernel func(block, thread int, out []float64) error) (sums []float64, errs []error) {
+	sums = make([]float64, nBlocks*width)
+	errs = make([]error, nBlocks)
+	if nBlocks <= 0 || threads <= 0 || width <= 0 {
+		return sums, errs
+	}
+	slots := make([]float64, nBlocks*threads*width)
+	slotErrs := make([]error, nBlocks*threads)
+	d.MapBlocks(nBlocks, threads, func(b, t int) {
+		off := (b*threads + t) * width
+		slotErrs[b*threads+t] = kernel(b, t, slots[off:off+width:off+width])
+	})
+	for b := 0; b < nBlocks; b++ {
+		for t := 0; t < threads; t++ {
+			if err := slotErrs[b*threads+t]; err != nil {
+				errs[b] = err
+				break
+			}
+		}
+		if errs[b] != nil {
+			continue
+		}
+		for t := 0; t < threads; t++ {
+			off := (b*threads + t) * width
+			for w := 0; w < width; w++ {
+				sums[b*width+w] += slots[off+w]
+			}
+		}
+	}
+	return sums, errs
+}
+
+// Reduce runs fn(i) for every i in [0, n) on the device and sums the results
+// in index order — a single-block ReduceBlocks.
+func Reduce(d BlockDevice, n int, fn func(i int) float64) float64 {
+	sums, _ := ReduceBlocks(d, 1, n, 1, func(_, t int, out []float64) error {
+		out[0] = fn(t)
+		return nil
+	})
+	return sums[0]
 }

@@ -89,3 +89,130 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Error("devices disagree")
 	}
 }
+
+// MapBlocks must call the kernel exactly once per (block, thread) pair, on
+// every implementation and for shapes narrower and wider than the pool.
+func TestMapBlocksVisitsEveryPairExactlyOnce(t *testing.T) {
+	devices := []BlockDevice{
+		Sequential{},
+		Parallel{NumBlocks: 5},
+		TwoLevel{NumWorkers: 5},
+		TwoLevel{NumWorkers: 5, MaxThreads: 1},
+		TwoLevel{NumWorkers: 5, MaxThreads: 3},
+	}
+	shapes := [][2]int{{1, 100}, {2, 37}, {13, 1}, {8, 8}, {40, 3}, {3, 0}, {0, 3}}
+	for _, d := range devices {
+		for _, sh := range shapes {
+			nb, th := sh[0], sh[1]
+			counts := make([]int32, nb*th)
+			d.MapBlocks(nb, th, func(b, tt int) {
+				atomic.AddInt32(&counts[b*th+tt], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("%s %dx%d: pair %d visited %d times", d.Name(), nb, th, i, c)
+				}
+			}
+		}
+	}
+}
+
+// MaxThreads=1 pins each block to one chunk: the kernel must then see each
+// block's threads strictly in order (the state-only-parallel baseline).
+func TestTwoLevelMaxThreadsOnePinsBlocks(t *testing.T) {
+	const nb, th = 6, 50
+	last := make([]int32, nb)
+	for i := range last {
+		last[i] = -1
+	}
+	TwoLevel{NumWorkers: 4, MaxThreads: 1}.MapBlocks(nb, th, func(b, tt int) {
+		if prev := atomic.LoadInt32(&last[b]); int32(tt) != prev+1 {
+			t.Errorf("block %d: thread %d after %d", b, tt, prev)
+		}
+		atomic.StoreInt32(&last[b], int32(tt))
+	})
+	for b, l := range last {
+		if l != th-1 {
+			t.Errorf("block %d stopped at thread %d", b, l)
+		}
+	}
+}
+
+func TestTwoLevelNames(t *testing.T) {
+	if got := (TwoLevel{NumWorkers: 4}).Name(); got != "twolevel-4" {
+		t.Errorf("name %s", got)
+	}
+	if got := (TwoLevel{NumWorkers: 4, MaxThreads: 2}).Name(); got != "twolevel-4x2" {
+		t.Errorf("name %s", got)
+	}
+	if (TwoLevel{}).Blocks() < 1 {
+		t.Error("default workers < 1")
+	}
+}
+
+// ReduceBlocks must fold in canonical thread order: identical sums — bit for
+// bit — on every device, even though float addition does not commute.
+func TestReduceBlocksBitIdenticalAcrossDevices(t *testing.T) {
+	const nb, th, width = 7, 93, 3
+	kernel := func(b, tt int, out []float64) error {
+		// Values at wildly different magnitudes so any reordering of the
+		// fold would change the rounded sums.
+		x := float64(b+1) * float64(tt+1)
+		out[0] = x * 1e-17
+		out[1] = x * 1e17
+		out[2] = 1 / x
+		return nil
+	}
+	ref, _ := ReduceBlocks(Sequential{}, nb, th, width, kernel)
+	for _, d := range []BlockDevice{Parallel{NumBlocks: 5}, TwoLevel{NumWorkers: 5}, TwoLevel{NumWorkers: 3, MaxThreads: 2}} {
+		for rep := 0; rep < 10; rep++ {
+			got, errs := ReduceBlocks(d, nb, th, width, kernel)
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: sums[%d] = %v, want %v", d.Name(), i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// An error in one block must be attributed to that block alone — first in
+// thread order — while other blocks reduce normally.
+func TestReduceBlocksErrorAttribution(t *testing.T) {
+	const nb, th = 4, 20
+	// Block 1 fails at threads 3 and 7; block 3 at thread 0.
+	kernel := func(b, tt int, out []float64) error {
+		if b == 1 && (tt == 7 || tt == 3) {
+			return errBoom{tt}
+		}
+		if b == 3 && tt == 0 {
+			return errBoom{tt}
+		}
+		out[0] = 1
+		return nil
+	}
+	sums, errs := ReduceBlocks(TwoLevel{NumWorkers: 4}, nb, th, 1, kernel)
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy blocks got errors: %v %v", errs[0], errs[2])
+	}
+	if e, ok := errs[1].(errBoom); !ok || e.t != 3 {
+		t.Errorf("block 1: want first-in-thread-order error at t=3, got %v", errs[1])
+	}
+	if e, ok := errs[3].(errBoom); !ok || e.t != 0 {
+		t.Errorf("block 3: want error at t=0, got %v", errs[3])
+	}
+	for _, b := range []int{0, 2} {
+		if sums[b] != th {
+			t.Errorf("block %d sum %v, want %d", b, sums[b], th)
+		}
+	}
+}
+
+type errBoom struct{ t int }
+
+func (e errBoom) Error() string { return "boom" }

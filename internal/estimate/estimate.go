@@ -152,6 +152,41 @@ func (tb *Table) Dist(taskID string, j int) (*TimeDist, error) {
 	return row[j], nil
 }
 
+// Sampler is the per-world sampling interface behind the probabilistic IR's
+// device kernels: the per-task distributions of one fixed configuration,
+// resolved once, so each Monte-Carlo world draws durations with no map
+// lookups. A Sampler is immutable after construction and safe for concurrent
+// use with distinct rngs.
+type Sampler struct {
+	dists []*TimeDist
+}
+
+// Sampler resolves a configuration: dists[i] is taskIDs[i] on type
+// config[i].
+func (tb *Table) Sampler(taskIDs []string, config []int) (*Sampler, error) {
+	if len(taskIDs) != len(config) {
+		return nil, fmt.Errorf("estimate: %d tasks for %d config entries", len(taskIDs), len(config))
+	}
+	dists := make([]*TimeDist, len(taskIDs))
+	for i, id := range taskIDs {
+		td, err := tb.Dist(id, config[i])
+		if err != nil {
+			return nil, err
+		}
+		dists[i] = td
+	}
+	return &Sampler{dists: dists}, nil
+}
+
+// Len is the number of tasks.
+func (s *Sampler) Len() int { return len(s.dists) }
+
+// Sample draws task i's execution time for one world.
+func (s *Sampler) Sample(i int, rng *rand.Rand) float64 { return s.dists[i].Sample(rng) }
+
+// Mean is task i's exact mean execution time.
+func (s *Sampler) Mean(i int) float64 { return s.dists[i].Mean() }
+
 // MeanDurations returns the mean duration of every task under the given
 // per-task type assignment (task ID -> type index).
 func (tb *Table) MeanDurations(config map[string]int) (map[string]float64, error) {

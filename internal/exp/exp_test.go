@@ -260,12 +260,27 @@ func TestSpeedupShape(t *testing.T) {
 	if len(res.Rows) == 0 {
 		t.Fatal("no rows")
 	}
+	narrow := 0
+	for _, r := range res.Rows {
+		if r.TwoLevel <= 0 {
+			t.Errorf("%s: no two-level measurement", r.Workload)
+		}
+		if r.Beam > 0 {
+			narrow++
+		}
+	}
+	if narrow == 0 {
+		t.Error("no narrow-beam rows in the series")
+	}
 	if res.ParallelBlocks <= 1 {
 		t.Skip("single-core host: no parallel speedup to measure")
 	}
 	for _, r := range res.Rows {
 		if r.Speedup < 1.0 {
 			t.Errorf("%s: parallel device slower than sequential (%.2fx)", r.Workload, r.Speedup)
+		}
+		if r.TwoLevelSpeedup < 1.0 {
+			t.Errorf("%s: two-level device slower than sequential (%.2fx)", r.Workload, r.TwoLevelSpeedup)
 		}
 	}
 }

@@ -12,28 +12,35 @@ import (
 	"deco/internal/wlog"
 )
 
-// SpeedupRow is one workload of the §6.3 parallel-solver comparison.
+// SpeedupRow is one workload of the §6.3 parallel-solver comparison. Beam is
+// the solver's frontier width: the narrow-beam series (beam 2) keeps batches
+// far smaller than the machine, the regime where only iteration-level
+// (two-level) parallelism can fill the idle workers.
 type SpeedupRow struct {
-	Workload   string
-	Tasks      int
-	Sequential time.Duration
-	Parallel   time.Duration
-	Speedup    float64
+	Workload        string
+	Tasks           int
+	Beam            int
+	Sequential      time.Duration
+	Parallel        time.Duration
+	TwoLevel        time.Duration
+	Speedup         float64 // sequential / parallel
+	TwoLevelSpeedup float64 // sequential / two-level
 }
 
 // SpeedupResult reproduces the §6.3.1/§6.3.2 device-speedup measurements:
-// the same search run on the sequential (1-thread CPU baseline) and
-// parallel (GPU-model) devices. The paper reports 12X/10X/20X for
-// Montage-1/4/8 and 36X/22X/18X for 20/100/1000-task ensembles against a
-// 6-core CPU; our ceiling is the host's core count.
+// the same search run on the sequential (1-thread CPU baseline), the
+// state-parallel (one block per state) and the two-level (block per state,
+// thread per Monte-Carlo iteration) devices. The paper reports 12X/10X/20X
+// for Montage-1/4/8 and 36X/22X/18X for 20/100/1000-task ensembles against
+// a 6-core CPU; our ceiling is the host's core count.
 type SpeedupResult struct {
 	ParallelBlocks int
 	Rows           []SpeedupRow
 }
 
 // timedSearch runs the scheduling search on the given device and returns
-// elapsed wall-clock time.
-func (e *Env) timedSearch(wName string, nTasks int, dev device.Device, seed int64) (time.Duration, int, error) {
+// elapsed wall-clock time. beam <= 0 keeps the default frontier width.
+func (e *Env) timedSearch(wName string, nTasks int, dev device.Device, seed int64, beam int) (time.Duration, int, error) {
 	w, err := wfgen.BySize(wfgen.AppMontage, nTasks, randFor(seed))
 	if err != nil {
 		return 0, 0, err
@@ -58,6 +65,9 @@ func (e *Env) timedSearch(wName string, nTasks int, dev device.Device, seed int6
 	so := opt.DefaultOptions(dev)
 	so.MaxStates = e.Cfg.SearchBudget
 	so.Seed = seed
+	if beam > 0 {
+		so.BeamWidth = beam
+	}
 	start := time.Now()
 	res, err := opt.Search(space, so)
 	if err != nil {
@@ -67,37 +77,72 @@ func (e *Env) timedSearch(wName string, nTasks int, dev device.Device, seed int6
 	return time.Since(start), w.Len(), nil
 }
 
-// Speedup runs the comparison for the Montage scales.
+// speedupRow measures one (size, beam) workload on all three devices.
+func (e *Env) speedupRow(n, beam int) (SpeedupRow, error) {
+	seqT, tasks, err := e.timedSearch("", n, device.Sequential{}, e.Cfg.Seed+51, beam)
+	if err != nil {
+		return SpeedupRow{}, err
+	}
+	parT, _, err := e.timedSearch("", n, device.Parallel{}, e.Cfg.Seed+51, beam)
+	if err != nil {
+		return SpeedupRow{}, err
+	}
+	twoT, _, err := e.timedSearch("", n, device.TwoLevel{}, e.Cfg.Seed+51, beam)
+	if err != nil {
+		return SpeedupRow{}, err
+	}
+	name := fmt.Sprintf("montage-%dt", tasks)
+	if beam > 0 {
+		name = fmt.Sprintf("%s-beam%d", name, beam)
+	}
+	row := SpeedupRow{
+		Workload: name, Tasks: tasks, Beam: beam,
+		Sequential: seqT, Parallel: parT, TwoLevel: twoT,
+	}
+	if parT > 0 {
+		row.Speedup = float64(seqT) / float64(parT)
+	}
+	if twoT > 0 {
+		row.TwoLevelSpeedup = float64(seqT) / float64(twoT)
+	}
+	return row, nil
+}
+
+// Speedup runs the comparison for the Montage scales: the default-beam
+// series, then the narrow-beam (beam 2) series where state-level parallelism
+// starves and the two-level device shows its advantage.
 func (e *Env) Speedup(out io.Writer) (*SpeedupResult, error) {
 	sizes := []int{30, 120, 400}
 	if e.Cfg.Quick {
 		sizes = []int{30, 120}
 	}
-	par := device.Parallel{}
-	res := &SpeedupResult{ParallelBlocks: par.Blocks()}
+	res := &SpeedupResult{ParallelBlocks: device.Parallel{}.Blocks()}
 	for _, n := range sizes {
-		seqT, tasks, err := e.timedSearch("", n, device.Sequential{}, e.Cfg.Seed+51)
+		row, err := e.speedupRow(n, 0)
 		if err != nil {
 			return nil, err
 		}
-		parT, _, err := e.timedSearch("", n, par, e.Cfg.Seed+51)
+		res.Rows = append(res.Rows, row)
+	}
+	narrowSizes := sizes
+	if e.Cfg.Quick {
+		narrowSizes = sizes[:1]
+	}
+	for _, n := range narrowSizes {
+		row, err := e.speedupRow(n, 2)
 		if err != nil {
 			return nil, err
-		}
-		row := SpeedupRow{
-			Workload: fmt.Sprintf("montage-%dt", tasks), Tasks: tasks,
-			Sequential: seqT, Parallel: parT,
-		}
-		if parT > 0 {
-			row.Speedup = float64(seqT) / float64(parT)
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	if out != nil {
-		fmt.Fprintf(out, "Solver speedup: parallel (%d blocks) vs sequential device\n", res.ParallelBlocks)
-		fmt.Fprintf(out, "%-16s %-7s %-12s %-12s %s\n", "workload", "tasks", "sequential", "parallel", "speedup")
+		fmt.Fprintf(out, "Solver speedup: parallel / two-level (%d blocks) vs sequential device\n", res.ParallelBlocks)
+		fmt.Fprintf(out, "%-22s %-7s %-12s %-12s %-12s %-9s %s\n", "workload", "tasks", "sequential", "parallel", "twolevel", "speedup", "2L speedup")
 		for _, r := range res.Rows {
-			fmt.Fprintf(out, "%-16s %-7d %-12s %-12s %.1fx\n", r.Workload, r.Tasks, r.Sequential.Round(time.Millisecond), r.Parallel.Round(time.Millisecond), r.Speedup)
+			fmt.Fprintf(out, "%-22s %-7d %-12s %-12s %-12s %-9s %.1fx\n",
+				r.Workload, r.Tasks,
+				r.Sequential.Round(time.Millisecond), r.Parallel.Round(time.Millisecond), r.TwoLevel.Round(time.Millisecond),
+				fmt.Sprintf("%.1fx", r.Speedup), r.TwoLevelSpeedup)
 		}
 	}
 	return res, nil

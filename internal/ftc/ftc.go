@@ -268,6 +268,9 @@ type Space struct {
 	rt *Runtime
 }
 
+// NewSpace builds the region-assignment space over a runtime's jobs.
+func NewSpace(rt *Runtime) *Space { return &Space{rt: rt} }
+
 // Initial implements opt.Space: keep every job where it is.
 func (s *Space) Initial() opt.State {
 	st := make(opt.State, len(s.rt.Jobs))

@@ -28,7 +28,7 @@ func (d *DecoOptimizer) Name() string { return "deco" }
 
 // Decide implements Optimizer.
 func (d *DecoOptimizer) Decide(rt *Runtime) ([]int, []float64, error) {
-	sp := &Space{rt: rt}
+	sp := NewSpace(rt)
 	res, err := opt.Search(sp, d.Options)
 	if err != nil {
 		return nil, nil, err

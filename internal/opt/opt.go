@@ -39,15 +39,20 @@ type State []int
 // Clone copies a state.
 func (s State) Clone() State { return append(State(nil), s...) }
 
-// Key returns a compact map key for visited-state deduplication.
+// Key returns a compact map key for visited-state deduplication. Components
+// are zigzag-encoded before the varint so negative values round-trip: a raw
+// byte(v) of a negative component would set the continuation bit and merge
+// with the next element, making distinct states collide (e.g. {255} and
+// {-1, 1} under the old encoding).
 func (s State) Key() string {
 	b := make([]byte, 0, len(s)*2)
 	for _, v := range s {
-		for v > 127 {
-			b = append(b, byte(v&127)|128)
-			v >>= 7
+		u := uint64(int64(v)<<1) ^ uint64(int64(v)>>63) // zigzag
+		for u >= 0x80 {
+			b = append(b, byte(u)|0x80)
+			u >>= 7
 		}
-		b = append(b, byte(v))
+		b = append(b, byte(u))
 	}
 	return string(b)
 }
@@ -145,11 +150,29 @@ func stateRng(seed int64, key string) *rand.Rand {
 	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 }
 
-// evaluateBatch scores states on the device. Cancellation is honored at
-// per-state granularity: states not yet started when the context is cancelled
-// surface the context error instead of being evaluated, so even a large batch
-// aborts promptly.
+// KernelSpace is an optional Space extension: a space whose Monte-Carlo
+// evaluation decomposes into a per-world kernel plus reduction (package
+// probir), letting a BlockDevice schedule Monte-Carlo iterations as threads
+// within a state's block. Kernel returns (nil, nil) when the state's
+// evaluation has no world decomposition; the solver then falls back to
+// state-level parallelism.
+type KernelSpace interface {
+	Space
+	Kernel(s State) (probir.WorldKernel, error)
+}
+
+// evaluateBatch scores states on the device. When both the space and the
+// device support it, the batch runs two-level (block per state, thread per
+// Monte-Carlo iteration) so even a batch narrower than the machine — an A*
+// expansion, a few multi-start seeds, an exploitation child set — saturates
+// every worker. Cancellation is honored at per-thread granularity; results
+// are bit-identical across devices and scheduling orders because every
+// world draws from its own (state, iteration) rng substream and reductions
+// fold in iteration order.
 func evaluateBatch(sp Space, states []State, opt Options) []scored {
+	if out, ok := evaluateBatchKernel(sp, states, opt); ok {
+		return out
+	}
 	out := make([]scored, len(states))
 	opt.Device.Map(len(states), func(i int) {
 		if opt.Ctx != nil {
@@ -165,9 +188,102 @@ func evaluateBatch(sp Space, states []State, opt Options) []scored {
 	return out
 }
 
+// evaluateBatchKernel is the two-level path of evaluateBatch. It reports
+// ok=false when the space or device cannot run it, in which case the caller
+// falls back to state-level parallelism.
+func evaluateBatchKernel(sp Space, states []State, opt Options) ([]scored, bool) {
+	ks, ok := sp.(KernelSpace)
+	if !ok {
+		return nil, false
+	}
+	bd, ok := opt.Device.(device.BlockDevice)
+	if !ok || len(states) == 0 {
+		return nil, false
+	}
+	out := make([]scored, len(states))
+	kernels := make([]probir.WorldKernel, len(states))
+	bases := make([]int64, len(states))
+	worlds, width := 0, 0
+	for i, st := range states {
+		key := st.Key()
+		out[i] = scored{state: st, key: key}
+		k, err := ks.Kernel(st)
+		if err != nil {
+			out[i].err = err
+			continue
+		}
+		if k == nil {
+			return nil, false // no world decomposition for this space
+		}
+		if kernels[i] == nil && worlds == 0 && width == 0 {
+			worlds, width = k.Worlds(), k.Width()
+		} else if k.Worlds() != worlds || k.Width() != width {
+			return nil, false // non-uniform batch; let the generic path run it
+		}
+		kernels[i] = k
+		// The same substream base Evaluate would derive from its state rng,
+		// so both paths are bit-identical.
+		bases[i] = stateRng(opt.Seed, key).Int63()
+	}
+	if worlds == 0 || width == 0 {
+		return nil, false // deterministic evaluation: nothing to thread over
+	}
+	sums, errs := device.ReduceBlocks(bd, len(states), worlds, width, func(b, t int, slot []float64) error {
+		if kernels[b] == nil {
+			return nil // kernel construction already failed for this state
+		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return fmt.Errorf("opt: search cancelled: %w", err)
+			}
+		}
+		return kernels[b].Sample(t, probir.WorldRNG(bases[b], t), slot)
+	})
+	// Reductions are independent per state; run them as blocks too (CostFn
+	// objectives such as the packed plan cost do real work here).
+	bd.Map(len(states), func(i int) {
+		if out[i].err != nil {
+			return
+		}
+		if errs[i] != nil {
+			out[i].err = errs[i]
+			return
+		}
+		out[i].eval, out[i].err = kernels[i].Reduce(sums[i*width : (i+1)*width])
+	})
+	return out, true
+}
+
+// dedupStates returns the states not already visited, deduplicated among
+// themselves, WITHOUT marking them visited. Marking happens at evaluation
+// time (markVisited), so a state trimmed from a batch by the evaluation
+// budget stays reachable — and evaluable — through a later expansion of
+// another parent.
+func dedupStates(states []State, visited map[string]bool) []State {
+	seen := make(map[string]bool, len(states))
+	var out []State
+	for _, s := range states {
+		k := s.Key()
+		if visited[k] || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// markVisited records states as visited at the moment they are actually
+// submitted for evaluation.
+func markVisited(states []State, visited map[string]bool) {
+	for _, s := range states {
+		visited[s.Key()] = true
+	}
+}
+
 func fillDefaults(opt *Options) {
 	if opt.Device == nil {
-		opt.Device = device.Parallel{}
+		opt.Device = device.TwoLevel{}
 	}
 	if opt.Ctx == nil {
 		opt.Ctx = context.Background()
@@ -217,14 +333,7 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	visited := map[string]bool{}
-	var frontier []State
-	for _, st := range starts {
-		k := st.Key()
-		if !visited[k] {
-			visited[k] = true
-			frontier = append(frontier, st)
-		}
-	}
+	frontier := dedupStates(starts, visited)
 	var best *scored
 	stale := 0
 
@@ -245,10 +354,15 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 		if err := opt.Ctx.Err(); err != nil {
 			return nil, fmt.Errorf("opt: search cancelled: %w", err)
 		}
-		// Trim the level to the remaining budget.
+		// Trim the level to the remaining budget, and only THEN mark the
+		// survivors visited: a state dropped here was never evaluated, and
+		// marking it up front would make it permanently unreachable even
+		// though the exploitation phase can re-generate it from its pooled
+		// parent and still has budget for it.
 		if res.Evaluated+len(frontier) > exploreBudget {
 			frontier = frontier[:exploreBudget-res.Evaluated]
 		}
+		markVisited(frontier, visited)
 		batch := evaluateBatch(sp, frontier, opt)
 		res.Evaluated += len(batch)
 		res.Levels++
@@ -286,16 +400,11 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 		if len(expand) > opt.BeamWidth {
 			expand = expand[:opt.BeamWidth]
 		}
-		frontier = frontier[:0]
+		var next []State
 		for _, s := range expand {
-			for _, c := range sp.Neighbors(s.state) {
-				k := c.Key()
-				if !visited[k] {
-					visited[k] = true
-					frontier = append(frontier, c)
-				}
-			}
+			next = append(next, sp.Neighbors(s.state)...)
 		}
+		frontier = dedupStates(next, visited)
 	}
 	if best == nil {
 		return nil, fmt.Errorf("opt: no states evaluated")
@@ -310,20 +419,16 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 			return nil, fmt.Errorf("opt: search cancelled: %w", err)
 		}
 		item := heap.Pop(&pool).(pqItem)
-		var children []State
-		for _, c := range sp.Neighbors(item.state) {
-			k := c.Key()
-			if !visited[k] {
-				visited[k] = true
-				children = append(children, c)
-			}
-		}
+		children := dedupStates(sp.Neighbors(item.state), visited)
 		if len(children) == 0 {
 			continue
 		}
+		// As in the exploration phase: trim to the budget first, mark
+		// visited only what actually gets evaluated.
 		if res.Evaluated+len(children) > opt.MaxStates {
 			children = children[:opt.MaxStates-res.Evaluated]
 		}
+		markVisited(children, visited)
 		batch := evaluateBatch(sp, children, opt)
 		res.Evaluated += len(batch)
 		for i := range batch {
@@ -374,14 +479,11 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	visited := map[string]bool{}
-	var initial []State
-	for _, st := range starts {
-		k := st.Key()
-		if !visited[k] {
-			visited[k] = true
-			initial = append(initial, st)
-		}
+	initial := dedupStates(starts, visited)
+	if len(initial) > opt.MaxStates {
+		initial = initial[:opt.MaxStates]
 	}
+	markVisited(initial, visited)
 	if err := opt.Ctx.Err(); err != nil {
 		return nil, fmt.Errorf("opt: search cancelled: %w", err)
 	}
@@ -389,19 +491,29 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	res.Evaluated = len(initBatch)
 	open := pq{}
 	heap.Init(&open)
-	var best *scored
+	var best, leastBad *scored
+	// leastBad tracks the least-violating state over everything *evaluated*
+	// (not merely popped from the open list): when the budget runs out before
+	// any pop — e.g. MaxStates <= len(starts) with no feasible start — the
+	// doc contract of Result.Best still holds.
+	noteEvaluated := func(s *scored) {
+		if leastBad == nil || score(s.eval, opt.Maximize) < score(leastBad.eval, opt.Maximize) {
+			c := *s
+			leastBad = &c
+		}
+	}
 	for i := range initBatch {
 		if initBatch[i].err != nil {
 			return nil, initBatch[i].err
 		}
 		sc := score(initBatch[i].eval, opt.Maximize)
 		open.PushItem(pqItem{scored: initBatch[i], priority: sc})
+		noteEvaluated(&initBatch[i])
 		if initBatch[i].eval.Feasible && (best == nil || sc < score(best.eval, opt.Maximize)) {
 			b := initBatch[i]
 			best = &b
 		}
 	}
-	var leastBad *scored
 	stale := 0
 
 	for open.Len() > 0 && res.Evaluated < opt.MaxStates {
@@ -409,10 +521,6 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 			return nil, fmt.Errorf("opt: search cancelled: %w", err)
 		}
 		item := heap.Pop(&open).(pqItem)
-		if leastBad == nil || score(item.eval, opt.Maximize) < score(leastBad.eval, opt.Maximize) {
-			s := item.scored
-			leastBad = &s
-		}
 		// Prune: under the monotone assumption of §5.3 ("child states ...
 		// always generate higher cost than their parent") a state strictly
 		// worse than the incumbent is a dead end. States tying the incumbent
@@ -421,20 +529,16 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 		if best != nil && score(item.eval, opt.Maximize) > score(best.eval, opt.Maximize) {
 			continue
 		}
-		var children []State
-		for _, c := range sp.Neighbors(item.state) {
-			k := c.Key()
-			if !visited[k] {
-				visited[k] = true
-				children = append(children, c)
-			}
-		}
+		children := dedupStates(sp.Neighbors(item.state), visited)
 		if len(children) == 0 {
 			continue
 		}
+		// Trim to the budget before marking visited, so a child dropped here
+		// can still be generated — and evaluated — from another parent.
 		if res.Evaluated+len(children) > opt.MaxStates {
 			children = children[:opt.MaxStates-res.Evaluated]
 		}
+		markVisited(children, visited)
 		batch := evaluateBatch(sp, children, opt)
 		res.Evaluated += len(batch)
 		res.Levels++
@@ -444,6 +548,7 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 				return nil, batch[i].err
 			}
 			sc := score(batch[i].eval, opt.Maximize)
+			noteEvaluated(&batch[i])
 			if batch[i].eval.Feasible && (best == nil || sc < score(best.eval, opt.Maximize)) {
 				b := batch[i]
 				best = &b

@@ -222,6 +222,46 @@ func (s *ScheduleSpace) Evaluate(st State, rng *rand.Rand) (*probir.Evaluation, 
 	return ev, nil
 }
 
+// Kernel implements KernelSpace: the evaluator's per-world kernel, when it
+// has one, with any CostFn objective applied at reduction time exactly as
+// Evaluate applies it after the Monte-Carlo loop.
+func (s *ScheduleSpace) Kernel(st State) (probir.WorldKernel, error) {
+	ke, ok := s.Eval.(probir.KernelEvaluator)
+	if !ok {
+		return nil, nil
+	}
+	k, err := ke.Kernel(st)
+	if err != nil || k == nil {
+		return k, err
+	}
+	if s.CostFn == nil {
+		return k, nil
+	}
+	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
+}
+
+// costFnKernel replaces the reduced goal value with the plan-level cost,
+// mirroring ScheduleSpace.Evaluate. The cost runs inside Reduce, which the
+// solver schedules per-state on the device, so packing stays parallel.
+type costFnKernel struct {
+	probir.WorldKernel
+	fn func(State) (float64, error)
+	st State
+}
+
+func (k *costFnKernel) Reduce(sums []float64) (*probir.Evaluation, error) {
+	ev, err := k.WorldKernel.Reduce(sums)
+	if err != nil {
+		return nil, err
+	}
+	v, err := k.fn(k.st)
+	if err != nil {
+		return nil, err
+	}
+	ev.Value = v
+	return ev, nil
+}
+
 // NewPackedScheduleSpace builds the scheduling space with the hour-billed
 // packed cost objective — the full transformation-aware optimization the
 // engine uses by default.

@@ -1,0 +1,258 @@
+package probir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file decomposes Monte-Carlo evaluation into the paper's GPU kernel
+// shape (§5.2): a *per-world kernel* — one thread samples one realization of
+// the probabilistic facts and computes its figures — plus a *reduction* that
+// folds the per-world figures into the Evaluation. Every aggregate Algorithm
+// 1 needs (goal means, constraint means, satisfaction counts) is a sum over
+// worlds, so the reduction is exactly the shared-memory block sum of §5.2,
+// and a device may run the worlds of one state in any order or in parallel.
+//
+// Determinism: world `it` of a state draws from WorldRNG(base, it), a
+// substream keyed by (state, iteration) rather than a single rng consumed in
+// iteration order. Evaluators' own Evaluate methods run the same kernels
+// through RunKernel, so results are bit-identical whether the worlds ran
+// sequentially, state-parallel, or two-level on a device.
+
+// WorldKernel is one state's Monte-Carlo evaluation, decomposed for
+// block/thread execution.
+type WorldKernel interface {
+	// Worlds is the number of Monte-Carlo iterations (threads per block).
+	// 0 means the evaluation is deterministic and needs no sampled worlds.
+	Worlds() int
+	// Width is the number of figures each world produces.
+	Width() int
+	// Sample computes world it into out (len Width(), zeroed). It must be
+	// safe for concurrent calls with distinct it and draw only from rng.
+	Sample(it int, rng *rand.Rand, out []float64) error
+	// Reduce folds the figure-wise sums over all worlds (len Width()) into
+	// the final evaluation.
+	Reduce(sums []float64) (*Evaluation, error)
+}
+
+// KernelEvaluator is an Evaluator whose Monte-Carlo loop decomposes into a
+// WorldKernel, enabling iteration-level device parallelism.
+type KernelEvaluator interface {
+	Evaluator
+	// Kernel builds the per-world kernel for one configuration.
+	Kernel(config []int) (WorldKernel, error)
+}
+
+// worldSeed mixes a state-level base seed with an iteration index
+// (splitmix64 finalizer), giving every (state, iteration) pair its own
+// statistically independent substream.
+func worldSeed(base int64, it int) int64 {
+	z := uint64(base) + uint64(it+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// WorldRNG returns the deterministic rng of Monte-Carlo iteration it within
+// the substream identified by base. The solver derives base from its seed
+// and the state key; results therefore depend on neither the device nor the
+// schedule.
+func WorldRNG(base int64, it int) *rand.Rand {
+	return rand.New(rand.NewSource(worldSeed(base, it)))
+}
+
+// RunKernel executes a kernel's worlds sequentially from the given substream
+// base and reduces them, accumulating in iteration order — the reference
+// semantics every device execution must (and does) match bit-identically.
+func RunKernel(k WorldKernel, base int64) (*Evaluation, error) {
+	width := k.Width()
+	sums := make([]float64, width)
+	tmp := make([]float64, width)
+	for it := 0; it < k.Worlds(); it++ {
+		for w := range tmp {
+			tmp[w] = 0
+		}
+		if err := k.Sample(it, WorldRNG(base, it), tmp); err != nil {
+			return nil, err
+		}
+		for w := range tmp {
+			sums[w] += tmp[w]
+		}
+	}
+	return k.Reduce(sums)
+}
+
+// nativeKernel is the Native evaluator's per-world kernel. Its figures are
+// laid out as: the sampled makespan (if any goal/constraint needs it), the
+// sampled world cost (if a probabilistic budget needs it), then one 0/1
+// satisfaction indicator per probabilistic constraint.
+type nativeKernel struct {
+	n      *Native
+	config []int
+
+	sampler  *configSampler
+	meanCost float64 // deterministic Eq. 1-2 cost, computed once
+
+	width     int
+	msIdx     int   // -1 when no makespan samples are needed
+	costIdx   int   // -1 when no cost samples are needed
+	indIdx    []int // per constraint: indicator figure, or -1
+	needMS    bool
+	needCost  bool
+}
+
+// Kernel implements KernelEvaluator.
+func (n *Native) Kernel(config []int) (WorldKernel, error) {
+	if len(config) != n.W.Len() {
+		return nil, fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
+	}
+	for _, j := range config {
+		if j < 0 || j >= n.NumTypes() {
+			return nil, fmt.Errorf("probir: type index %d out of range", j)
+		}
+	}
+	k := &nativeKernel{n: n, config: config, msIdx: -1, costIdx: -1}
+	k.needMS = n.Goal == GoalMakespan
+	for _, c := range n.Constraints {
+		if c.Kind == "deadline" {
+			k.needMS = true
+		}
+		if c.Kind == "budget" && c.Percentile >= 0 {
+			k.needCost = true
+		}
+	}
+	if k.needMS {
+		k.msIdx = k.width
+		k.width++
+	}
+	if k.needCost {
+		k.costIdx = k.width
+		k.width++
+	}
+	k.indIdx = make([]int, len(n.Constraints))
+	for ci, c := range n.Constraints {
+		k.indIdx[ci] = -1
+		if c.Percentile >= 0 {
+			k.indIdx[ci] = k.width
+			k.width++
+		}
+	}
+	var err error
+	if k.meanCost, err = n.MeanCost(config); err != nil {
+		return nil, err
+	}
+	if k.sampler, err = n.newSampler(config); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Worlds implements WorldKernel: no sampled worlds when every figure is
+// deterministic.
+func (k *nativeKernel) Worlds() int {
+	if !k.needMS && !k.needCost {
+		return 0
+	}
+	return k.n.Iters
+}
+
+// Width implements WorldKernel.
+func (k *nativeKernel) Width() int { return k.width }
+
+// Sample implements WorldKernel: draw one realization of every task's
+// execution time, run the longest-path DP for the makespan and sum the
+// realized cost, then score the probabilistic constraints.
+func (k *nativeKernel) Sample(it int, rng *rand.Rand, out []float64) error {
+	var ms, cost float64
+	if k.needMS {
+		ms = k.sampler.makespan(rng)
+		out[k.msIdx] = ms
+	}
+	if k.needCost {
+		cost = k.sampler.cost(rng)
+		out[k.costIdx] = cost
+	}
+	for ci, c := range k.n.Constraints {
+		fi := k.indIdx[ci]
+		if fi < 0 {
+			continue
+		}
+		switch c.Kind {
+		case "deadline":
+			if ms <= c.Bound {
+				out[fi] = 1
+			}
+		case "budget":
+			if cost <= c.Bound {
+				out[fi] = 1
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce implements WorldKernel: the same aggregation Algorithm 1 performs,
+// from figure sums instead of a sample loop.
+func (k *nativeKernel) Reduce(sums []float64) (*Evaluation, error) {
+	n := k.n
+	iters := float64(n.Iters)
+	ev := &Evaluation{Feasible: true, ConsProb: make([]float64, len(n.Constraints))}
+
+	switch n.Goal {
+	case GoalCost:
+		ev.Value = k.meanCost
+	case GoalMakespan:
+		ev.Value = sums[k.msIdx] / iters
+	default:
+		return nil, fmt.Errorf("probir: unknown goal kind %d", n.Goal)
+	}
+
+	for ci, c := range n.Constraints {
+		var prob, mean float64
+		switch c.Kind {
+		case "deadline":
+			mean = sums[k.msIdx] / iters
+			if c.Percentile < 0 {
+				// Deterministic notion: expected makespan within bound.
+				if mean <= c.Bound {
+					prob = 1
+				}
+			} else {
+				prob = sums[k.indIdx[ci]] / iters
+			}
+		case "budget":
+			if c.Percentile < 0 {
+				mean = k.meanCost
+				if mean <= c.Bound {
+					prob = 1
+				}
+			} else {
+				mean = sums[k.costIdx] / iters
+				prob = sums[k.indIdx[ci]] / iters
+			}
+		}
+		ev.ConsProb[ci] = prob
+		if c.Percentile < 0 {
+			if prob < 1 {
+				ev.Feasible = false
+				if c.Bound > 0 {
+					ev.Violation += (mean - c.Bound) / c.Bound
+				} else {
+					ev.Violation += mean
+				}
+			}
+		} else if prob < c.Percentile {
+			ev.Feasible = false
+			// The probability gap alone has no gradient once prob hits 0, so
+			// add the relative mean excess to keep the search climbing.
+			ev.Violation += c.Percentile - prob
+			if mean > c.Bound && c.Bound > 0 {
+				ev.Violation += (mean - c.Bound) / c.Bound
+			}
+		}
+	}
+	return ev, nil
+}

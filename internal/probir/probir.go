@@ -80,6 +80,12 @@ type Native struct {
 
 	order []string // topological order, cached
 	index map[string]int
+	// orderIdx[k] is the task index (W.Tasks order) of the k-th task in
+	// topological order; orderParents[k] are its parents' task indices. The
+	// per-world kernels run the longest-path DP over these integer arrays so
+	// the Monte-Carlo hot loop touches no maps.
+	orderIdx     []int
+	orderParents [][]int
 }
 
 // NewNative builds a native evaluator. The constraint list may contain
@@ -105,9 +111,21 @@ func NewNative(w *dag.Workflow, tbl *estimate.Table, prices []float64, goal Goal
 	for i, t := range w.Tasks {
 		idx[t.ID] = i
 	}
+	orderIdx := make([]int, len(order))
+	orderParents := make([][]int, len(order))
+	for k, id := range order {
+		orderIdx[k] = idx[id]
+		parents := w.Parents(id)
+		pi := make([]int, len(parents))
+		for i, p := range parents {
+			pi[i] = idx[p]
+		}
+		orderParents[k] = pi
+	}
 	return &Native{
 		W: w, Table: tbl, PricePerHour: prices, Goal: goal,
 		Constraints: cons, Iters: iters, order: order, index: idx,
+		orderIdx: orderIdx, orderParents: orderParents,
 	}, nil
 }
 
@@ -188,128 +206,72 @@ func (n *Native) MeanMakespan(config []int, rng *rand.Rand) (float64, error) {
 	return sum / float64(n.Iters), nil
 }
 
-// Evaluate implements Evaluator: Monte-Carlo inference per Algorithm 1.
+// Evaluate implements Evaluator: Monte-Carlo inference per Algorithm 1, run
+// as the per-world kernel plus reduction of kernel.go. Each world draws from
+// its own (state, iteration) substream seeded off rng, so a device running
+// the same kernel in parallel produces bit-identical results.
 func (n *Native) Evaluate(config []int, rng *rand.Rand) (*Evaluation, error) {
-	if len(config) != n.W.Len() {
-		return nil, fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
-	}
-	for _, j := range config {
-		if j < 0 || j >= n.NumTypes() {
-			return nil, fmt.Errorf("probir: type index %d out of range", j)
-		}
-	}
-	ev := &Evaluation{Feasible: true, ConsProb: make([]float64, len(n.Constraints))}
-
-	needMakespanSamples := n.Goal == GoalMakespan
-	needCostSamples := false
-	for _, c := range n.Constraints {
-		if c.Kind == "deadline" {
-			needMakespanSamples = true
-		}
-		if c.Kind == "budget" && c.Percentile >= 0 {
-			needCostSamples = true
-		}
-	}
-
-	var msSamples, costSamples []float64
-	if needMakespanSamples || needCostSamples {
-		msSamples = make([]float64, 0, n.Iters)
-		costSamples = make([]float64, 0, n.Iters)
-		for it := 0; it < n.Iters; it++ {
-			if needMakespanSamples {
-				ms, err := n.sampleMakespan(config, rng)
-				if err != nil {
-					return nil, err
-				}
-				msSamples = append(msSamples, ms)
-			}
-			if needCostSamples {
-				c, err := n.sampleCost(config, rng)
-				if err != nil {
-					return nil, err
-				}
-				costSamples = append(costSamples, c)
-			}
-		}
-	}
-
-	meanCost, err := n.MeanCost(config)
+	k, err := n.Kernel(config)
 	if err != nil {
 		return nil, err
 	}
+	return RunKernel(k, rng.Int63())
+}
 
-	switch n.Goal {
-	case GoalCost:
-		ev.Value = meanCost
-	case GoalMakespan:
-		sum := 0.0
-		for _, ms := range msSamples {
-			sum += ms
-		}
-		ev.Value = sum / float64(len(msSamples))
-	default:
-		return nil, fmt.Errorf("probir: unknown goal kind %d", n.Goal)
+// configSampler resolves one configuration against the time-distribution
+// table once, so per-world sampling runs over integer-indexed arrays with no
+// map lookups in the Monte-Carlo hot loop.
+type configSampler struct {
+	n *Native
+	s *estimate.Sampler
+	// pricePerTask is the hourly price of each task's configured type.
+	pricePerTask []float64
+}
+
+// newSampler builds the per-world sampler of a configuration; config indices
+// must already be validated.
+func (n *Native) newSampler(config []int) (*configSampler, error) {
+	ids := make([]string, len(n.W.Tasks))
+	for i, t := range n.W.Tasks {
+		ids[i] = t.ID
 	}
+	s, err := n.Table.Sampler(ids, config)
+	if err != nil {
+		return nil, err
+	}
+	prices := make([]float64, len(config))
+	for i, j := range config {
+		prices[i] = n.PricePerHour[j]
+	}
+	return &configSampler{n: n, s: s, pricePerTask: prices}, nil
+}
 
-	for ci, c := range n.Constraints {
-		var prob, mean float64
-		switch c.Kind {
-		case "deadline":
-			sum := 0.0
-			cnt := 0
-			for _, ms := range msSamples {
-				sum += ms
-				if ms <= c.Bound {
-					cnt++
-				}
-			}
-			mean = sum / float64(len(msSamples))
-			if c.Percentile < 0 {
-				// Deterministic notion: expected makespan within bound.
-				if mean <= c.Bound {
-					prob = 1
-				}
-			} else {
-				prob = float64(cnt) / float64(len(msSamples))
-			}
-		case "budget":
-			if c.Percentile < 0 {
-				mean = meanCost
-				if meanCost <= c.Bound {
-					prob = 1
-				}
-			} else {
-				cnt := 0
-				sum := 0.0
-				for _, cs := range costSamples {
-					sum += cs
-					if cs <= c.Bound {
-						cnt++
-					}
-				}
-				mean = sum / float64(len(costSamples))
-				prob = float64(cnt) / float64(len(costSamples))
+// makespan draws one world and returns its makespan via the longest-path DP
+// over the DAG (virtual root/tail of zero weight are implicit).
+func (cs *configSampler) makespan(rng *rand.Rand) float64 {
+	finish := make([]float64, cs.s.Len())
+	ms := 0.0
+	for k, ti := range cs.n.orderIdx {
+		start := 0.0
+		for _, p := range cs.n.orderParents[k] {
+			if finish[p] > start {
+				start = finish[p]
 			}
 		}
-		ev.ConsProb[ci] = prob
-		if c.Percentile < 0 {
-			if prob < 1 {
-				ev.Feasible = false
-				if c.Bound > 0 {
-					ev.Violation += (mean - c.Bound) / c.Bound
-				} else {
-					ev.Violation += mean
-				}
-			}
-		} else if prob < c.Percentile {
-			ev.Feasible = false
-			// The probability gap alone has no gradient once prob hits 0, so
-			// add the relative mean excess to keep the search climbing.
-			ev.Violation += c.Percentile - prob
-			if mean > c.Bound && c.Bound > 0 {
-				ev.Violation += (mean - c.Bound) / c.Bound
-			}
+		end := start + cs.s.Sample(ti, rng)
+		finish[ti] = end
+		if end > ms {
+			ms = end
 		}
 	}
-	return ev, nil
+	return ms
+}
+
+// cost draws one world's realized cost.
+func (cs *configSampler) cost(rng *rand.Rand) float64 {
+	total := 0.0
+	for i := 0; i < cs.s.Len(); i++ {
+		total += cs.s.Sample(i, rng) / 3600 * cs.pricePerTask[i]
+	}
+	return total
 }

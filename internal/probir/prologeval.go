@@ -3,6 +3,7 @@ package probir
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"deco/internal/dag"
 	"deco/internal/dist"
@@ -168,44 +169,80 @@ func queryNumber(m *prolog.Machine, v, query prolog.Term) (float64, error) {
 }
 
 // Evaluate implements Evaluator: the WLog interpreter of Algorithm 1 run for
-// Iters sampled realizations.
+// Iters sampled realizations, through the same per-world kernel the device
+// path executes, so results are device- and schedule-independent.
 func (p *Prolog) Evaluate(config []int, rng *rand.Rand) (*Evaluation, error) {
+	k, err := p.Kernel(config)
+	if err != nil {
+		return nil, err
+	}
+	return RunKernel(k, rng.Int63())
+}
+
+// prologKernel interprets one world per thread. Figures: the goal value,
+// then per constraint its queried value and a 0/1 satisfaction indicator.
+// Machines are pooled: each concurrent world checks one out, installs its
+// sampled facts (which clears any tabled answers), and returns it.
+type prologKernel struct {
+	p      *Prolog
+	config []int
+	pool   sync.Pool
+}
+
+// Kernel implements KernelEvaluator.
+func (p *Prolog) Kernel(config []int) (WorldKernel, error) {
 	if len(config) != p.W.Len() {
 		return nil, fmt.Errorf("probir: config length %d, want %d", len(config), p.W.Len())
 	}
-	m := p.base.Clone()
-	goalSum := 0.0
-	consCount := make([]float64, len(p.Program.Constraints))
-	consMeanSum := make([]float64, len(p.Program.Constraints))
-	for it := 0; it < p.Iters; it++ {
-		if err := p.assertWorld(m, config, rng); err != nil {
-			return nil, err
-		}
-		gv, err := queryNumber(m, p.Program.Goal.Var, p.Program.Goal.Query)
+	k := &prologKernel{p: p, config: config}
+	k.pool.New = func() any { return p.base.Clone() }
+	return k, nil
+}
+
+// Worlds implements WorldKernel.
+func (k *prologKernel) Worlds() int { return k.p.Iters }
+
+// Width implements WorldKernel.
+func (k *prologKernel) Width() int { return 1 + 2*len(k.p.Program.Constraints) }
+
+// Sample implements WorldKernel.
+func (k *prologKernel) Sample(it int, rng *rand.Rand, out []float64) error {
+	m := k.pool.Get().(*prolog.Machine)
+	defer k.pool.Put(m)
+	if err := k.p.assertWorld(m, k.config, rng); err != nil {
+		return err
+	}
+	gv, err := queryNumber(m, k.p.Program.Goal.Var, k.p.Program.Goal.Query)
+	if err != nil {
+		return err
+	}
+	out[0] = gv
+	for ci, c := range k.p.Program.Constraints {
+		cv, err := queryNumber(m, c.Var, c.Query)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		goalSum += gv
-		for ci, c := range p.Program.Constraints {
-			cv, err := queryNumber(m, c.Var, c.Query)
-			if err != nil {
-				return nil, err
-			}
-			consMeanSum[ci] += cv
-			if cv <= c.Bound {
-				consCount[ci]++
-			}
+		out[1+2*ci] = cv
+		if cv <= c.Bound {
+			out[2+2*ci] = 1
 		}
 	}
+	return nil
+}
+
+// Reduce implements WorldKernel.
+func (k *prologKernel) Reduce(sums []float64) (*Evaluation, error) {
+	p := k.p
+	iters := float64(p.Iters)
 	ev := &Evaluation{
-		Value:    goalSum / float64(p.Iters),
+		Value:    sums[0] / iters,
 		Feasible: true,
 		ConsProb: make([]float64, len(p.Program.Constraints)),
 	}
 	for ci, c := range p.Program.Constraints {
+		mean := sums[1+2*ci] / iters
 		if c.Percentile < 0 {
 			// Deterministic notion on the mean.
-			mean := consMeanSum[ci] / float64(p.Iters)
 			if mean <= c.Bound {
 				ev.ConsProb[ci] = 1
 			} else {
@@ -218,12 +255,12 @@ func (p *Prolog) Evaluate(config []int, rng *rand.Rand) (*Evaluation, error) {
 			}
 			continue
 		}
-		prob := consCount[ci] / float64(p.Iters)
+		prob := sums[2+2*ci] / iters
 		ev.ConsProb[ci] = prob
 		if prob < c.Percentile {
 			ev.Feasible = false
 			ev.Violation += c.Percentile - prob
-			if mean := consMeanSum[ci] / float64(p.Iters); mean > c.Bound && c.Bound > 0 {
+			if mean > c.Bound && c.Bound > 0 {
 				ev.Violation += (mean - c.Bound) / c.Bound
 			}
 		}

@@ -61,6 +61,11 @@ type SubmitRequest struct {
 	Seed         int64 `json:"seed,omitempty"`
 	Iters        int   `json:"iters,omitempty"`
 	SearchBudget int   `json:"search_budget,omitempty"`
+	// Threads bounds Monte-Carlo iteration parallelism within one state
+	// evaluation (threads per block in the §5.2 device model). 0 takes the
+	// server default; 1 restricts the solver to state-level parallelism.
+	// The produced plan is identical for every setting.
+	Threads int `json:"threads,omitempty"`
 }
 
 // Assignment maps one task to its provisioned instance type.
@@ -213,6 +218,12 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
 	if req.SearchBudget < 1 {
 		return nil, fmt.Errorf("search_budget must be >= 1")
 	}
+	if req.Threads == 0 {
+		req.Threads = m.cfg.DefaultThreads
+	}
+	if req.Threads < 0 {
+		return nil, fmt.Errorf("threads must be >= 0")
+	}
 	sources := 0
 	for _, s := range []string{req.Workflow, req.DAX, req.Program} {
 		if s != "" {
@@ -269,7 +280,9 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
 // jobKey computes the content-addressed cache key: a hash over the workflow
 // structure (or program text), the catalog, the goal and constraints, and the
 // solver configuration. Two requests with the same key provably ask for the
-// same plan.
+// same plan. Threads is deliberately excluded: plans are device- and
+// parallelism-independent (the solver's cross-device determinism tests pin
+// this down), so requests differing only in threads share a cache entry.
 func (m *Manager) jobKey(req *SubmitRequest, w *dag.Workflow) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "v1|cat=%s|seed=%d|iters=%d|budget=%d|goal=%s|", m.catHash, req.Seed, req.Iters, req.SearchBudget, req.Goal)
@@ -486,9 +499,10 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	type engineCfg struct {
-		seed   int64
-		iters  int
-		budget int
+		seed    int64
+		iters   int
+		budget  int
+		threads int
 	}
 	engines := make(map[engineCfg]*deco.Engine)
 	for j := range m.queue {
@@ -503,11 +517,12 @@ func (m *Manager) worker() {
 		m.metrics.JobsRunning.Add(1)
 		m.mu.Unlock()
 
-		cfg := engineCfg{seed: j.req.Seed, iters: j.req.Iters, budget: j.req.SearchBudget}
+		cfg := engineCfg{seed: j.req.Seed, iters: j.req.Iters, budget: j.req.SearchBudget, threads: j.req.Threads}
 		eng, ok := engines[cfg]
 		var err error
 		if !ok {
-			eng, err = deco.NewEngine(deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters), deco.WithSearchBudget(cfg.budget))
+			eng, err = deco.NewEngine(deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters),
+				deco.WithSearchBudget(cfg.budget), deco.WithThreads(cfg.threads))
 			if err == nil {
 				if len(engines) >= 8 { // bound worker-local engine memory
 					for k := range engines {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -89,12 +90,18 @@ func (m *Metrics) Snapshot(c *Cache) Snapshot {
 	return s
 }
 
-// quantile reads the p-th quantile from an ascending sample (nearest rank).
+// quantile reads the p-th quantile from an ascending sample: the nearest-rank
+// definition, rank ceil(p*n) (1-based). Truncating p*n instead of taking the
+// ceiling reads one element too high whenever p*n is an integer — e.g. the
+// p50 of [1,2,3,4] came back 3 rather than 2.
 func quantile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)))
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

@@ -41,6 +41,11 @@ type Config struct {
 	DefaultSeed         int64
 	DefaultIters        int
 	DefaultSearchBudget int
+	// DefaultThreads bounds Monte-Carlo iteration parallelism per state
+	// evaluation (threads per block); 0 lets the device split iterations
+	// freely, 1 restricts it to state-level parallelism. Plans do not depend
+	// on this knob.
+	DefaultThreads int
 }
 
 func (c *Config) fillDefaults() {

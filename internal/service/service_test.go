@@ -426,6 +426,34 @@ func TestMetricsReservoirQuantiles(t *testing.T) {
 	}
 }
 
+// quantile must implement nearest rank, ceil(p*n) 1-based: the old
+// truncation read one element too high when p*n landed on an integer (p50
+// of [1,2,3,4] came back 3).
+func TestQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{7}, 0.5, 7},
+		{[]float64{7}, 0.95, 7},
+		{[]float64{1, 2, 3, 4}, 0.50, 2}, // rank ceil(2)=2 → 2nd element
+		{[]float64{1, 2, 3, 4}, 0.25, 1},
+		{[]float64{1, 2, 3, 4}, 0.75, 3},
+		{[]float64{1, 2, 3, 4}, 0.95, 4},
+		{[]float64{1, 2, 3, 4}, 1.00, 4},
+		{[]float64{1, 2, 3, 4, 5}, 0.50, 3}, // rank ceil(2.5)=3 → median
+		{[]float64{1, 2, 3, 4, 5}, 0.95, 5},
+		{[]float64{1, 2, 3, 4, 5}, 0.0, 1},
+	}
+	for _, tc := range cases {
+		if got := quantile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("quantile(%v, %v) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
 func TestWorkflowFingerprintDistinguishesStructure(t *testing.T) {
 	m := &Manager{catHash: "x", cfg: Config{DefaultSeed: 1, DefaultIters: 10, DefaultSearchBudget: 10}}
 	base := SubmitRequest{Workflow: "pipeline", Seed: 1, Iters: 10, SearchBudget: 10,
