@@ -34,6 +34,7 @@ func main() {
 	budget := flag.Int("budget", 4000, "default solver state-evaluation budget")
 	threads := flag.Int("threads", 0, "default Monte-Carlo threads per state evaluation (0 = unbounded, 1 = state-level parallelism only)")
 	seed := flag.Int64("seed", 1, "default rng seed")
+	risk := flag.Float64("risk", 0.1, "default replan risk threshold for managed runs")
 	drain := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain bound")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		DefaultSearchBudget: *budget,
 		DefaultThreads:      *threads,
 		DefaultSeed:         *seed,
+		DefaultRisk:         *risk,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

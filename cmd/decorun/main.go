@@ -7,9 +7,18 @@
 //	decorun -program schedule.wlog
 //	decorun -program schedule.wlog -dax montage.dax -runs 10
 //	decorun -program schedule.wlog -show-ir
+//	decorun -program schedule.wlog -adapt -risk 0.1 -perturb 0.5 -runs 5
+//
+// With -adapt each run executes closed-loop: the runtime monitor watches
+// execution events, re-estimates the violation probability of the program's
+// constraints after every task completion, and replans the unstarted tasks
+// when it crosses -risk. -perturb scales the simulator's ground-truth I/O
+// and network performance away from the calibrated histograms (0.5 = half
+// speed) to exercise the monitor under calibration drift.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,10 +27,12 @@ import (
 	"sort"
 
 	"deco"
+	"deco/internal/cloud"
 	"deco/internal/dag"
 	"deco/internal/dax"
 	"deco/internal/dist"
 	"deco/internal/probir"
+	"deco/internal/runtime"
 	"deco/internal/service"
 	"deco/internal/sim"
 	"deco/internal/wlog"
@@ -36,6 +47,9 @@ func main() {
 	budget := flag.Int("budget", 4000, "solver state-evaluation budget")
 	showIR := flag.Bool("show-ir", false, "print the probabilistic IR translation and exit")
 	asJSON := flag.Bool("json", false, "emit the plan as JSON (for WMS integration)")
+	adapt := flag.Bool("adapt", false, "execute closed-loop under the runtime monitor (with -runs)")
+	risk := flag.Float64("risk", 0.1, "replan when the estimated violation probability exceeds this (with -adapt)")
+	perturb := flag.Float64("perturb", 1, "scale the simulator's ground-truth perf away from calibration (with -adapt; 1 = none)")
 	flag.Parse()
 
 	if *program == "" {
@@ -113,6 +127,38 @@ func main() {
 	fmt.Println("provisioning plan:")
 	for _, id := range ids {
 		fmt.Printf("  %-24s -> %s\n", id, asg[id])
+	}
+
+	if *adapt {
+		n := *runs
+		if n < 1 {
+			n = 1
+		}
+		execCat := eng.Catalog()
+		if *perturb != 1 {
+			if execCat, err = cloud.ScalePerf(execCat, *perturb); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("\nadaptive execution (%d run(s), risk threshold %.2f, perf scale %.2f):\n",
+			n, *risk, *perturb)
+		totalReplans := 0
+		for i := 0; i < n; i++ {
+			res, rep, err := plan.ExecuteAdaptive(context.Background(), *seed+int64(i), execCat,
+				runtime.Options{Risk: *risk, Seed: *seed + int64(i)})
+			if err != nil {
+				fatal(err)
+			}
+			totalReplans += rep.Replans
+			met := ""
+			if rep.DeadlineMet != nil {
+				met = fmt.Sprintf("  deadline met=%v", *rep.DeadlineMet)
+			}
+			fmt.Printf("  run %d: makespan %.1fs  cost $%.4f  drift %.2f  replans=%d%s\n",
+				i+1, res.Makespan, res.TotalCost, rep.Drift, rep.Replans, met)
+		}
+		fmt.Printf("adaptive summary: replans=%d over %d run(s)\n", totalReplans, n)
+		return
 	}
 
 	if *runs > 0 {

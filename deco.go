@@ -199,6 +199,10 @@ type Plan struct {
 	Feasible bool
 	// ConsProb is the satisfaction probability per constraint.
 	ConsProb []float64
+	// Constraints are the probabilistic constraints the plan was solved
+	// under (absolute bounds) — what the runtime monitor re-checks during
+	// adaptive execution.
+	Constraints []wlog.Constraint
 	// StatesEvaluated counts solver evaluations.
 	StatesEvaluated int
 
@@ -346,6 +350,7 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 		Objective:       res.BestEval.Value,
 		Feasible:        res.Feasible,
 		ConsProb:        res.BestEval.ConsProb,
+		Constraints:     cons,
 		StatesEvaluated: res.Evaluated,
 		engine:          e,
 	}, nil
@@ -528,6 +533,7 @@ func (e *Engine) runProgramProlog(ctx context.Context, prog *wlog.Program, w *da
 		Objective:       res.BestEval.Value,
 		Feasible:        res.Feasible,
 		ConsProb:        res.BestEval.ConsProb,
+		Constraints:     prog.Constraints,
 		StatesEvaluated: res.Evaluated,
 		engine:          e,
 	}, nil

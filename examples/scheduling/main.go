@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -90,7 +91,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			asRuns, err := s.RunMany(w, asPlan, 20)
+			asRuns, err := s.RunMany(context.Background(), w, asPlan, 20)
 			if err != nil {
 				log.Fatal(err)
 			}

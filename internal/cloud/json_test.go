@@ -3,6 +3,7 @@ package cloud
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -58,6 +59,62 @@ func TestCatalogJSONFiles(t *testing.T) {
 	}
 	if _, err := LoadCatalog(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestCatalogFileRoundTripStable drives the full load→write→load cycle on
+// disk: a loaded catalog re-serializes to byte-identical JSON, so catalogs
+// can be round-tripped through files (edited, versioned, diffed) without
+// churn. Also covers a ScalePerf-derived catalog, whose distributions were
+// built programmatically rather than parsed.
+func TestCatalogFileRoundTripStable(t *testing.T) {
+	dir := t.TempDir()
+	scaled, err := ScalePerf(DefaultCatalog(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cat := range map[string]*Catalog{"default": DefaultCatalog(), "scaled": scaled} {
+		first := filepath.Join(dir, name+"-1.json")
+		second := filepath.Join(dir, name+"-2.json")
+		if err := cat.SaveCatalog(first); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadCatalog(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.SaveCatalog(second); err != nil {
+			t.Fatal(err)
+		}
+		b1, err := os.ReadFile(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: second write differs from first", name)
+		}
+		again, err := LoadCatalog(second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, typ := range cat.TypeNames() {
+			if math.Abs(again.Perf.SeqIO[typ].Mean()-cat.Perf.SeqIO[typ].Mean()) > 1e-12 {
+				t.Errorf("%s: %s seq mean drifted across two file round trips", name, typ)
+			}
+		}
+		for _, r := range cat.Regions {
+			for _, typ := range cat.TypeNames() {
+				want, _ := cat.Price(r.Name, typ)
+				got, err := again.Price(r.Name, typ)
+				if err != nil || got != want {
+					t.Errorf("%s: price %s/%s = %v (want %v) %v", name, r.Name, typ, got, want, err)
+				}
+			}
+		}
 	}
 }
 

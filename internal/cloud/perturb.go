@@ -1,0 +1,71 @@
+package cloud
+
+import (
+	"fmt"
+
+	"deco/internal/dist"
+)
+
+// scaleDist multiplies a performance distribution's rate by factor —
+// Normal and Gamma scale both location and spread (a slow disk is also a
+// noisy disk in MB/s terms), Uniform and Constant scale their bounds.
+func scaleDist(d dist.Dist, factor float64) (dist.Dist, error) {
+	switch v := d.(type) {
+	case dist.Normal:
+		return dist.NewNormal(v.Mu*factor, v.Sigma*factor), nil
+	case dist.Gamma:
+		return dist.NewGamma(v.K, v.Theta*factor), nil
+	case dist.Uniform:
+		return dist.NewUniform(v.Lo*factor, v.Hi*factor), nil
+	case dist.Constant:
+		return dist.Constant{V: v.V * factor}, nil
+	}
+	return nil, fmt.Errorf("cloud: cannot scale distribution %T", d)
+}
+
+// ScalePerf returns a copy of the catalog whose ground-truth performance is
+// multiplied by factor (0.5 = everything runs at half speed): effective ECU
+// (CPU steal), I/O, and network rates all scale. Prices and regions are
+// untouched. This is the drift injector for runtime-adaptation experiments:
+// calibrate against the original catalog, execute against the scaled one,
+// and the calibrated forecasts are systematically wrong by exactly
+// 1/factor.
+func ScalePerf(c *Catalog, factor float64) (*Catalog, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("cloud: perf scale factor must be positive, got %v", factor)
+	}
+	out := &Catalog{
+		Types:   append([]InstanceType(nil), c.Types...),
+		Regions: append([]Region(nil), c.Regions...),
+		Perf: PerfModel{
+			SeqIO:  make(map[string]dist.Dist, len(c.Perf.SeqIO)),
+			RandIO: make(map[string]dist.Dist, len(c.Perf.RandIO)),
+			Net:    make(map[string]dist.Dist, len(c.Perf.Net)),
+		},
+	}
+	for i := range out.Types {
+		out.Types[i].ECU *= factor
+	}
+	var err error
+	for typ, d := range c.Perf.SeqIO {
+		if out.Perf.SeqIO[typ], err = scaleDist(d, factor); err != nil {
+			return nil, err
+		}
+	}
+	for typ, d := range c.Perf.RandIO {
+		if out.Perf.RandIO[typ], err = scaleDist(d, factor); err != nil {
+			return nil, err
+		}
+	}
+	for typ, d := range c.Perf.Net {
+		if out.Perf.Net[typ], err = scaleDist(d, factor); err != nil {
+			return nil, err
+		}
+	}
+	if c.Perf.CrossRegionNet != nil {
+		if out.Perf.CrossRegionNet, err = scaleDist(c.Perf.CrossRegionNet, factor); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

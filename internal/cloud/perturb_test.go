@@ -1,0 +1,59 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalePerfScalesTruthNotPrices(t *testing.T) {
+	cat := DefaultCatalog()
+	out, err := ScalePerf(cat, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, typ := range cat.Types {
+		if got, want := out.Types[i].ECU, typ.ECU*0.5; math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s ECU %v, want %v", typ.Name, got, want)
+		}
+	}
+	for _, typ := range cat.TypeNames() {
+		if got, want := out.Perf.SeqIO[typ].Mean(), cat.Perf.SeqIO[typ].Mean()*0.5; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s seq I/O mean %v, want %v", typ, got, want)
+		}
+		if got, want := out.Perf.Net[typ].Mean(), cat.Perf.Net[typ].Mean()*0.5; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s net mean %v, want %v", typ, got, want)
+		}
+	}
+	if cat.Perf.CrossRegionNet != nil {
+		if got, want := out.Perf.CrossRegionNet.Mean(), cat.Perf.CrossRegionNet.Mean()*0.5; math.Abs(got-want) > 1e-9 {
+			t.Errorf("cross-region mean %v, want %v", got, want)
+		}
+	}
+	for _, r := range cat.Regions {
+		for _, typ := range cat.TypeNames() {
+			want, _ := cat.Price(r.Name, typ)
+			got, err := out.Price(r.Name, typ)
+			if err != nil || got != want {
+				t.Errorf("price %s/%s changed: %v (want %v) %v", r.Name, typ, got, want, err)
+			}
+		}
+	}
+	// The original catalog is untouched.
+	fresh := DefaultCatalog()
+	for i := range cat.Types {
+		if cat.Types[i].ECU != fresh.Types[i].ECU {
+			t.Fatalf("ScalePerf mutated its input (%s ECU)", cat.Types[i].Name)
+		}
+	}
+}
+
+func TestScalePerfRejectsBadFactors(t *testing.T) {
+	for _, f := range []float64{0, -1} {
+		if _, err := ScalePerf(DefaultCatalog(), f); err == nil {
+			t.Errorf("factor %v accepted", f)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -22,7 +23,7 @@ func (e *Env) runPlan(w *dag.Workflow, plan *sim.Plan, seed int64) (avgCost, avg
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	rs, err := s.RunMany(w, plan, e.Cfg.Runs)
+	rs, err := s.RunMany(context.Background(), w, plan, e.Cfg.Runs)
 	if err != nil {
 		return 0, 0, nil, err
 	}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -294,12 +295,12 @@ func TestConsolidateMergesSerialChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := s.Run(w, plan)
+	merged, err := s.Run(context.Background(), w, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2, _ := sim.New(sim.DefaultOptions(cat, rand.New(rand.NewSource(4))))
-	separate, err := s2.Run(w, sim.UniformPlan(w, "m1.small", cloud.USEast))
+	separate, err := s2.Run(context.Background(), w, sim.UniformPlan(w, "m1.small", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}

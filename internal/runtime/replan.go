@@ -1,0 +1,184 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deco/internal/dag"
+	"deco/internal/opt"
+	"deco/internal/probir"
+	"deco/internal/sim"
+)
+
+// residualSpace is the incremental-replan search space: full configuration
+// vectors whose start state is the *current* plan (warm start) and whose
+// neighbors mutate only unstarted tasks — started work is sunk. Evaluation
+// is the residual Monte-Carlo kernel, so spent cost and elapsed time are
+// folded into every candidate's constraints.
+type residualSpace struct {
+	r         *residual
+	base      []int
+	unstarted []int // positions free to change
+	numTypes  int
+}
+
+// Initial implements opt.Space: the running plan restricted to unfinished
+// tasks — exactly where the execution currently stands.
+func (s *residualSpace) Initial() opt.State {
+	return append(opt.State(nil), s.base...)
+}
+
+// Neighbors implements opt.Space: promote/demote each unstarted task by one
+// type, plus a global shift of all unstarted tasks (the escape move for
+// uniform drift).
+func (s *residualSpace) Neighbors(st opt.State) []opt.State {
+	var out []opt.State
+	for _, i := range s.unstarted {
+		for _, d := range []int{1, -1} {
+			j := st[i] + d
+			if j < 0 || j >= s.numTypes {
+				continue
+			}
+			c := append(opt.State(nil), st...)
+			c[i] = j
+			out = append(out, c)
+		}
+	}
+	for _, d := range []int{1, -1} {
+		c := append(opt.State(nil), st...)
+		moved := false
+		for _, i := range s.unstarted {
+			j := st[i] + d
+			if j >= 0 && j < s.numTypes {
+				c[i] = j
+				moved = true
+			}
+		}
+		if moved {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Evaluate implements opt.Space, running the residual kernel with the
+// solver-supplied state rng — the same substream base the kernel path
+// derives, so both are bit-identical.
+func (s *residualSpace) Evaluate(st opt.State, rng *rand.Rand) (*probir.Evaluation, error) {
+	k, err := s.r.buildKernel(st)
+	if err != nil {
+		return nil, err
+	}
+	return probir.RunKernel(k, rng.Int63())
+}
+
+// Kernel implements opt.KernelSpace for two-level device execution.
+func (s *residualSpace) Kernel(st opt.State) (probir.WorldKernel, error) {
+	return s.r.buildKernel(st)
+}
+
+// replanPlacements materializes the unstarted portion of a new
+// configuration into placements on fresh slots: the unstarted sub-DAG is
+// consolidated (hour-packed) exactly like an initial plan, then its slots
+// are offset past every slot the execution has already referenced.
+func (m *Monitor) replanPlacements(config []int) (map[string]sim.Placement, error) {
+	sub := dag.New(m.w.Name + "/residual")
+	subIdx := []int{}
+	for i, t := range m.w.Tasks {
+		if m.res.state[i] != stUnstarted {
+			continue
+		}
+		tc := *t
+		if err := sub.AddTask(&tc); err != nil {
+			return nil, err
+		}
+		subIdx = append(subIdx, i)
+	}
+	for _, i := range subIdx {
+		id := m.w.Tasks[i].ID
+		for _, p := range m.w.Parents(id) {
+			if sub.Task(p) != nil {
+				if err := sub.AddEdge(p, id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	subCfg := make(opt.State, 0, len(subIdx))
+	for _, i := range subIdx {
+		subCfg = append(subCfg, config[i])
+	}
+	plan, err := opt.Consolidate(sub, subCfg, m.tbl, m.region)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]sim.Placement, len(plan.Place))
+	maxUsed := -1
+	for id, pl := range plan.Place {
+		pl.Slot += m.nextSlot
+		if pl.Slot-m.nextSlot > maxUsed {
+			maxUsed = pl.Slot - m.nextSlot
+		}
+		out[id] = pl
+	}
+	m.nextSlot += maxUsed + 1
+	return out, nil
+}
+
+// replan runs the warm-started incremental search and, if the best found
+// configuration ranks strictly better than staying the course, returns the
+// revised placements for the unstarted tasks.
+func (m *Monitor) replan(cur *probir.Evaluation, seed int64) (map[string]sim.Placement, *ReplanEvent, error) {
+	unstarted := []int{}
+	for i := range m.config {
+		if m.res.state[i] == stUnstarted {
+			unstarted = append(unstarted, i)
+		}
+	}
+	if len(unstarted) == 0 {
+		return nil, nil, nil
+	}
+	space := &residualSpace{
+		r:         m.res,
+		base:      append([]int(nil), m.config...),
+		unstarted: unstarted,
+		numTypes:  len(m.tbl.Types),
+	}
+	sopt := opt.Options{
+		Device:    m.opt.Device,
+		MaxStates: m.opt.ReplanBudget,
+		BeamWidth: 6,
+		Patience:  6,
+		Seed:      seed,
+		Ctx:       m.opt.Ctx,
+	}
+	res, err := opt.Search(space, sopt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runtime: replan search: %w", err)
+	}
+	if scoreEval(res.BestEval) >= scoreEval(cur) {
+		return nil, nil, nil // staying the course is at least as good
+	}
+	changed := map[string]string{}
+	for _, i := range unstarted {
+		if res.Best[i] != m.config[i] {
+			changed[m.w.Tasks[i].ID] = m.tbl.Types[res.Best[i]]
+		}
+	}
+	if len(changed) == 0 {
+		return nil, nil, nil
+	}
+	newCfg := append([]int(nil), m.config...)
+	for _, i := range unstarted {
+		newCfg[i] = res.Best[i]
+	}
+	upd, err := m.replanPlacements(newCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.config = newCfg
+	for id, pl := range upd {
+		m.plan[id] = pl
+	}
+	return upd, &ReplanEvent{Changed: len(changed), Assignments: changed}, nil
+}

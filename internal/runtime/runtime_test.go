@@ -1,0 +1,224 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/estimate"
+	"deco/internal/sim"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// scenario is the drift test-bed: a chain workflow planned on the cheapest
+// type against calibrated forecasts, with a deadline the calibrated plan
+// meets comfortably and a perturbable ground-truth catalog for execution.
+type scenario struct {
+	w        *dag.Workflow
+	cat      *cloud.Catalog // calibration ground truth
+	tbl      *estimate.Table
+	prices   []float64
+	plan     *sim.Plan
+	deadline float64
+	cons     []wlog.Constraint
+}
+
+func newScenario(t *testing.T) *scenario {
+	t.Helper()
+	cat := cloud.DefaultCatalog()
+	meta, err := cloud.MetadataFromTruth(cat, 20, 400, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(cat, meta)
+	w, err := wfgen.Pipeline(6, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := est.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cat.TypeNames()
+	prices := make([]float64, len(names))
+	for j, n := range names {
+		if prices[j], err = cat.Price(cloud.USEast, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cheapest-type chain: the cost-minimal plan when the deadline leaves
+	// this much slack.
+	small := 0
+	for j, n := range names {
+		if n == "m1.small" {
+			small = j
+		}
+	}
+	mean := 0.0
+	for _, tk := range w.Tasks {
+		td, err := tbl.Dist(tk.ID, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += td.Mean()
+	}
+	s := &scenario{
+		w: w, cat: cat, tbl: tbl, prices: prices,
+		plan:     sim.UniformPlan(w, "m1.small", cloud.USEast),
+		deadline: 1.25 * mean,
+	}
+	s.cons = []wlog.Constraint{{Kind: "deadline", Percentile: 0.95, Bound: s.deadline}}
+	return s
+}
+
+func (s *scenario) execCat(t *testing.T, factor float64) *cloud.Catalog {
+	t.Helper()
+	if factor == 1 {
+		return s.cat
+	}
+	c, err := cloud.ScalePerf(s.cat, factor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runOnce executes the scenario once. A nil monitor is an open-loop run.
+func (s *scenario) runOnce(t *testing.T, factor float64, seed int64, o *Options) (*sim.Result, *Report) {
+	t.Helper()
+	sm, err := sim.New(sim.DefaultOptions(s.execCat(t, factor), rand.New(rand.NewSource(seed))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		res, err := sm.Run(context.Background(), s.w, s.plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, nil
+	}
+	mon, err := NewMonitor(s.w, s.plan, s.tbl, s.prices, cloud.USEast, s.cons, *o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.RunControlled(context.Background(), s.w, s.plan, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Err() != nil {
+		t.Fatalf("monitor error: %v", mon.Err())
+	}
+	mon.Finish(res)
+	return res, mon.Report()
+}
+
+// TestAdaptiveRecoversDeadlineUnderDrift is the acceptance scenario: the
+// simulator's ground truth degrades to half the calibrated performance;
+// open-loop execution of the calibrated plan misses the deadline, the
+// monitored execution detects the drift, replans, and meets it — measured
+// over 20 seeded runs.
+func TestAdaptiveRecoversDeadlineUnderDrift(t *testing.T) {
+	s := newScenario(t)
+	const runs = 20
+	const factor = 0.5
+	openMiss, adaptMiss, replans := 0, 0, 0
+	for i := 0; i < runs; i++ {
+		seed := int64(100 + i)
+		open, _ := s.runOnce(t, factor, seed, nil)
+		if open.Makespan > s.deadline {
+			openMiss++
+		}
+		o := &Options{Seed: seed, Iters: 150, ReplanBudget: 200}
+		adapt, rep := s.runOnce(t, factor, seed, o)
+		if adapt.Makespan > s.deadline {
+			adaptMiss++
+		}
+		replans += rep.Replans
+		if rep.Drift < 1.3 {
+			t.Errorf("seed %d: learned drift %.2f, want > 1.3 under half-speed truth", seed, rep.Drift)
+		}
+	}
+	if openMiss < runs*3/4 {
+		t.Fatalf("scenario too weak: open-loop missed the deadline only %d/%d times", openMiss, runs)
+	}
+	if replans == 0 {
+		t.Fatalf("no replans fired over %d drifted runs", runs)
+	}
+	if adaptMiss*2 >= openMiss {
+		t.Fatalf("adaptation did not measurably reduce violations: open-loop %d/%d misses, adaptive %d/%d",
+			openMiss, runs, adaptMiss, runs)
+	}
+	t.Logf("deadline %.0fs: open-loop missed %d/%d, adaptive missed %d/%d (%d replans)",
+		s.deadline, openMiss, runs, adaptMiss, runs, replans)
+}
+
+// TestNoDriftNoSpuriousReplans: when execution matches calibration, the
+// monitor must stay quiet — zero replans across seeds.
+func TestNoDriftNoSpuriousReplans(t *testing.T) {
+	s := newScenario(t)
+	for i := 0; i < 10; i++ {
+		seed := int64(500 + i)
+		o := &Options{Seed: seed, Iters: 150, ReplanBudget: 200}
+		res, rep := s.runOnce(t, 1, seed, o)
+		if rep.Replans != 0 {
+			t.Fatalf("seed %d: %d spurious replans without drift (risk max %.3f)", seed, rep.Replans, rep.RiskMax)
+		}
+		if res.Makespan > s.deadline {
+			t.Errorf("seed %d: calibrated run missed its own deadline (%.1f > %.1f)", seed, res.Makespan, s.deadline)
+		}
+	}
+}
+
+// TestAdaptiveRunsAreDeterministic: the same seed must reproduce the exact
+// event log and the exact final plan — monitoring decisions, replan
+// searches, and the simulator all derive from explicit substreams.
+func TestAdaptiveRunsAreDeterministic(t *testing.T) {
+	s := newScenario(t)
+	type outcome struct {
+		events []byte
+		cfg    map[string]string
+		place  map[string]sim.Placement
+		ms     float64
+	}
+	run := func() outcome {
+		o := &Options{Seed: 42, Iters: 150, ReplanBudget: 200}
+		res, rep := s.runOnce(t, 0.5, 42, o)
+		ev, err := json.Marshal(rep.Events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{events: ev, cfg: rep.FinalConfig, place: res.Plan.Place, ms: res.Makespan}
+	}
+	a, b := run(), run()
+	if string(a.events) != string(b.events) {
+		t.Fatalf("event logs differ between identical seeded runs:\n%s\n---\n%s", a.events, b.events)
+	}
+	if !reflect.DeepEqual(a.cfg, b.cfg) {
+		t.Fatalf("final configs differ: %v vs %v", a.cfg, b.cfg)
+	}
+	if !reflect.DeepEqual(a.place, b.place) {
+		t.Fatalf("final plans differ: %v vs %v", a.place, b.place)
+	}
+	if a.ms != b.ms {
+		t.Fatalf("makespans differ: %v vs %v", a.ms, b.ms)
+	}
+	// The run must actually have adapted, or the test proves nothing.
+	var evs []StreamEvent
+	if err := json.Unmarshal(a.events, &evs); err != nil {
+		t.Fatal(err)
+	}
+	sawReplan := false
+	for _, e := range evs {
+		if e.Kind == "replan" {
+			sawReplan = true
+		}
+	}
+	if !sawReplan {
+		t.Fatal("determinism scenario produced no replan; tighten it")
+	}
+}

@@ -14,6 +14,12 @@ import (
 //	GET    /v1/jobs/{id}        job status + result when done
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	DELETE /v1/jobs/{id}        same as cancel
+//	POST   /v1/runs             submit a managed run: plan, then execute on
+//	                            the simulator under the runtime monitor (202)
+//	GET    /v1/runs/{id}        run status + result when done
+//	GET    /v1/runs/{id}/events stream the run's execution events as NDJSON
+//	                            (blocks until the run finishes)
+//	POST   /v1/runs/{id}/cancel cancel a queued or running managed run
 //	GET    /healthz             liveness probe
 //	GET    /metrics             JSON counters + solve-latency quantiles
 func (s *Server) Handler() http.Handler {
@@ -23,6 +29,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/runs", s.handleRunSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -85,6 +96,54 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	view, err := s.mgr.SubmitRun(req)
+	switch {
+	case errors.Is(err, errBadRequest):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Resolve before committing to a streaming response, so a missing run
+	// still gets a clean JSON 404.
+	if _, err := s.mgr.Get(id); errors.Is(err, ErrNotFound) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := s.mgr.StreamEvents(r.Context(), id, w, flush); errors.Is(err, ErrNotFound) {
+		// Not a managed run (or pruned before the first event was written):
+		// nothing has been sent yet, so the error document is still valid.
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	flush()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

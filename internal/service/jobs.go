@@ -113,9 +113,13 @@ func PlanResultOf(p *deco.Plan) PlanResult {
 
 // JobView is the externally visible state of a job.
 type JobView struct {
-	ID        string          `json:"id"`
-	State     JobState        `json:"state"`
-	Cached    bool            `json:"cached,omitempty"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Kind is "run" for managed runs, empty for planning jobs.
+	Kind   string `json:"kind,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	// Events counts the run's streamed events so far (managed runs only).
+	Events    int             `json:"events,omitempty"`
 	Workflow  string          `json:"workflow,omitempty"`
 	Submitted time.Time       `json:"submitted"`
 	Started   *time.Time      `json:"started,omitempty"`
@@ -131,7 +135,9 @@ type job struct {
 	req SubmitRequest
 	// wf is the resolved workflow (nil in program mode).
 	wf  *dag.Workflow
-	key string // content-addressed cache key
+	key string // content-addressed cache key (empty for managed runs)
+	// run marks a managed-run job and holds its live event log.
+	run *runState
 
 	state     JobState
 	cached    bool
@@ -167,6 +173,10 @@ type Manager struct {
 	nextID int
 	closed bool
 
+	// runCond (on mu) wakes event streamers when a run appends events or
+	// reaches a terminal state.
+	runCond *sync.Cond
+
 	queue chan *job
 	wg    sync.WaitGroup
 }
@@ -181,6 +191,7 @@ func NewManager(cfg Config, cache *Cache, metrics *Metrics) *Manager {
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueDepth),
 	}
+	m.runCond = sync.NewCond(&m.mu)
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -452,6 +463,7 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 		j.cancel()
 		m.metrics.JobsQueued.Add(-1)
 		m.metrics.JobsCancelled.Add(1)
+		m.runCond.Broadcast()
 	case JobRunning:
 		// The solver aborts between state evaluations; the worker marks the
 		// terminal state when ScheduleContext returns.
@@ -534,9 +546,16 @@ func (m *Manager) worker() {
 			}
 		}
 
-		var plan *deco.Plan
+		var doc json.RawMessage
 		if err == nil {
-			plan, err = solve(j.ctx, eng, j)
+			if j.run != nil {
+				doc, err = m.runManaged(j, eng)
+			} else {
+				var plan *deco.Plan
+				if plan, err = solve(j.ctx, eng, j); err == nil {
+					doc, err = json.Marshal(PlanResultOf(plan))
+				}
+			}
 		}
 
 		m.mu.Lock()
@@ -552,20 +571,16 @@ func (m *Manager) worker() {
 			j.errMsg = err.Error()
 			m.metrics.JobsFailed.Add(1)
 		default:
-			doc, mErr := json.Marshal(PlanResultOf(plan))
-			if mErr != nil {
-				j.state = JobFailed
-				j.errMsg = mErr.Error()
-				m.metrics.JobsFailed.Add(1)
-			} else {
-				j.state = JobDone
-				j.result = doc
-				m.metrics.JobsDone.Add(1)
+			j.state = JobDone
+			j.result = doc
+			m.metrics.JobsDone.Add(1)
+			if j.run == nil {
 				m.metrics.ObserveSolve(j.finished.Sub(j.started).Seconds())
 				m.cache.Put(j.key, doc)
 			}
 		}
 		j.cancel()
+		m.runCond.Broadcast()
 		m.mu.Unlock()
 	}
 }
@@ -596,6 +611,10 @@ func (j *job) viewLocked() JobView {
 		Submitted: j.submitted,
 		Error:     j.errMsg,
 		Result:    j.result,
+	}
+	if j.run != nil {
+		v.Kind = "run"
+		v.Events = len(j.run.events)
 	}
 	if j.wf != nil {
 		v.Workflow = j.wf.Name

@@ -19,6 +19,9 @@ type Metrics struct {
 	JobsFailed    atomic.Int64 // cumulative failures
 	JobsCancelled atomic.Int64 // cumulative cancellations
 
+	RunsDone     atomic.Int64 // cumulative managed runs completed
+	ReplansTotal atomic.Int64 // cumulative replans across all managed runs
+
 	mu        sync.Mutex
 	latencies []float64 // reservoir of solve latencies in seconds
 	seen      int64     // total latencies observed
@@ -56,6 +59,9 @@ type Snapshot struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
 
+	RunsDone     int64 `json:"runs_done"`
+	ReplansTotal int64 `json:"replans_total"`
+
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
@@ -73,6 +79,8 @@ func (m *Metrics) Snapshot(c *Cache) Snapshot {
 		JobsDone:      m.JobsDone.Load(),
 		JobsFailed:    m.JobsFailed.Load(),
 		JobsCancelled: m.JobsCancelled.Load(),
+		RunsDone:      m.RunsDone.Load(),
+		ReplansTotal:  m.ReplansTotal.Load(),
 	}
 	if c != nil {
 		s.CacheHits, s.CacheMisses = c.Stats()

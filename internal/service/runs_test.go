@@ -1,0 +1,207 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"deco"
+	"deco/internal/runtime"
+)
+
+// pipelineDeadline computes a deadline the calibrated all-small plan for the
+// named "pipeline" workflow meets with slack — mirroring the engine a
+// quickCfg worker would build, so the service's solver sees the same
+// forecasts.
+func pipelineDeadline(t *testing.T) float64 {
+	t.Helper()
+	w, err := deco.NamedWorkflow("pipeline", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := deco.NewEngine(deco.WithSeed(1), deco.WithIters(20), deco.WithSearchBudget(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := eng.Estimator().BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := -1
+	for j, name := range tbl.Types {
+		if name == "m1.small" {
+			small = j
+		}
+	}
+	if small < 0 {
+		t.Fatal("no m1.small in calibrated table")
+	}
+	mean := 0.0
+	for _, tk := range w.Tasks {
+		td, err := tbl.Dist(tk.ID, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += td.Mean()
+	}
+	return 1.25 * mean
+}
+
+func submitRun(t *testing.T, ts *httptest.Server, req RunRequest, wantCode int) JobView {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/v1/runs", req)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("submit run: status %d, want %d; body: %s", resp.StatusCode, wantCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("submit run response: %v; body: %s", err, body)
+	}
+	return v
+}
+
+func TestManagedRunAdaptsUnderDrift(t *testing.T) {
+	srv, ts := newTestServer(t, quickCfg())
+	deadline := pipelineDeadline(t)
+
+	v := submitRun(t, ts, RunRequest{
+		SubmitRequest: SubmitRequest{
+			Workflow: "pipeline",
+			Deadline: &PctBound{Percentile: 0.9, Value: deadline},
+		},
+		Adapt:   true,
+		Perturb: 0.5,
+	}, http.StatusAccepted)
+	if v.Kind != "run" || v.State != JobQueued {
+		t.Fatalf("submit view = %+v, want a queued run", v)
+	}
+
+	// Open the event stream while the run is (potentially) still executing:
+	// it must deliver the full log and terminate once the run is done.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	var events []runtime.StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev runtime.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[len(events)-1].Kind != "done" {
+		t.Fatalf("stream ended without a done event (%d events)", len(events))
+	}
+
+	done := waitForState(t, ts, v.ID, JobDone, 60*time.Second)
+	var res RunResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("run result: %v; body: %s", err, done.Result)
+	}
+	if res.Events != len(events) {
+		t.Errorf("result says %d events, stream delivered %d", res.Events, len(events))
+	}
+	if res.Replans < 1 {
+		t.Errorf("no replans under perf scale 0.5 (risk max %.3f, drift %.2f)", res.RiskMax, res.Drift)
+	}
+	if res.Drift < 1.3 {
+		t.Errorf("learned drift %.2f, want > 1.3 under half-speed truth", res.Drift)
+	}
+	if res.DeadlineMet == nil {
+		t.Error("deadline-constrained run reported no deadline outcome")
+	}
+	changed := false
+	if len(res.FinalAssignments) != len(res.Plan.Assignments) {
+		t.Fatalf("final assignments cover %d tasks, plan %d", len(res.FinalAssignments), len(res.Plan.Assignments))
+	}
+	for i, a := range res.FinalAssignments {
+		if a.Type != res.Plan.Assignments[i].Type {
+			changed = true
+		}
+	}
+	if res.Replans > 0 && !changed {
+		t.Error("replans fired but final assignments equal the original plan")
+	}
+
+	snap := srv.Metrics().Snapshot(nil)
+	if snap.RunsDone < 1 {
+		t.Errorf("runs_done = %d, want >= 1", snap.RunsDone)
+	}
+	if snap.ReplansTotal < int64(res.Replans) {
+		t.Errorf("replans_total = %d, want >= %d", snap.ReplansTotal, res.Replans)
+	}
+}
+
+func TestManagedRunWithoutAdaptObservesOnly(t *testing.T) {
+	_, ts := newTestServer(t, quickCfg())
+	deadline := pipelineDeadline(t)
+	v := submitRun(t, ts, RunRequest{
+		SubmitRequest: SubmitRequest{
+			Workflow: "pipeline",
+			Deadline: &PctBound{Percentile: 0.9, Value: deadline},
+		},
+		Adapt:   false,
+		Perturb: 0.5,
+	}, http.StatusAccepted)
+	done := waitForState(t, ts, v.ID, JobDone, 60*time.Second)
+	var res RunResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 0 {
+		t.Errorf("observe-only run replanned %d times", res.Replans)
+	}
+	// The monitor still watched: risk must have been flagged under drift.
+	if res.RiskMax < 0.5 {
+		t.Errorf("risk max %.3f, want the drift detected even without adaptation", res.RiskMax)
+	}
+	if res.Events == 0 {
+		t.Error("observe-only run streamed no events")
+	}
+}
+
+func TestManagedRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, quickCfg())
+	base := SubmitRequest{Workflow: "pipeline", Deadline: &PctBound{Percentile: 0.9, Value: 1000}}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: base, Risk: 2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("risk=2: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: base, Perturb: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("perturb=-1: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: SubmitRequest{Workflow: "pipeline"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no constraints: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRunEventsEndpointRejectsNonRuns(t *testing.T) {
+	_, ts := newTestServer(t, quickCfg())
+	if code := getJSON(t, ts.URL+"/v1/runs/nope/events", nil); code != http.StatusNotFound {
+		t.Errorf("unknown run: status %d, want 404", code)
+	}
+	// A planning job exists but has no event stream.
+	v := submit(t, ts, SubmitRequest{
+		Workflow: "pipeline",
+		Deadline: &PctBound{Percentile: 0.9, Value: 40000},
+	}, http.StatusAccepted)
+	waitForState(t, ts, v.ID, JobDone, 30*time.Second)
+	if code := getJSON(t, ts.URL+"/v1/runs/"+v.ID+"/events", nil); code != http.StatusNotFound {
+		t.Errorf("planning job events: status %d, want 404", code)
+	}
+}

@@ -46,6 +46,9 @@ type Config struct {
 	// freely, 1 restricts it to state-level parallelism. Plans do not depend
 	// on this knob.
 	DefaultThreads int
+	// DefaultRisk is the replan threshold applied to managed runs that leave
+	// risk zero (default 0.1).
+	DefaultRisk float64
 }
 
 func (c *Config) fillDefaults() {
@@ -72,6 +75,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DefaultSearchBudget <= 0 {
 		c.DefaultSearchBudget = 4000
+	}
+	if c.DefaultRisk <= 0 {
+		c.DefaultRisk = 0.1
 	}
 }
 

@@ -1,0 +1,69 @@
+package sim
+
+// EventKind enumerates the typed execution events the simulator emits while
+// a Controller observes a run.
+type EventKind int
+
+const (
+	// EvInstanceAcquired fires when a slot's instance first becomes usable
+	// (the provision delay, if any, has already elapsed).
+	EvInstanceAcquired EventKind = iota
+	// EvTaskStart fires when a task begins executing.
+	EvTaskStart
+	// EvTaskFinish fires when a task's completion becomes observable.
+	// Duration carries the realized execution time and AccruedCost the cost
+	// committed by the execution so far.
+	EvTaskFinish
+)
+
+// String names the event kind for logs and NDJSON streams.
+func (k EventKind) String() string {
+	switch k {
+	case EvInstanceAcquired:
+		return "instance_acquired"
+	case EvTaskStart:
+		return "task_start"
+	case EvTaskFinish:
+		return "task_finish"
+	}
+	return "unknown"
+}
+
+// Event is one typed execution event.
+type Event struct {
+	Kind EventKind
+	// Time is the simulation clock in seconds. Events arrive in
+	// non-decreasing Time order.
+	Time float64
+	// Task is the subject task ID (empty for instance events).
+	Task string
+	// Slot, Type, Region identify the instance involved.
+	Slot   int
+	Type   string
+	Region string
+	// Duration is the realized execution time (TaskFinish only).
+	Duration float64
+	// AccruedCost is the monetary cost already committed at Time: billed
+	// quanta covering every started task's scheduled finish on its instance,
+	// plus cross-region network charges so far (TaskFinish only).
+	AccruedCost float64
+}
+
+// Controller observes a simulated execution and may revise the placement of
+// tasks that have not started yet — the hook the runtime monitor plugs into.
+// The simulator calls both methods sequentially from one goroutine.
+//
+// Causality: a task's realized duration is revealed only through its
+// EvTaskFinish event, and every finish that happens at or before a later
+// task's start is delivered (with a Revise consultation) before that task's
+// EvTaskStart. A controller therefore never observes the future.
+type Controller interface {
+	// OnEvent receives every execution event in non-decreasing Time order.
+	OnEvent(Event)
+	// Revise is consulted after each EvTaskFinish. A non-nil return updates
+	// the placements of not-yet-started tasks; entries for tasks that already
+	// started are ignored. Revised placements may name fresh slots (the
+	// instance is acquired on first use, paying the provision delay) or
+	// reuse existing slots with matching type and region.
+	Revise() map[string]Placement
+}

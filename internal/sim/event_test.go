@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/wfgen"
+)
+
+// recorder is a passive controller: it logs every event and never revises.
+type recorder struct {
+	events []Event
+	revise map[string]Placement // returned once by Revise, then cleared
+	after  string               // fire the revision after this task finishes
+}
+
+func (r *recorder) OnEvent(ev Event) { r.events = append(r.events, ev) }
+
+func (r *recorder) Revise() map[string]Placement {
+	if r.revise == nil || len(r.events) == 0 {
+		return nil
+	}
+	last := r.events[len(r.events)-1]
+	if last.Kind != EvTaskFinish || last.Task != r.after {
+		return nil
+	}
+	upd := r.revise
+	r.revise = nil
+	return upd
+}
+
+func TestEventStreamOrderedAndComplete(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	w, err := wfgen.Pipeline(5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := UniformPlan(w, "m1.small", cloud.USEast)
+	s, err := New(DefaultOptions(cat, rand.New(rand.NewSource(7))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	res, err := s.RunControlled(context.Background(), w, plan, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starts := map[string]Event{}
+	finishes := map[string]Event{}
+	acquired := map[int]float64{}
+	lastT, lastCost := 0.0, 0.0
+	for i, ev := range rec.events {
+		if ev.Time < lastT {
+			t.Fatalf("event %d at t=%v after t=%v: out of order", i, ev.Time, lastT)
+		}
+		lastT = ev.Time
+		switch ev.Kind {
+		case EvInstanceAcquired:
+			if _, dup := acquired[ev.Slot]; dup {
+				t.Errorf("slot %d acquired twice", ev.Slot)
+			}
+			acquired[ev.Slot] = ev.Time
+		case EvTaskStart:
+			if _, dup := starts[ev.Task]; dup {
+				t.Errorf("task %s started twice", ev.Task)
+			}
+			if at, ok := acquired[ev.Slot]; !ok {
+				t.Errorf("task %s started on slot %d before acquisition", ev.Task, ev.Slot)
+			} else if ev.Time < at {
+				t.Errorf("task %s started at %v before slot %d acquired at %v", ev.Task, ev.Time, ev.Slot, at)
+			}
+			starts[ev.Task] = ev
+		case EvTaskFinish:
+			st, ok := starts[ev.Task]
+			if !ok {
+				t.Fatalf("task %s finished without starting", ev.Task)
+			}
+			if got, want := ev.Duration, ev.Time-st.Time; math.Abs(got-want) > 1e-9 {
+				t.Errorf("task %s: duration %v, want finish-start %v", ev.Task, got, want)
+			}
+			if ev.AccruedCost < lastCost {
+				t.Errorf("task %s: accrued cost %v dropped below %v", ev.Task, ev.AccruedCost, lastCost)
+			}
+			lastCost = ev.AccruedCost
+			finishes[ev.Task] = ev
+		}
+	}
+	for _, tk := range w.Tasks {
+		st, ok := starts[tk.ID]
+		if !ok {
+			t.Fatalf("no start event for %s", tk.ID)
+		}
+		fin, ok := finishes[tk.ID]
+		if !ok {
+			t.Fatalf("no finish event for %s", tk.ID)
+		}
+		rec := res.Tasks[tk.ID]
+		if st.Time != rec.Start || fin.Time != rec.Finish {
+			t.Errorf("%s: events say [%v,%v], result says [%v,%v]",
+				tk.ID, st.Time, fin.Time, rec.Start, rec.Finish)
+		}
+	}
+	// With every task finished, the committed cost is the final bill.
+	if math.Abs(lastCost-res.TotalCost) > 1e-9 {
+		t.Errorf("final accrued cost %v != total cost %v", lastCost, res.TotalCost)
+	}
+}
+
+// TestPassiveControllerPreservesResult: observing must not perturb the run —
+// a controller that never revises yields the bit-identical result of an
+// uncontrolled run with the same seed.
+func TestPassiveControllerPreservesResult(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	w, err := wfgen.Montage(2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := UniformPlan(w, "m1.medium", cloud.USEast)
+	run := func(ctrl Controller) *Result {
+		s, err := New(DefaultOptions(cat, rand.New(rand.NewSource(5))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunControlled(context.Background(), w, plan, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, observed := run(nil), run(&recorder{})
+	if plain.Makespan != observed.Makespan || plain.TotalCost != observed.TotalCost {
+		t.Fatalf("observation changed the run: %v/$%v vs %v/$%v",
+			plain.Makespan, plain.TotalCost, observed.Makespan, observed.TotalCost)
+	}
+	if !reflect.DeepEqual(plain.Tasks, observed.Tasks) {
+		t.Fatal("observation changed per-task records")
+	}
+}
+
+// TestRevisionMovesUnstartedTask: a revision delivered after the first
+// finish must land the final task on its new type, and the executed plan in
+// the result must say so.
+func TestRevisionMovesUnstartedTask(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	w, err := wfgen.Pipeline(4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := UniformPlan(w, "m1.small", cloud.USEast)
+	last := w.Tasks[len(w.Tasks)-1].ID
+	first := w.Tasks[0].ID
+	fresh := w.Len() // slot IDs 0..Len-1 are taken by the uniform plan
+	rec := &recorder{
+		after: first,
+		revise: map[string]Placement{
+			last:  {Slot: fresh, Type: "m1.xlarge", Region: cloud.USEast},
+			first: {Slot: fresh + 1, Type: "m1.xlarge", Region: cloud.USEast}, // already done: ignored
+		},
+	}
+	s, err := New(DefaultOptions(cat, rand.New(rand.NewSource(9))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunControlled(context.Background(), w, plan, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Plan.Place[last]; got.Type != "m1.xlarge" || got.Slot != fresh {
+		t.Fatalf("executed placement of %s = %+v, want m1.xlarge on slot %d", last, got, fresh)
+	}
+	if got := res.Plan.Place[first]; got.Type != "m1.small" {
+		t.Fatalf("revision of already-finished %s was applied: %+v", first, got)
+	}
+	// The input plan must not be mutated by the revision.
+	if plan.Place[last].Type != "m1.small" {
+		t.Fatal("revision mutated the caller's plan")
+	}
+	sawStart := false
+	for _, ev := range rec.events {
+		if ev.Kind == EvTaskStart && ev.Task == last {
+			sawStart = true
+			if ev.Type != "m1.xlarge" || ev.Slot != fresh {
+				t.Fatalf("start event for %s on %s slot %d, want m1.xlarge slot %d",
+					last, ev.Type, ev.Slot, fresh)
+			}
+		}
+	}
+	if !sawStart {
+		t.Fatalf("no start event for %s", last)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	s, _ := newSim(t, 1)
+	w := chain(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, w, UniformPlan(w, "m1.small", cloud.USEast)); err == nil {
+		t.Fatal("run with cancelled context succeeded")
+	}
+}

@@ -9,6 +9,8 @@
 package sim
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -145,6 +147,9 @@ type Result struct {
 	Tasks         map[string]*TaskRecord
 	Instances     []InstanceRecord
 	InstanceHours float64
+	// Plan holds the placements actually executed — identical to the input
+	// plan unless a Controller revised them mid-run.
+	Plan *Plan
 }
 
 // transferSpec describes where a task's input bytes come from.
@@ -263,26 +268,77 @@ func classifyTransfers(w *dag.Workflow, plan *Plan, id string) transferSpec {
 }
 
 // Run simulates one execution of w under plan and returns the realized
-// makespan and costs.
-func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
+// makespan and costs. The context cancels long simulations (checked once per
+// scheduled task).
+func (s *Sim) Run(ctx context.Context, w *dag.Workflow, plan *Plan) (*Result, error) {
+	return s.RunControlled(ctx, w, plan, nil)
+}
+
+// slotState tracks one logical instance slot during a run.
+type slotState struct {
+	freeAt     float64
+	acquiredAt float64
+	lastFinish float64
+	used       bool
+	price      float64 // per-hour price, resolved at acquisition
+	place      Placement
+}
+
+// finishEvent is a buffered task completion awaiting causal delivery.
+type finishEvent struct {
+	time float64
+	ev   Event
+}
+
+// finishQueue is a min-heap of pending completions ordered by time (ties by
+// task ID for determinism).
+type finishQueue []finishEvent
+
+func (q finishQueue) Len() int { return len(q) }
+func (q finishQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].ev.Task < q[j].ev.Task
+}
+func (q finishQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *finishQueue) Push(x any)   { *q = append(*q, x.(finishEvent)) }
+func (q *finishQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RunControlled simulates one execution of w under plan, reporting typed
+// execution events to ctrl and applying any placement revisions it returns.
+// A nil ctrl behaves exactly like Run. The plan is not mutated; the
+// placements actually executed (after revisions) are returned in
+// Result.Plan.
+//
+// Event causality: task durations are realized when a task starts (so a run
+// with a passive controller is bit-identical to the uncontrolled run), but
+// a completion is revealed to the controller only once no task could start
+// before it — finishes are buffered and flushed in time order before each
+// later start, with ctrl.Revise consulted after each one.
+func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ctrl Controller) (*Result, error) {
 	if err := plan.Validate(w, s.opt.Cat); err != nil {
 		return nil, err
 	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Tasks: make(map[string]*TaskRecord, w.Len())}
-
-	type slotState struct {
-		freeAt     float64
-		acquiredAt float64
-		lastFinish float64
-		used       bool
-		place      Placement
+	// Work on a copy: the controller may revise placements mid-run.
+	cur := &Plan{Place: make(map[string]Placement, len(plan.Place))}
+	for id, pl := range plan.Place {
+		cur.Place[id] = pl
 	}
+	res := &Result{Tasks: make(map[string]*TaskRecord, w.Len()), Plan: cur}
+
 	slots := map[int]*slotState{}
 	for _, t := range w.Tasks {
-		pl := plan.Place[t.ID]
+		pl := cur.Place[t.ID]
 		if _, ok := slots[pl.Slot]; !ok {
 			slots[pl.Slot] = &slotState{place: pl}
 		}
@@ -296,7 +352,71 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 	done := map[string]bool{}
 	pending := w.Len()
 
+	// committedCost is the money already locked in by scheduling decisions:
+	// whole billing quanta covering every started task's finish, plus
+	// network charges accrued so far.
+	committedCost := func() float64 {
+		c := res.NetworkCost
+		for _, st := range slots {
+			if !st.used {
+				continue
+			}
+			up := st.lastFinish - st.acquiredAt + s.opt.ProvisionDelaySec
+			quanta := math.Ceil(up / s.opt.BillingQuantumSec)
+			if quanta < 1 {
+				quanta = 1
+			}
+			c += quanta * st.price * (s.opt.BillingQuantumSec / 3600)
+		}
+		return c
+	}
+
+	applyRevision := func(upd map[string]Placement) error {
+		for id, pl := range upd {
+			if done[id] {
+				continue // already started; revision ignored by contract
+			}
+			if w.Task(id) == nil {
+				return fmt.Errorf("sim: revision references unknown task %q", id)
+			}
+			if _, err := s.opt.Cat.Type(pl.Type); err != nil {
+				return err
+			}
+			if _, err := s.opt.Cat.Region(pl.Region); err != nil {
+				return err
+			}
+			if st, ok := slots[pl.Slot]; ok && st.used &&
+				(st.place.Type != pl.Type || st.place.Region != pl.Region) {
+				return fmt.Errorf("sim: revision of %q reuses acquired slot %d with conflicting type/region", id, pl.Slot)
+			}
+			if _, ok := slots[pl.Slot]; !ok {
+				slots[pl.Slot] = &slotState{place: pl}
+			}
+			cur.Place[id] = pl
+		}
+		return nil
+	}
+
+	var fin finishQueue
+	// flushOne delivers the earliest buffered completion and consults the
+	// controller for a revision.
+	flushOne := func() error {
+		it := heap.Pop(&fin).(finishEvent)
+		ev := it.ev
+		ev.AccruedCost = committedCost()
+		ctrl.OnEvent(ev)
+		if upd := ctrl.Revise(); upd != nil {
+			if err := applyRevision(upd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	for pending > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run cancelled: %w", err)
+		}
 		// Pick the ready task with the earliest feasible start (breaking ties
 		// by task order for determinism).
 		bestID := ""
@@ -305,7 +425,7 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 			if done[t.ID] || remainingParents[t.ID] > 0 {
 				continue
 			}
-			st := slots[plan.Place[t.ID].Slot]
+			st := slots[cur.Place[t.ID].Slot]
 			start := readyAt[t.ID]
 			if st.used && st.freeAt > start {
 				start = st.freeAt
@@ -321,14 +441,32 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 		if bestID == "" {
 			return nil, fmt.Errorf("sim: no ready task but %d pending (cycle?)", pending)
 		}
+		// Reveal every completion observable before this start, one at a
+		// time (each may revise the plan, which can change the pick).
+		if ctrl != nil && len(fin) > 0 && fin[0].time <= bestStart {
+			if err := flushOne(); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		t := w.Task(bestID)
-		pl := plan.Place[bestID]
+		pl := cur.Place[bestID]
 		st := slots[pl.Slot]
 		if !st.used {
+			price, err := s.opt.Cat.Price(pl.Region, pl.Type)
+			if err != nil {
+				return nil, err
+			}
 			st.used = true
 			st.acquiredAt = bestStart // provision delay already folded in
+			st.price = price
+			st.place = pl
+			if ctrl != nil {
+				ctrl.OnEvent(Event{Kind: EvInstanceAcquired, Time: bestStart,
+					Slot: pl.Slot, Type: pl.Type, Region: pl.Region})
+			}
 		}
-		xfer := classifyTransfers(w, plan, bestID)
+		xfer := classifyTransfers(w, cur, bestID)
 		dur, err := s.realizedDuration(t, pl.Type, xfer)
 		if err != nil {
 			return nil, err
@@ -349,7 +487,7 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 			// regions for a conservative single-rate model.
 			rate := 0.0
 			for _, p := range w.Parents(bestID) {
-				srcRegion := plan.Place[p].Region
+				srcRegion := cur.Place[p].Region
 				if srcRegion == pl.Region {
 					continue
 				}
@@ -363,6 +501,14 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 			}
 			res.NetworkCost += xfer.crossMB / 1024 * rate
 		}
+		if ctrl != nil {
+			ctrl.OnEvent(Event{Kind: EvTaskStart, Time: bestStart, Task: bestID,
+				Slot: pl.Slot, Type: pl.Type, Region: pl.Region})
+			heap.Push(&fin, finishEvent{time: finish, ev: Event{
+				Kind: EvTaskFinish, Time: finish, Task: bestID,
+				Slot: pl.Slot, Type: pl.Type, Region: pl.Region, Duration: dur,
+			}})
+		}
 		done[bestID] = true
 		pending--
 		for _, c := range w.Children(bestID) {
@@ -370,6 +516,12 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 			if finish > readyAt[c] {
 				readyAt[c] = finish
 			}
+		}
+	}
+	// Drain remaining completions in time order.
+	for ctrl != nil && len(fin) > 0 {
+		if err := flushOne(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -389,11 +541,7 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 		if quanta < 1 {
 			quanta = 1
 		}
-		price, err := s.opt.Cat.Price(st.place.Region, st.place.Type)
-		if err != nil {
-			return nil, err
-		}
-		cost := quanta * price * (s.opt.BillingQuantumSec / 3600)
+		cost := quanta * st.price * (s.opt.BillingQuantumSec / 3600)
 		res.InstanceCost += cost
 		res.InstanceHours += quanta * s.opt.BillingQuantumSec / 3600
 		res.Instances = append(res.Instances, InstanceRecord{
@@ -407,10 +555,10 @@ func (s *Sim) Run(w *dag.Workflow, plan *Plan) (*Result, error) {
 }
 
 // RunMany simulates n independent executions and returns all results.
-func (s *Sim) RunMany(w *dag.Workflow, plan *Plan, n int) ([]*Result, error) {
+func (s *Sim) RunMany(ctx context.Context, w *dag.Workflow, plan *Plan, n int) ([]*Result, error) {
 	out := make([]*Result, n)
 	for i := range out {
-		r, err := s.Run(w, plan)
+		r, err := s.Run(ctx, w, plan)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -38,7 +39,7 @@ func TestRunChainBasics(t *testing.T) {
 	s, _ := newSim(t, 1)
 	w := chain(t)
 	plan := UniformPlan(w, "m1.small", cloud.USEast)
-	res, err := s.Run(w, plan)
+	res, err := s.Run(context.Background(), w, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSharedSlotSerializesAndSavesMoney(t *testing.T) {
 		"a": {Slot: 0, Type: "m1.small", Region: cloud.USEast},
 		"b": {Slot: 0, Type: "m1.small", Region: cloud.USEast},
 	}}
-	res, err := s.Run(w, plan)
+	res, err := s.Run(context.Background(), w, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,12 +97,12 @@ func TestFasterTypeShortensMakespan(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1, _ := newSim(t, 4)
-	small, err := s1.Run(w, UniformPlan(w, "m1.small", cloud.USEast))
+	small, err := s1.Run(context.Background(), w, UniformPlan(w, "m1.small", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2, _ := newSim(t, 4)
-	xl, err := s2.Run(w, UniformPlan(w, "m1.xlarge", cloud.USEast))
+	xl, err := s2.Run(context.Background(), w, UniformPlan(w, "m1.xlarge", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestCrossRegionCostsAndTime(t *testing.T) {
 		"b": {Slot: 1, Type: "m1.small", Region: cloud.APSoutheast},
 	}}
 	s, _ := newSim(t, 5)
-	res, err := s.Run(w, plan)
+	res, err := s.Run(context.Background(), w, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestBillingRoundsUpHours(t *testing.T) {
 	w := dag.New("long")
 	_ = w.AddTask(&dag.Task{ID: "t", CPUSeconds: 3700})
 	s, _ := newSim(t, 6)
-	res, err := s.Run(w, UniformPlan(w, "m1.small", cloud.USEast))
+	res, err := s.Run(context.Background(), w, UniformPlan(w, "m1.small", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestProvisionDelayShiftsStart(t *testing.T) {
 	}
 	w := dag.New("one")
 	_ = w.AddTask(&dag.Task{ID: "t", CPUSeconds: 10})
-	res, err := s.Run(w, UniformPlan(w, "m1.small", cloud.USEast))
+	res, err := s.Run(context.Background(), w, UniformPlan(w, "m1.small", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,17 +179,17 @@ func TestPlanValidation(t *testing.T) {
 	w := chain(t)
 	// Missing task.
 	bad := &Plan{Place: map[string]Placement{"a": {Slot: 0, Type: "m1.small", Region: cloud.USEast}}}
-	if _, err := s.Run(w, bad); err == nil {
+	if _, err := s.Run(context.Background(), w, bad); err == nil {
 		t.Error("missing task accepted")
 	}
 	// Unknown type.
 	bad = UniformPlan(w, "m9.z", cloud.USEast)
-	if _, err := s.Run(w, bad); err == nil {
+	if _, err := s.Run(context.Background(), w, bad); err == nil {
 		t.Error("unknown type accepted")
 	}
 	// Unknown region.
 	bad = UniformPlan(w, "m1.small", "mars")
-	if _, err := s.Run(w, bad); err == nil {
+	if _, err := s.Run(context.Background(), w, bad); err == nil {
 		t.Error("unknown region accepted")
 	}
 	// Conflicting slot typing.
@@ -242,7 +243,7 @@ func TestRunManyVariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, _ := newSim(t, 12)
-	rs, err := s.RunMany(w, UniformPlan(w, "m1.medium", cloud.USEast), 30)
+	rs, err := s.RunMany(context.Background(), w, UniformPlan(w, "m1.medium", cloud.USEast), 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestMontageRunsAtAllDegrees(t *testing.T) {
 			t.Fatal(err)
 		}
 		s, _ := newSim(t, 15)
-		res, err := s.Run(w, UniformPlan(w, "m1.large", cloud.USEast))
+		res, err := s.Run(context.Background(), w, UniformPlan(w, "m1.large", cloud.USEast))
 		if err != nil {
 			t.Fatalf("degree %d: %v", d, err)
 		}
@@ -317,7 +318,7 @@ func TestUtilization(t *testing.T) {
 	w := dag.New("u")
 	_ = w.AddTask(&dag.Task{ID: "t", CPUSeconds: 600})
 	s, _ := newSim(t, 40)
-	res, err := s.Run(w, UniformPlan(w, "m1.small", cloud.USEast))
+	res, err := s.Run(context.Background(), w, UniformPlan(w, "m1.small", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,12 +336,12 @@ func TestUtilization(t *testing.T) {
 		"b": {Slot: 0, Type: "m1.small", Region: cloud.USEast},
 	}}
 	s2, _ := newSim(t, 41)
-	rm, err := s2.Run(wc, merged)
+	rm, err := s2.Run(context.Background(), wc, merged)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s3, _ := newSim(t, 41)
-	rs, err := s3.Run(wc, UniformPlan(wc, "m1.small", cloud.USEast))
+	rs, err := s3.Run(context.Background(), wc, UniformPlan(wc, "m1.small", cloud.USEast))
 	if err != nil {
 		t.Fatal(err)
 	}

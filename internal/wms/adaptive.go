@@ -1,0 +1,53 @@
+package wms
+
+import (
+	"fmt"
+
+	"deco/internal/dag"
+	"deco/internal/estimate"
+	"deco/internal/runtime"
+	"deco/internal/sim"
+	"deco/internal/wlog"
+)
+
+// Adaptive wraps any scheduler with the runtime monitor: the wrapped
+// scheduler produces the initial plan as usual, and execution then runs
+// closed-loop — the monitor watches task completions, re-estimates the
+// violation probability of the workflow's deadline, and replans the
+// unstarted tasks when it crosses Opts.Risk.
+type Adaptive struct {
+	Inner  Scheduler
+	Est    *estimate.Estimator
+	Prices []float64
+	Region string
+	// Opts configures the monitor (risk threshold, MC iterations, replan
+	// budget); zero values take runtime defaults.
+	Opts runtime.Options
+}
+
+// Name implements Scheduler.
+func (a *Adaptive) Name() string { return a.Inner.Name() + "+adaptive" }
+
+// Schedule implements Scheduler by delegating to the wrapped scheduler.
+func (a *Adaptive) Schedule(w *dag.Workflow) (*sim.Plan, error) {
+	return a.Inner.Schedule(w)
+}
+
+// Controller implements ControllerFactory: build the runtime monitor for
+// the plan about to execute, with the workflow's deadline as the monitored
+// constraint.
+func (a *Adaptive) Controller(w *dag.Workflow, plan *sim.Plan) (sim.Controller, error) {
+	if w.DeadlineSeconds <= 0 {
+		return nil, fmt.Errorf("wms: adaptive needs a workflow deadline")
+	}
+	tbl, err := a.Est.BuildTable(w)
+	if err != nil {
+		return nil, err
+	}
+	pct := w.DeadlinePercentile
+	if pct == 0 {
+		pct = 0.96
+	}
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: pct, Bound: w.DeadlineSeconds}}
+	return runtime.NewMonitor(w, plan, tbl, a.Prices, a.Region, cons, a.Opts)
+}

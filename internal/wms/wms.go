@@ -9,6 +9,7 @@
 package wms
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"deco/internal/estimate"
 	"deco/internal/opt"
 	"deco/internal/probir"
+	"deco/internal/runtime"
 	"deco/internal/sim"
 	"deco/internal/wlog"
 )
@@ -158,24 +160,36 @@ type Run struct {
 	Scheduler string
 	Plan      *sim.Plan
 	Exec      *sim.Result
+	// Adapt reports the runtime monitor's view of the execution when the
+	// scheduler was wrapped in Adaptive (nil for open-loop runs).
+	Adapt *runtime.Report
+}
+
+// ControllerFactory is implemented by schedulers that want to observe (and
+// possibly revise) the execution of the plan they produced — wms.Adaptive
+// implements it to plug the runtime monitor into the simulator.
+type ControllerFactory interface {
+	Controller(w *dag.Workflow, plan *sim.Plan) (sim.Controller, error)
 }
 
 // Submit maps the DAX document into an executable workflow, asks the
 // scheduler for a provisioning plan, and executes it on the cloud
 // (simulator). Deadline fields are applied to the parsed workflow before
 // scheduling.
-func (m *WMS) Submit(daxSrc io.Reader, sched Scheduler, deadlineSec, percentile float64) (*Run, error) {
+func (m *WMS) Submit(ctx context.Context, daxSrc io.Reader, sched Scheduler, deadlineSec, percentile float64) (*Run, error) {
 	w, err := dax.Parse(daxSrc)
 	if err != nil {
 		return nil, err
 	}
 	w.DeadlineSeconds = deadlineSec
 	w.DeadlinePercentile = percentile
-	return m.Execute(w, sched)
+	return m.Execute(ctx, w, sched)
 }
 
-// Execute schedules and runs an already-mapped workflow.
-func (m *WMS) Execute(w *dag.Workflow, sched Scheduler) (*Run, error) {
+// Execute schedules and runs an already-mapped workflow. When the scheduler
+// implements ControllerFactory, execution runs under its controller —
+// closed-loop monitoring and replanning instead of open-loop.
+func (m *WMS) Execute(ctx context.Context, w *dag.Workflow, sched Scheduler) (*Run, error) {
 	plan, err := sched.Schedule(w)
 	if err != nil {
 		return nil, fmt.Errorf("wms: scheduler %s: %w", sched.Name(), err)
@@ -184,16 +198,27 @@ func (m *WMS) Execute(w *dag.Workflow, sched Scheduler) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run(w, plan)
+	var ctrl sim.Controller
+	if cf, ok := sched.(ControllerFactory); ok {
+		if ctrl, err = cf.Controller(w, plan); err != nil {
+			return nil, fmt.Errorf("wms: scheduler %s: %w", sched.Name(), err)
+		}
+	}
+	res, err := s.RunControlled(ctx, w, plan, ctrl)
 	if err != nil {
 		return nil, err
 	}
-	return &Run{Scheduler: sched.Name(), Plan: plan, Exec: res}, nil
+	run := &Run{Scheduler: sched.Name(), Plan: plan, Exec: res}
+	if mon, ok := ctrl.(*runtime.Monitor); ok {
+		mon.Finish(res)
+		run.Adapt = mon.Report()
+	}
+	return run, nil
 }
 
 // ExecuteMany runs the same plan n times to observe the execution-time
 // distribution (Figure 2's methodology).
-func (m *WMS) ExecuteMany(w *dag.Workflow, sched Scheduler, n int) ([]*sim.Result, error) {
+func (m *WMS) ExecuteMany(ctx context.Context, w *dag.Workflow, sched Scheduler, n int) ([]*sim.Result, error) {
 	plan, err := sched.Schedule(w)
 	if err != nil {
 		return nil, fmt.Errorf("wms: scheduler %s: %w", sched.Name(), err)
@@ -202,5 +227,5 @@ func (m *WMS) ExecuteMany(w *dag.Workflow, sched Scheduler, n int) ([]*sim.Resul
 	if err != nil {
 		return nil, err
 	}
-	return s.RunMany(w, plan, n)
+	return s.RunMany(ctx, w, plan, n)
 }

@@ -1,6 +1,7 @@
 package wms
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"deco/internal/device"
 	"deco/internal/estimate"
 	"deco/internal/opt"
+	"deco/internal/runtime"
 	"deco/internal/sim"
 	"deco/internal/wfgen"
 )
@@ -69,7 +71,7 @@ const pipelineDAX = `<adag name="pipe">
 func TestSubmitWithRandomScheduler(t *testing.T) {
 	cat, _, _ := env(t)
 	m := New(cat, rand.New(rand.NewSource(2)))
-	run, err := m.Submit(strings.NewReader(pipelineDAX),
+	run, err := m.Submit(context.Background(), strings.NewReader(pipelineDAX),
 		&Random{Cat: cat, Region: cloud.USEast, Rng: rand.New(rand.NewSource(3))}, 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +84,7 @@ func TestSubmitWithRandomScheduler(t *testing.T) {
 func TestFixedScheduler(t *testing.T) {
 	cat, _, _ := env(t)
 	m := New(cat, rand.New(rand.NewSource(4)))
-	run, err := m.Submit(strings.NewReader(pipelineDAX),
+	run, err := m.Submit(context.Background(), strings.NewReader(pipelineDAX),
 		&Fixed{Type: "m1.large", Region: cloud.USEast}, 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -98,10 +100,10 @@ func TestAutoscalingSchedulerRequiresDeadline(t *testing.T) {
 	cat, est, prices := env(t)
 	m := New(cat, rand.New(rand.NewSource(5)))
 	sched := &Autoscaling{Est: est, Prices: prices, Region: cloud.USEast}
-	if _, err := m.Submit(strings.NewReader(pipelineDAX), sched, 0, 0); err == nil {
+	if _, err := m.Submit(context.Background(), strings.NewReader(pipelineDAX), sched, 0, 0); err == nil {
 		t.Error("missing deadline accepted")
 	}
-	run, err := m.Submit(strings.NewReader(pipelineDAX), sched, 7200, 0.96)
+	run, err := m.Submit(context.Background(), strings.NewReader(pipelineDAX), sched, 7200, 0.96)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestDecoSchedulerEndToEnd(t *testing.T) {
 	m := New(cat, rand.New(rand.NewSource(7)))
 	deco := &Deco{Est: est, Prices: prices, Region: cloud.USEast, Iters: 40,
 		Search: opt.Options{Device: device.Parallel{}, MaxStates: 300, BeamWidth: 4, Patience: 6, Seed: 8}}
-	run, err := m.Execute(w, deco)
+	run, err := m.Execute(context.Background(), w, deco)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestDecoSchedulerEndToEnd(t *testing.T) {
 	// Deco should not cost more than the most expensive fixed configuration
 	// (Figure 1: Deco ~40% of m1.xlarge).
 	m2 := New(cat, rand.New(rand.NewSource(7)))
-	xl, err := m2.Execute(w, &Fixed{Type: "m1.xlarge", Region: cloud.USEast})
+	xl, err := m2.Execute(context.Background(), w, &Fixed{Type: "m1.xlarge", Region: cloud.USEast})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +148,7 @@ func TestDecoSchedulerRequiresDeadline(t *testing.T) {
 	cat, est, prices := env(t)
 	m := New(cat, rand.New(rand.NewSource(9)))
 	deco := &Deco{Est: est, Prices: prices, Region: cloud.USEast}
-	if _, err := m.Submit(strings.NewReader(pipelineDAX), deco, 0, 0); err == nil {
+	if _, err := m.Submit(context.Background(), strings.NewReader(pipelineDAX), deco, 0, 0); err == nil {
 		t.Error("missing deadline accepted")
 	}
 }
@@ -158,7 +160,7 @@ func TestExecuteManyProducesDistribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := New(cat, rand.New(rand.NewSource(11)))
-	rs, err := m.ExecuteMany(w, &Fixed{Type: "m1.medium", Region: cloud.USEast}, 20)
+	rs, err := m.ExecuteMany(context.Background(), w, &Fixed{Type: "m1.medium", Region: cloud.USEast}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestExecuteManyProducesDistribution(t *testing.T) {
 func TestSubmitBadDAX(t *testing.T) {
 	cat, _, _ := env(t)
 	m := New(cat, rand.New(rand.NewSource(12)))
-	if _, err := m.Submit(strings.NewReader("not xml"),
+	if _, err := m.Submit(context.Background(), strings.NewReader("not xml"),
 		&Fixed{Type: "m1.small", Region: cloud.USEast}, 0, 0); err == nil {
 		t.Error("garbage DAX accepted")
 	}
@@ -231,5 +233,70 @@ func TestWriteExecutable(t *testing.T) {
 	bad := &sim.Plan{Place: map[string]sim.Placement{"a": plan.Place["a"]}}
 	if err := WriteExecutable(&buf, w, bad); err == nil {
 		t.Error("missing placement accepted")
+	}
+}
+
+func TestAdaptiveSchedulerClosesTheLoop(t *testing.T) {
+	cat, est, prices := env(t)
+	// The WMS executes against a half-speed cloud while the scheduler and
+	// monitor forecast from the unperturbed calibration: the initial cheap
+	// plan misses its deadline open-loop, and the adaptive wrapper has to
+	// notice and recover.
+	drifted, err := cloud.ScalePerf(cat, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wfgen.Pipeline(5, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := est.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, task := range w.Tasks {
+		td, err := tbl.Dist(task.ID, 0) // type index 0 = m1.small
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += td.Mean()
+	}
+	w.DeadlineSeconds = 1.25 * mean
+	w.DeadlinePercentile = 0.95
+
+	sched := &Adaptive{
+		Inner: &Fixed{Type: "m1.small", Region: cloud.USEast},
+		Est:   est, Prices: prices, Region: cloud.USEast,
+		Opts: runtime.Options{Seed: 22, Iters: 100, ReplanBudget: 150},
+	}
+	if got := sched.Name(); got != "m1.small+adaptive" {
+		t.Errorf("name %q", got)
+	}
+	m := New(drifted, rand.New(rand.NewSource(23)))
+	run, err := m.Execute(context.Background(), w, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Adapt == nil {
+		t.Fatal("adaptive run reported no monitor view")
+	}
+	if run.Adapt.Replans < 1 {
+		t.Errorf("no replans under half-speed drift (risk max %.3f)", run.Adapt.RiskMax)
+	}
+	if run.Exec.Makespan > w.DeadlineSeconds {
+		t.Errorf("adaptive run missed the deadline: %.1f > %.1f", run.Exec.Makespan, w.DeadlineSeconds)
+	}
+	if run.Adapt.DeadlineMet == nil || !*run.Adapt.DeadlineMet {
+		t.Error("report does not confirm the deadline was met")
+	}
+
+	// Without a workflow deadline the wrapper must refuse, not run open-loop.
+	bare, err := wfgen.Pipeline(3, rand.New(rand.NewSource(24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(context.Background(), bare, sched); err == nil {
+		t.Error("adaptive execution without a deadline accepted")
 	}
 }

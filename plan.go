@@ -1,13 +1,16 @@
 package deco
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"deco/internal/calib"
+	"deco/internal/cloud"
 	"deco/internal/estimate"
 	"deco/internal/opt"
+	"deco/internal/runtime"
 	"deco/internal/sim"
 )
 
@@ -41,7 +44,54 @@ func (p *Plan) Execute(runs int, seed int64) ([]*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.RunMany(p.Workflow, splan, runs)
+	return s.RunMany(context.Background(), p.Workflow, splan, runs)
+}
+
+// ExecuteAdaptive materializes the plan and runs it once, closed-loop,
+// under the runtime monitor: execution events update residual forecasts,
+// and when the probability of violating the plan's constraints crosses
+// o.Risk the unstarted tasks are replanned in place. execCat selects the
+// ground-truth performance model the simulator draws from — pass a
+// perturbed catalog (cloud.ScalePerf) to model calibration drift, or nil
+// for the engine's own. The monitor always forecasts from the engine's
+// calibrated metadata, so the gap between the two is exactly what the
+// monitor has to detect.
+func (p *Plan) ExecuteAdaptive(ctx context.Context, seed int64, execCat *cloud.Catalog, o runtime.Options) (*sim.Result, *runtime.Report, error) {
+	if p.engine == nil {
+		return nil, nil, fmt.Errorf("deco: plan is not attached to an engine")
+	}
+	splan, err := p.Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := p.engine.est.BuildTable(p.Workflow)
+	if err != nil {
+		return nil, nil, err
+	}
+	prices, err := p.engine.Prices()
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.Ctx == nil {
+		o.Ctx = ctx
+	}
+	mon, err := runtime.NewMonitor(p.Workflow, splan, tbl, prices, p.engine.region, p.Constraints, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if execCat == nil {
+		execCat = p.engine.cat
+	}
+	s, err := sim.New(sim.DefaultOptions(execCat, rand.New(rand.NewSource(seed))))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.RunControlled(ctx, p.Workflow, splan, mon)
+	if err != nil {
+		return nil, nil, err
+	}
+	mon.Finish(res)
+	return res, mon.Report(), nil
 }
 
 // Calibrate runs the cloud-calibration micro-benchmarks (package calib)
