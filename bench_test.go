@@ -173,6 +173,55 @@ func BenchmarkMonteCarloEvaluation(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluationCore measures one solver frontier expansion on the flat
+// common-random-number core: the initial state plus its Δ=1 neighbors, each
+// evaluated through its CRN world kernel over the shared compiled program.
+// A fresh base per iteration redoes the duration sampling, so the figure
+// includes row fill, not just the DP. cmd/benchsolver compares this same
+// batch against a reproduction of the old map-keyed path and records both
+// in BENCH_solver.json.
+func BenchmarkEvaluationCore(b *testing.B) {
+	space := benchSpace(b, 100, 100)
+	states := append([]opt.State{space.Initial()}, space.Neighbors(space.Initial())...)
+	if len(states) > 17 {
+		states = states[:17]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := int64(i) + 1
+		for _, st := range states {
+			k, err := space.CRNKernel(st, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := probir.RunCRNKernel(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvalCacheWarmSearch measures a full search answered from a warm
+// evaluation cache — the decod resubmission / replan-reuse case.
+func BenchmarkEvalCacheWarmSearch(b *testing.B) {
+	space := benchSpace(b, 100, 40)
+	cache := opt.NewEvalCache(0)
+	so := opt.DefaultOptions(device.Parallel{})
+	so.MaxStates = 400
+	so.Seed = 5
+	so.Cache = cache
+	if _, err := opt.Search(space, so); err != nil { // warm it
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Search(space, so); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchSequential / Parallel / TwoLevel measure the full search on
 // each device — the per-device cost behind the §6.3 speedup rows. beam <= 0
 // keeps the default frontier width; the narrow-beam variants run batches far

@@ -1,0 +1,283 @@
+// Command benchsolver measures batch Monte-Carlo state evaluation — the
+// solver's hot loop — on a Montage-style scheduling problem, comparing the
+// flat common-random-number core against a reproduction of the previous
+// map-keyed evaluation path, and writes the numbers to BENCH_solver.json at
+// the repository root to seed the performance trajectory.
+//
+// The "old" path is reimplemented here exactly as the hot loop used to run:
+// per state, per world, a map[string]float64 of sampled task durations
+// followed by a map-keyed longest-path dynamic program, with every state
+// drawing its own worlds from a state-keyed rng. The "new" path is the
+// production one: a compiled index-based program whose (task, iteration)
+// duration rows are shared by every state in the batch.
+//
+// Usage:
+//
+//	benchsolver [-tasks 100] [-worlds 100] [-out BENCH_solver.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/estimate"
+	"deco/internal/probir"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// problem is the shared benchmark instance.
+type problem struct {
+	w        *dag.Workflow
+	tbl      *estimate.Table
+	prices   []float64
+	deadline float64
+	worlds   int
+	configs  [][]int
+}
+
+func buildProblem(tasks, worlds int) (*problem, error) {
+	w, err := wfgen.BySize(wfgen.AppMontage, tasks, rand.New(rand.NewSource(3)))
+	if err != nil {
+		return nil, err
+	}
+	cat := cloud.DefaultCatalog()
+	md, err := cloud.MetadataFromTruth(cat, 15, 5000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := estimate.New(cat, md).BuildTable(w)
+	if err != nil {
+		return nil, err
+	}
+	us, _ := cat.Region(cloud.USEast)
+	prices := make([]float64, len(tbl.Types))
+	for j, name := range tbl.Types {
+		prices[j] = us.PricePerHour[name]
+	}
+	// Deadline at the all-cheapest mean makespan: the feasibility boundary
+	// the search actually probes.
+	means, err := tbl.MeanDurations(uniformConfig(w, tbl, 0))
+	if err != nil {
+		return nil, err
+	}
+	deadline, _, err := w.Makespan(means)
+	if err != nil {
+		return nil, err
+	}
+	// The batch: the all-cheapest state plus one Δ=1 promotion per task
+	// (capped), i.e. one solver frontier expansion.
+	configs := [][]int{make([]int, w.Len())}
+	for i := 0; i < w.Len() && len(configs) <= 16; i++ {
+		c := make([]int, w.Len())
+		c[i] = 1
+		configs = append(configs, c)
+	}
+	return &problem{w: w, tbl: tbl, prices: prices, deadline: deadline, worlds: worlds, configs: configs}, nil
+}
+
+func uniformConfig(w *dag.Workflow, tbl *estimate.Table, j int) map[string]int {
+	m := make(map[string]int, w.Len())
+	for _, t := range w.Tasks {
+		m[t.ID] = j
+	}
+	return m
+}
+
+// legacyEval reproduces the pre-flat-core evaluation of one state: worlds
+// sampled into a map keyed by task ID, a map-keyed longest-path DP per
+// world, and a per-state rng — so sibling states resample everything.
+type legacyEval struct {
+	p     *problem
+	order []string
+	ids   []string
+}
+
+func newLegacyEval(p *problem) (*legacyEval, error) {
+	order, err := p.w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, p.w.Len())
+	for _, t := range p.w.Tasks {
+		ids = append(ids, t.ID)
+	}
+	sort.Strings(ids)
+	return &legacyEval{p: p, order: order, ids: ids}, nil
+}
+
+// evaluate returns (P(makespan <= deadline), mean cost) for one state.
+func (l *legacyEval) evaluate(config []int, rng *rand.Rand) (float64, float64, error) {
+	p := l.p
+	idx := make(map[string]int, len(l.ids))
+	for i, t := range p.w.Tasks {
+		idx[t.ID] = i
+	}
+	met := 0
+	costSum := 0.0
+	for it := 0; it < p.worlds; it++ {
+		// One world: a fresh duration map, tasks drawn in sorted-ID order.
+		durs := make(map[string]float64, len(l.ids))
+		for _, id := range l.ids {
+			j := config[idx[id]]
+			durs[id] = p.tbl.Dists[id][j].Sample(rng)
+		}
+		// Map-keyed longest-path DP.
+		finish := make(map[string]float64, len(l.order))
+		makespan := 0.0
+		for _, id := range l.order {
+			start := 0.0
+			for _, par := range p.w.Parents(id) {
+				if f := finish[par]; f > start {
+					start = f
+				}
+			}
+			end := start + durs[id]
+			finish[id] = end
+			if end > makespan {
+				makespan = end
+			}
+		}
+		if makespan <= p.deadline {
+			met++
+		}
+		cost := 0.0
+		for _, id := range l.ids {
+			cost += durs[id] / 3600 * p.prices[config[idx[id]]]
+		}
+		costSum += cost
+	}
+	return float64(met) / float64(p.worlds), costSum / float64(p.worlds), nil
+}
+
+// batchLegacy evaluates every state in the batch the old way.
+func batchLegacy(l *legacyEval, base int64) error {
+	for si, cfg := range l.p.configs {
+		rng := rand.New(rand.NewSource(base + int64(si)*1000003))
+		if _, _, err := l.evaluate(cfg, rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchFlat evaluates the batch on the production path: per-state CRN world
+// kernels over one shared compiled program, folded canonically.
+func batchFlat(n *probir.Native, p *problem, base int64) error {
+	for _, cfg := range p.configs {
+		k, err := n.CRNKernel(cfg, base)
+		if err != nil {
+			return err
+		}
+		if _, err := probir.RunCRNKernel(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// row is one measured path in the output document.
+type row struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	Benchmark   string  `json:"benchmark"`
+	Tasks       int     `json:"tasks"`
+	States      int     `json:"states"`
+	Worlds      int     `json:"worlds"`
+	Old         row     `json:"old_map_path"`
+	New         row     `json:"new_flat_crn_path"`
+	SpeedupNs   float64 `json:"speedup_ns"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+}
+
+func measure(f func(base int64) error) (row, error) {
+	var inner error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh base per iteration so every run redoes the sampling
+			// work, not just the DP over previously filled rows.
+			if err := f(int64(i) + 1); err != nil {
+				inner = err
+				b.FailNow()
+			}
+		}
+	})
+	if inner != nil {
+		return row{}, inner
+	}
+	return row{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+func main() {
+	tasks := flag.Int("tasks", 100, "Montage workflow size")
+	worlds := flag.Int("worlds", 100, "Monte-Carlo worlds per state evaluation")
+	out := flag.String("out", "BENCH_solver.json", "output path")
+	flag.Parse()
+
+	p, err := buildProblem(*tasks, *worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: p.deadline}}
+	native, err := probir.NewNative(p.w, p.tbl, p.prices, probir.GoalCost, cons, p.worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacy, err := newLegacyEval(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oldRow, err := measure(func(base int64) error { return batchLegacy(legacy, base) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRow, err := measure(func(base int64) error { return batchFlat(native, p, base) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := report{
+		Benchmark: "batch state evaluation (one frontier expansion), Montage scheduling space",
+		Tasks:     *tasks,
+		States:    len(p.configs),
+		Worlds:    *worlds,
+		Old:       oldRow,
+		New:       newRow,
+	}
+	if newRow.NsPerOp > 0 {
+		rep.SpeedupNs = float64(oldRow.NsPerOp) / float64(newRow.NsPerOp)
+	}
+	if newRow.AllocsPerOp > 0 {
+		rep.AllocsRatio = float64(oldRow.AllocsPerOp) / float64(newRow.AllocsPerOp)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("old: %d ns/op, %d allocs/op\nnew: %d ns/op, %d allocs/op\nspeedup %.1fx, allocs ratio %.1fx\nwrote %s\n",
+		oldRow.NsPerOp, oldRow.AllocsPerOp, newRow.NsPerOp, newRow.AllocsPerOp,
+		rep.SpeedupNs, rep.AllocsRatio, *out)
+}

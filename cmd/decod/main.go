@@ -30,6 +30,8 @@ func main() {
 	workers := flag.Int("workers", 2, "solver worker pool size")
 	queue := flag.Int("queue", 64, "bounded queue depth; submissions beyond it get HTTP 429")
 	cache := flag.Int("cache", 256, "plan cache capacity in entries (0 disables)")
+	evalCache := flag.Int("evalcache", 0, "state-evaluation cache capacity in entries (0 = default, negative disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	iters := flag.Int("iters", 100, "default Monte-Carlo iterations per state evaluation")
 	budget := flag.Int("budget", 4000, "default solver state-evaluation budget")
 	threads := flag.Int("threads", 0, "default Monte-Carlo threads per state evaluation (0 = unbounded, 1 = state-level parallelism only)")
@@ -43,6 +45,8 @@ func main() {
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		CacheCapacity:       *cache,
+		EvalCacheCapacity:   *evalCache,
+		EnablePprof:         *pprofOn,
 		DefaultIters:        *iters,
 		DefaultSearchBudget: *budget,
 		DefaultThreads:      *threads,

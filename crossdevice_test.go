@@ -3,8 +3,11 @@ package deco
 // Cross-device determinism: the search must return the identical Result on
 // every device — the contract that lets decod cache plans regardless of the
 // worker's parallelism settings (jobKey deliberately excludes the threads
-// knob). The scheduling space exercises the two-level kernel path; the
-// ensemble and follow-the-cost spaces exercise the per-state fallback path.
+// knob). The scheduling space exercises the common-random-number kernel
+// path (shared world realizations across states, two-level block/thread
+// execution); the ensemble and follow-the-cost spaces exercise the
+// per-state fallback path. evalpaths_test.go proves the per-state
+// equivalence of the individual evaluation paths.
 
 import (
 	"math/rand"

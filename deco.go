@@ -98,6 +98,27 @@ func WithRegion(r string) Option { return func(e *Engine) { e.region = r } }
 // WithSearchBudget bounds the number of states the solver evaluates.
 func WithSearchBudget(n int) Option { return func(e *Engine) { e.search.MaxStates = n } }
 
+// EvalCache is a bounded transposition table for solver state evaluations
+// (see opt.EvalCache). Under the common-random-number determinism contract a
+// hit is bit-identical to live evaluation, so sharing one cache across
+// engines, searches, and adaptive replans changes wall-clock time only,
+// never results.
+type EvalCache = opt.EvalCache
+
+// DefaultEvalCacheCapacity is the entry bound NewEvalCache applies when
+// given a non-positive capacity.
+const DefaultEvalCacheCapacity = opt.DefaultEvalCacheCapacity
+
+// NewEvalCache returns an evaluation cache holding at most capacity entries
+// (a default capacity when <= 0), for use with WithEvalCache.
+func NewEvalCache(capacity int) *EvalCache { return opt.NewEvalCache(capacity) }
+
+// WithEvalCache installs a shared evaluation cache: repeated searches over
+// the same problem (same workflow, table, prices, goal, constraints, seed)
+// reuse cached state evaluations instead of re-running Monte-Carlo
+// inference. Adaptive executions pass the cache on to their replan searches.
+func WithEvalCache(c *EvalCache) Option { return func(e *Engine) { e.search.Cache = c } }
+
 // NewEngine builds an engine with the paper's defaults: the EC2 m1 catalog,
 // metadata discretized from the calibrated Table 2 distributions, the
 // two-level (block per state, thread per Monte-Carlo iteration) device, and
@@ -330,6 +351,7 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 		space.CostFn = func(st opt.State) (float64, error) {
 			return opt.PackedMeanCost(w, st, tbl, prices, e.region)
 		}
+		space.CostTag = "packed:" + e.region
 	}
 	search := e.search
 	search.AStar = astar

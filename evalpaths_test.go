@@ -1,0 +1,228 @@
+package deco
+
+// Evaluation-path equivalence: under the common-random-number contract a
+// state's evaluation is a pure function of (program, config, base seed), so
+// every way the solver can compute it must agree bit-for-bit:
+//
+//   - full evaluation     probir.Native.EvaluateCRN (one sequential pass)
+//   - kernel path         CRNKernel + probir.RunCRNKernel (world-decomposed,
+//                         folded canonically)
+//   - device/delta path   opt.Search's batch dispatch, which shares the
+//                         lazily-filled CRN duration rows across sibling
+//                         states and runs them on whatever device is
+//                         configured
+//
+// The deterministic ensemble and follow-the-cost spaces have no kernels;
+// there the property is that the Map-dispatched device path reproduces a
+// direct Evaluate call exactly on every device.
+
+import (
+	"math/rand"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/device"
+	"deco/internal/ensemble"
+	"deco/internal/estimate"
+	"deco/internal/exp"
+	"deco/internal/ftc"
+	"deco/internal/opt"
+	"deco/internal/probir"
+	"deco/internal/wfgen"
+	"deco/internal/wlog"
+)
+
+// pathDevices is the device matrix for the path-equivalence property.
+var pathDevices = []device.Device{
+	device.Sequential{},
+	device.Parallel{},
+	device.TwoLevel{},
+}
+
+// frozenSpace pins a search to exactly one state: Initial is the state,
+// Neighbors is empty. Searching it runs the solver's batch-evaluation
+// dispatch (CRN, kernel, or Map path — whatever the inner space supports)
+// on precisely that state, so Result.BestEval is the dispatched evaluation.
+type frozenSpace struct {
+	inner opt.Space
+	st    opt.State
+}
+
+func (f *frozenSpace) Initial() opt.State              { return f.st.Clone() }
+func (f *frozenSpace) Neighbors(opt.State) []opt.State { return nil }
+func (f *frozenSpace) Evaluate(s opt.State, rng *rand.Rand) (*probir.Evaluation, error) {
+	return f.inner.Evaluate(s, rng)
+}
+
+// frozenCRNSpace additionally forwards the CRN kernel, keeping the search on
+// the shared-realization device path.
+type frozenCRNSpace struct {
+	frozenSpace
+	crn opt.CRNSpace
+}
+
+func (f *frozenCRNSpace) CRNKernel(s opt.State, base int64) (probir.WorldKernel, error) {
+	return f.crn.CRNKernel(s, base)
+}
+
+// assertSameEval fails unless the two evaluations are bit-identical.
+func assertSameEval(t *testing.T, label string, got, want *probir.Evaluation) {
+	t.Helper()
+	if got.Value != want.Value || got.Feasible != want.Feasible || got.Violation != want.Violation {
+		t.Errorf("%s: {%v %v %v} != {%v %v %v}", label,
+			got.Value, got.Feasible, got.Violation, want.Value, want.Feasible, want.Violation)
+	}
+	if len(got.ConsProb) != len(want.ConsProb) {
+		t.Fatalf("%s: ConsProb len %d != %d", label, len(got.ConsProb), len(want.ConsProb))
+	}
+	for i := range got.ConsProb {
+		if got.ConsProb[i] != want.ConsProb[i] {
+			t.Errorf("%s: ConsProb[%d] %v != %v", label, i, got.ConsProb[i], want.ConsProb[i])
+		}
+	}
+}
+
+// searchOneState runs the solver over the frozen space on the given device
+// and returns the dispatched evaluation of the pinned state.
+func searchOneState(t *testing.T, sp opt.Space, dev device.Device, base int64, maximize bool) *probir.Evaluation {
+	t.Helper()
+	res, err := opt.Search(sp, opt.Options{Device: dev, MaxStates: 1, Seed: base, Maximize: maximize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 1 {
+		t.Fatalf("frozen search evaluated %d states, want 1", res.Evaluated)
+	}
+	return res.BestEval
+}
+
+func TestEvalPathEquivalenceScheduling(t *testing.T) {
+	env, err := exp.NewEnv(exp.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wfgen.BySize(wfgen.AppMontage, 24, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := env.Est.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline, err := env.Deadline(w, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := []wlog.Constraint{
+		{Kind: "deadline", Percentile: 0.9, Bound: deadline},
+		{Kind: "budget", Percentile: 0.9, Bound: 50},
+	}
+	eval, err := probir.NewNative(w, tbl, env.Prices, probir.GoalCost, cons, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sp := range map[string]*opt.ScheduleSpace{
+		"plain":  opt.NewScheduleSpace(w, eval),
+		"packed": opt.NewPackedScheduleSpace(w, eval, tbl, env.Prices, cloud.USEast),
+	} {
+		const base = 27
+		states := []opt.State{sp.Initial()}
+		states = append(states, sp.Neighbors(states[0])...) // Δ=1 siblings: the row-reuse case
+		if len(states) > 12 {
+			states = states[:12]
+		}
+		for _, st := range states {
+			// Full evaluation: one sequential pass at the shared base, plus
+			// the plan-level objective exactly as ScheduleSpace.Evaluate
+			// applies it.
+			want, err := eval.EvaluateCRN(st, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.CostFn != nil {
+				v, err := sp.CostFn(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want.Value = v
+			}
+			// Kernel path, folded sequentially.
+			k, err := sp.CRNKernel(st, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kev, err := probir.RunCRNKernel(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameEval(t, name+": kernel path", kev, want)
+			// Device/delta path through the solver's dispatch, every device.
+			for _, dev := range pathDevices {
+				got := searchOneState(t, &frozenCRNSpace{frozenSpace{sp, st}, sp}, dev, base, false)
+				assertSameEval(t, name+": "+dev.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestEvalPathEquivalenceEnsemble(t *testing.T) {
+	e := &ensemble.Ensemble{Kind: ensemble.Constant}
+	sp := &ensemble.Space{E: e, Budget: 7}
+	for i, c := range []float64{3, 2, 4, 1, 5} {
+		e.Workflows = append(e.Workflows, &dag.Workflow{Priority: i})
+		sp.Plans = append(sp.Plans, &ensemble.PlannedWorkflow{Cost: c, Feasible: true})
+	}
+	states := []opt.State{sp.Initial()}
+	states = append(states, sp.Neighbors(states[0])...)
+	const base = 13
+	for _, st := range states {
+		want, err := sp.Evaluate(st, rand.New(rand.NewSource(base)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dev := range pathDevices {
+			got := searchOneState(t, &frozenSpace{sp, st}, dev, base, true)
+			assertSameEval(t, "ensemble: "+dev.Name(), got, want)
+		}
+	}
+}
+
+func TestEvalPathEquivalenceFTC(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	md, err := cloud.MetadataFromTruth(cat, 12, 3000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(cat, md)
+	var jobs []*ftc.Job
+	for i := 0; i < 3; i++ {
+		w, err := wfgen.Pipeline(5, rand.New(rand.NewSource(int64(20+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := est.BuildTable(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := ftc.NewJob(w, tbl, 0, 1, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	sp := ftc.NewSpace(&ftc.Runtime{Cat: cat, Jobs: jobs})
+	states := []opt.State{sp.Initial()}
+	states = append(states, sp.Neighbors(states[0])...)
+	const base = 19
+	for _, st := range states {
+		want, err := sp.Evaluate(st, rand.New(rand.NewSource(base)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dev := range pathDevices {
+			got := searchOneState(t, &frozenSpace{sp, st}, dev, base, false)
+			assertSameEval(t, "ftc: "+dev.Name(), got, want)
+		}
+	}
+}

@@ -66,6 +66,7 @@ type Workflow struct {
 	children map[string][]string
 	parents  map[string][]string
 	topo     []string // cached topological order of task IDs
+	flat     *Flat    // cached index-based form (see Flatten)
 }
 
 // New creates an empty workflow with the given name.
@@ -89,6 +90,7 @@ func (w *Workflow) AddTask(t *Task) error {
 	w.byID[t.ID] = t
 	w.Tasks = append(w.Tasks, t)
 	w.topo = nil
+	w.flat = nil
 	return nil
 }
 
@@ -112,6 +114,7 @@ func (w *Workflow) AddEdge(parent, child string) error {
 	w.children[parent] = append(w.children[parent], child)
 	w.parents[child] = append(w.parents[child], parent)
 	w.topo = nil
+	w.flat = nil
 	return nil
 }
 
@@ -208,25 +211,22 @@ func (w *Workflow) Validate() error {
 // as the longest path from any root to any leaf (the critical path of
 // Eq. 3, with virtual root/tail tasks of zero weight). Missing durations
 // count as zero. It returns the makespan and the end time of every task.
+// It is a map-keyed adapter over the flat index-based core (Flat.Makespan),
+// which hot paths use directly.
 func (w *Workflow) Makespan(duration map[string]float64) (float64, map[string]float64, error) {
-	order, err := w.TopoOrder()
+	f, err := w.Flatten()
 	if err != nil {
 		return 0, nil, err
 	}
-	finish := make(map[string]float64, len(order))
-	makespan := 0.0
-	for _, id := range order {
-		start := 0.0
-		for _, p := range w.parents[id] {
-			if finish[p] > start {
-				start = finish[p]
-			}
-		}
-		end := start + duration[id]
-		finish[id] = end
-		if end > makespan {
-			makespan = end
-		}
+	dur := make([]float64, f.Len())
+	fin := make([]float64, f.Len())
+	for i, id := range f.IDs {
+		dur[i] = duration[id]
+	}
+	makespan := f.Makespan(dur, fin)
+	finish := make(map[string]float64, f.Len())
+	for i, id := range f.IDs {
+		finish[id] = fin[i]
 	}
 	return makespan, finish, nil
 }

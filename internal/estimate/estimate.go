@@ -11,6 +11,7 @@ package estimate
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"deco/internal/cloud"
 	"deco/internal/dag"
@@ -152,41 +153,6 @@ func (tb *Table) Dist(taskID string, j int) (*TimeDist, error) {
 	return row[j], nil
 }
 
-// Sampler is the per-world sampling interface behind the probabilistic IR's
-// device kernels: the per-task distributions of one fixed configuration,
-// resolved once, so each Monte-Carlo world draws durations with no map
-// lookups. A Sampler is immutable after construction and safe for concurrent
-// use with distinct rngs.
-type Sampler struct {
-	dists []*TimeDist
-}
-
-// Sampler resolves a configuration: dists[i] is taskIDs[i] on type
-// config[i].
-func (tb *Table) Sampler(taskIDs []string, config []int) (*Sampler, error) {
-	if len(taskIDs) != len(config) {
-		return nil, fmt.Errorf("estimate: %d tasks for %d config entries", len(taskIDs), len(config))
-	}
-	dists := make([]*TimeDist, len(taskIDs))
-	for i, id := range taskIDs {
-		td, err := tb.Dist(id, config[i])
-		if err != nil {
-			return nil, err
-		}
-		dists[i] = td
-	}
-	return &Sampler{dists: dists}, nil
-}
-
-// Len is the number of tasks.
-func (s *Sampler) Len() int { return len(s.dists) }
-
-// Sample draws task i's execution time for one world.
-func (s *Sampler) Sample(i int, rng *rand.Rand) float64 { return s.dists[i].Sample(rng) }
-
-// Mean is task i's exact mean execution time.
-func (s *Sampler) Mean(i int) float64 { return s.dists[i].Mean() }
-
 // MeanDurations returns the mean duration of every task under the given
 // per-task type assignment (task ID -> type index).
 func (tb *Table) MeanDurations(config map[string]int) (map[string]float64, error) {
@@ -202,11 +168,20 @@ func (tb *Table) MeanDurations(config map[string]int) (map[string]float64, error
 }
 
 // SampleDurations draws one world: a concrete duration for every task under
-// the given assignment.
+// the given assignment. Tasks consume the rng in sorted-ID order, so the
+// same seed reproduces the same world (ranging over the map directly would
+// randomize the consumption order run to run). Hot paths use the flat
+// common-random-number core in package probir instead; this map-keyed form
+// remains for tooling and tests.
 func (tb *Table) SampleDurations(config map[string]int, rng *rand.Rand) (map[string]float64, error) {
+	ids := make([]string, 0, len(config))
+	for id := range config {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	out := make(map[string]float64, len(config))
-	for id, j := range config {
-		td, err := tb.Dist(id, j)
+	for _, id := range ids {
+		td, err := tb.Dist(id, config[id])
 		if err != nil {
 			return nil, err
 		}

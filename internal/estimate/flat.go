@@ -1,0 +1,108 @@
+package estimate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"deco/internal/dist"
+)
+
+// FlatTable is the dense, index-based form of a Table for one workflow: the
+// TimeDist of task i on type j sits at Dists[i*NumTypes+j], so the
+// Monte-Carlo evaluation core resolves distributions by integer arithmetic
+// with no map lookups. A FlatTable is immutable after construction and safe
+// for concurrent use.
+type FlatTable struct {
+	Types    []string
+	TaskIDs  []string
+	NumTypes int
+	Dists    []*TimeDist // task-major: Dists[task*NumTypes+type]
+}
+
+// Flatten resolves the table against an ordered task-ID list (typically
+// dag.Flat.IDs), densifying every (task, type) pair.
+func (tb *Table) Flatten(taskIDs []string) (*FlatTable, error) {
+	ft := &FlatTable{
+		Types:    tb.Types,
+		TaskIDs:  taskIDs,
+		NumTypes: len(tb.Types),
+		Dists:    make([]*TimeDist, len(taskIDs)*len(tb.Types)),
+	}
+	for i, id := range taskIDs {
+		row, ok := tb.Dists[id]
+		if !ok {
+			return nil, fmt.Errorf("estimate: unknown task %q", id)
+		}
+		if len(row) != ft.NumTypes {
+			return nil, fmt.Errorf("estimate: task %q has %d dists for %d types", id, len(row), ft.NumTypes)
+		}
+		copy(ft.Dists[i*ft.NumTypes:(i+1)*ft.NumTypes], row)
+	}
+	return ft, nil
+}
+
+// Dist returns the distribution of task index i on type index j; indices
+// must be in range (hot-path accessor, no error return).
+func (ft *FlatTable) Dist(i, j int) *TimeDist { return ft.Dists[i*ft.NumTypes+j] }
+
+// Len is the number of tasks.
+func (ft *FlatTable) Len() int { return len(ft.TaskIDs) }
+
+// writeFloats writes float64s to a hash in a fixed binary form.
+func writeFloats(w io.Writer, xs ...float64) {
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		w.Write(buf[:])
+	}
+}
+
+// Fingerprint content-hashes the table: every task's per-type CPU/IO/net
+// figures plus the performance histograms behind them. Two tables with equal
+// fingerprints produce identical execution-time distributions for every
+// (task, type) pair, so Monte-Carlo evaluations against them are
+// interchangeable — the property the solver's cross-search evaluation cache
+// keys on.
+func (tb *Table) Fingerprint() string {
+	h := sha256.New()
+	for _, typ := range tb.Types {
+		io.WriteString(h, typ)
+		io.WriteString(h, "|")
+	}
+	ids := make([]string, 0, len(tb.Dists))
+	for id := range tb.Dists {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// Performance histograms are shared across tasks (one per type), so hash
+	// each distinct one once and refer back by index thereafter.
+	seen := map[*dist.Histogram]int{}
+	hashHist := func(hst *dist.Histogram) {
+		if hst == nil {
+			io.WriteString(h, "nil;")
+			return
+		}
+		if i, ok := seen[hst]; ok {
+			fmt.Fprintf(h, "ref=%d;", i)
+			return
+		}
+		seen[hst] = len(seen)
+		io.WriteString(h, "hist;")
+		writeFloats(h, hst.Edges...)
+		writeFloats(h, hst.Probs...)
+	}
+	for _, id := range ids {
+		io.WriteString(h, id)
+		for _, td := range tb.Dists[id] {
+			writeFloats(h, td.CPUSeconds, td.IOMB, td.NetMB)
+			hashHist(td.seq)
+			hashHist(td.net)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

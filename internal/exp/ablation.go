@@ -158,15 +158,26 @@ func (e *Env) Ablation(out io.Writer) (*AblationResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Average the evaluation time over repetitions: a single flat-core
+		// evaluation is microseconds, well inside timer noise. Each
+		// repetition draws a fresh CRN base so the per-world sampling work
+		// is actually redone.
+		const reps = 16
+		rng := rand.New(rand.NewSource(e.Cfg.Seed + 72))
 		start := time.Now()
-		ev, err := n.Evaluate(config, rand.New(rand.NewSource(e.Cfg.Seed+72)))
+		ev, err := n.Evaluate(config, rng)
 		if err != nil {
 			return nil, err
+		}
+		for r := 1; r < reps; r++ {
+			if _, err := n.Evaluate(config, rng); err != nil {
+				return nil, err
+			}
 		}
 		res.MCIters = append(res.MCIters, AblationMCRow{
 			Iters:    iters,
 			ProbErr:  math.Abs(ev.ConsProb[0] - refEv.ConsProb[0]),
-			EvalTime: time.Since(start),
+			EvalTime: time.Since(start) / reps,
 		})
 	}
 

@@ -40,9 +40,13 @@ type Config struct {
 	Quick bool
 }
 
-// QuickConfig returns the test-scale configuration.
+// QuickConfig returns the test-scale configuration. Under common random
+// numbers every state in a search shares one set of world realizations, so
+// the world count bounds how finely feasibility boundaries resolve; 80
+// worlds keeps quick-scale searches on the same plans as paper scale, and
+// the flat evaluation core makes them cheap.
 func QuickConfig() Config {
-	return Config{Seed: 1, Runs: 12, Iters: 40, SearchBudget: 1600, Device: device.Parallel{}, Quick: true}
+	return Config{Seed: 1, Runs: 12, Iters: 80, SearchBudget: 1600, Device: device.Parallel{}, Quick: true}
 }
 
 // FullConfig returns the paper-scale configuration.

@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"deco/internal/probir"
+)
+
+// EvalCache is a bounded, concurrency-safe transposition table for state
+// evaluations. Entries are keyed by the search space's program fingerprint,
+// the search seed, and the state key, so a hit is guaranteed to be the
+// bit-identical evaluation the live path would have produced under the CRN
+// determinism contract — which is what makes it safe to share one cache
+// across the warm-started replans of a run, across successive searches, and
+// across decod jobs solving the same problem. Eviction is LRU.
+type EvalCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	ev  *probir.Evaluation
+}
+
+// DefaultEvalCacheCapacity bounds a cache built with capacity <= 0. At
+// roughly a hundred bytes per evaluation this keeps the table in the
+// few-megabytes range.
+const DefaultEvalCacheCapacity = 65536
+
+// NewEvalCache returns an empty cache holding at most capacity evaluations
+// (DefaultEvalCacheCapacity when capacity <= 0).
+func NewEvalCache(capacity int) *EvalCache {
+	if capacity <= 0 {
+		capacity = DefaultEvalCacheCapacity
+	}
+	return &EvalCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached evaluation for key, marking it most-recently used.
+// The returned Evaluation is shared: callers must not modify it.
+func (c *EvalCache) Get(key string) (*probir.Evaluation, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var ev *probir.Evaluation
+	if ok {
+		c.ll.MoveToFront(el)
+		ev = el.Value.(*cacheEntry).ev
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return ev, true
+}
+
+// Put stores an evaluation, evicting the least-recently-used entry when the
+// cache is full.
+func (c *EvalCache) Put(key string, ev *probir.Evaluation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).ev = ev
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ev: ev})
+	if c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len is the current number of cached evaluations.
+func (c *EvalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits is the number of cache hits since construction.
+func (c *EvalCache) Hits() int64 { return c.hits.Load() }
+
+// Misses is the number of cache misses since construction.
+func (c *EvalCache) Misses() int64 { return c.misses.Load() }

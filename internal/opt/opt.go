@@ -86,9 +86,13 @@ type Options struct {
 	// Patience stops the search after this many levels (generic) or
 	// expansions (A*) without improvement.
 	Patience int
-	// Seed makes runs reproducible; every state's evaluation derives its
-	// own rng from Seed and the state key, so results are identical across
-	// devices.
+	// Seed makes runs reproducible. Under the common-random-number contract
+	// it is the search-level CRN base: every state in the search shares the
+	// same world realizations, keyed by (task, type, iteration); spaces
+	// without CRN support derive a per-state rng from Seed and the state
+	// key. Either way results are identical across devices. The zero value
+	// defaults to 1 (fillDefaults), matching DefaultOptions, so a zero-value
+	// Options and DefaultOptions agree.
 	Seed int64
 	// AStar selects best-first search with pruning instead of the generic
 	// breadth-first search.
@@ -97,6 +101,16 @@ type Options struct {
 	// context.Background(). A cancelled search returns the context's error
 	// (test with errors.Is against context.Canceled / DeadlineExceeded).
 	Ctx context.Context
+	// Cache, when set, memoizes state evaluations across searches (a
+	// transposition table). It is only consulted when the space identifies
+	// its program via FingerprintSpace; evaluations are deterministic given
+	// (fingerprint, seed, state), so hits are bit-identical to live
+	// evaluation and search trajectories do not depend on cache warmth.
+	Cache *EvalCache
+
+	// cachePrefix is the fingerprint|seed prefix of this search's cache
+	// keys, resolved once by Search; empty disables the cache.
+	cachePrefix string
 }
 
 // DefaultOptions returns a reasonable configuration on the given device.
@@ -161,15 +175,73 @@ type KernelSpace interface {
 	Kernel(s State) (probir.WorldKernel, error)
 }
 
-// evaluateBatch scores states on the device. When both the space and the
-// device support it, the batch runs two-level (block per state, thread per
-// Monte-Carlo iteration) so even a batch narrower than the machine — an A*
-// expansion, a few multi-start seeds, an exploitation child set — saturates
-// every worker. Cancellation is honored at per-thread granularity; results
-// are bit-identical across devices and scheduling orders because every
-// world draws from its own (state, iteration) rng substream and reductions
-// fold in iteration order.
+// CRNSpace is the preferred Space extension: a space whose kernels run under
+// the common-random-number contract (probir.CRNEvaluator). All states of a
+// search share one duration matrix keyed by the search seed, so evaluating a
+// neighbor state only samples the rows its changed assignments need, and
+// state-vs-state comparisons see identical randomness. CRNKernel returns
+// (nil, nil) when the state's evaluation has no CRN decomposition.
+type CRNSpace interface {
+	Space
+	CRNKernel(s State, base int64) (probir.WorldKernel, error)
+}
+
+// FingerprintSpace is an optional Space extension: a content hash of
+// everything an evaluation depends on (program, distributions, objective).
+// It gates the evaluation cache — an empty fingerprint means the space
+// cannot vouch for its identity and caching is disabled.
+type FingerprintSpace interface {
+	Space
+	Fingerprint() string
+}
+
+// evaluateBatch scores states on the device, consulting the evaluation
+// cache when the search has one. Hits return the stored evaluation (shared,
+// never modified); misses run live and are stored. Because evaluations are
+// deterministic given (fingerprint, seed, state), a warm cache changes only
+// wall-clock time, never the search trajectory.
 func evaluateBatch(sp Space, states []State, opt Options) []scored {
+	if opt.Cache == nil || opt.cachePrefix == "" {
+		return evaluateBatchLive(sp, states, opt)
+	}
+	out := make([]scored, len(states))
+	var missStates []State
+	var missIdx []int
+	for i, st := range states {
+		key := st.Key()
+		if ev, ok := opt.Cache.Get(opt.cachePrefix + key); ok {
+			out[i] = scored{state: st, key: key, eval: ev}
+			continue
+		}
+		missStates = append(missStates, st)
+		missIdx = append(missIdx, i)
+	}
+	if len(missStates) > 0 {
+		for mi, s := range evaluateBatchLive(sp, missStates, opt) {
+			out[missIdx[mi]] = s
+			if s.err == nil && s.eval != nil {
+				opt.Cache.Put(opt.cachePrefix+s.key, s.eval)
+			}
+		}
+	}
+	return out
+}
+
+// evaluateBatchLive scores states on the device, bypassing the cache. The
+// CRN path runs first (shared realizations, delta sampling); the state-keyed
+// kernel path covers spaces without CRN support; the generic path is
+// state-level parallelism over Space.Evaluate. When both the space and the
+// device support it, kernel batches run two-level (block per state, thread
+// per Monte-Carlo iteration) so even a batch narrower than the machine — an
+// A* expansion, a few multi-start seeds, an exploitation child set —
+// saturates every worker. Cancellation is honored at per-thread granularity;
+// results are bit-identical across devices and scheduling orders because
+// every world's figures depend only on (kernel, base, iteration) and
+// reductions fold in iteration order.
+func evaluateBatchLive(sp Space, states []State, opt Options) []scored {
+	if out, ok := evaluateBatchCRN(sp, states, opt); ok {
+		return out
+	}
 	if out, ok := evaluateBatchKernel(sp, states, opt); ok {
 		return out
 	}
@@ -186,6 +258,84 @@ func evaluateBatch(sp Space, states []State, opt Options) []scored {
 		out[i] = scored{state: states[i], key: key, eval: ev, err: err}
 	})
 	return out
+}
+
+// evaluateBatchCRN is the common-random-number path of evaluateBatchLive:
+// kernels share the search-seed duration matrix and ignore the per-world
+// rng, so it runs on every device — two-level on a BlockDevice, state-level
+// otherwise — with bit-identical sums either way. It reports ok=false when
+// the space has no CRN decomposition (or the batch is non-uniform /
+// deterministic), in which case the caller falls through.
+func evaluateBatchCRN(sp Space, states []State, opt Options) ([]scored, bool) {
+	cs, ok := sp.(CRNSpace)
+	if !ok || len(states) == 0 {
+		return nil, false
+	}
+	out := make([]scored, len(states))
+	kernels := make([]probir.WorldKernel, len(states))
+	worlds, width := 0, 0
+	shaped := false
+	for i, st := range states {
+		key := st.Key()
+		out[i] = scored{state: st, key: key}
+		k, err := cs.CRNKernel(st, opt.Seed)
+		if err != nil {
+			out[i].err = err
+			continue
+		}
+		if k == nil {
+			return nil, false // no CRN decomposition for this space
+		}
+		if !shaped {
+			worlds, width = k.Worlds(), k.Width()
+			shaped = true
+		} else if k.Worlds() != worlds || k.Width() != width {
+			return nil, false // non-uniform batch; let the generic path run it
+		}
+		kernels[i] = k
+	}
+	if worlds == 0 || width == 0 {
+		return nil, false // deterministic evaluation: nothing to thread over
+	}
+	if bd, ok := opt.Device.(device.BlockDevice); ok {
+		sums, errs := device.ReduceBlocks(bd, len(states), worlds, width, func(b, t int, slot []float64) error {
+			if kernels[b] == nil {
+				return nil // kernel construction already failed for this state
+			}
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					return fmt.Errorf("opt: search cancelled: %w", err)
+				}
+			}
+			return kernels[b].Sample(t, nil, slot)
+		})
+		bd.Map(len(states), func(i int) {
+			if out[i].err != nil {
+				return
+			}
+			if errs[i] != nil {
+				out[i].err = errs[i]
+				return
+			}
+			out[i].eval, out[i].err = kernels[i].Reduce(sums[i*width : (i+1)*width])
+		})
+		return out, true
+	}
+	// Non-block device: state-level parallelism, each state's worlds folded
+	// sequentially in iteration order — identical sums, identical results.
+	opt.Device.Map(len(states), func(i int) {
+		if out[i].err != nil || kernels[i] == nil {
+			return
+		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
+				return
+			}
+		}
+		out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
+	})
+	return out, true
 }
 
 // evaluateBatchKernel is the two-level path of evaluateBatch. It reports
@@ -297,6 +447,9 @@ func fillDefaults(opt *Options) {
 	if opt.Patience <= 0 {
 		opt.Patience = 12
 	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
 }
 
 // MultiStartSpace is an optional extension: a space offering several start
@@ -315,6 +468,17 @@ type MultiStartSpace interface {
 // phase descends from the single global incumbent.
 func Search(sp Space, opt Options) (*Result, error) {
 	fillDefaults(&opt)
+	if opt.Cache != nil {
+		fp := ""
+		if fs, ok := sp.(FingerprintSpace); ok {
+			fp = fs.Fingerprint()
+		}
+		if fp == "" {
+			opt.Cache = nil // unidentifiable program: a hit could be wrong
+		} else {
+			opt.cachePrefix = fmt.Sprintf("%s|%d|", fp, opt.Seed)
+		}
+	}
 	starts := []State{sp.Initial()}
 	if ms, ok := sp.(MultiStartSpace); ok {
 		if s := ms.Starts(); len(s) > 0 {

@@ -79,6 +79,11 @@ type ScheduleSpace struct {
 	// PackedMeanCost; feasibility still comes from the evaluator's
 	// Monte-Carlo constraint inference.
 	CostFn func(State) (float64, error)
+	// CostTag identifies the CostFn for the evaluation cache: two spaces
+	// with equal evaluator fingerprints and equal tags must apply the same
+	// objective. A set CostFn with an empty tag disables caching (the
+	// closure cannot be hashed, so a hit could carry the wrong objective).
+	CostTag string
 }
 
 // GroupPerTask puts every task in its own group: the exact space of the
@@ -240,6 +245,45 @@ func (s *ScheduleSpace) Kernel(st State) (probir.WorldKernel, error) {
 	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
 }
 
+// CRNKernel implements CRNSpace: the evaluator's common-random-number
+// kernel, when it has one, with any CostFn objective applied at reduction
+// time exactly as Evaluate applies it after the Monte-Carlo loop.
+func (s *ScheduleSpace) CRNKernel(st State, base int64) (probir.WorldKernel, error) {
+	ce, ok := s.Eval.(probir.CRNEvaluator)
+	if !ok {
+		return nil, nil
+	}
+	k, err := ce.CRNKernel(st, base)
+	if err != nil || k == nil {
+		return k, err
+	}
+	if s.CostFn == nil {
+		return k, nil
+	}
+	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
+}
+
+// Fingerprint implements FingerprintSpace: the evaluator's program
+// fingerprint composed with the objective tag. Empty (caching disabled) when
+// the evaluator cannot fingerprint itself or a CostFn has no CostTag.
+func (s *ScheduleSpace) Fingerprint() string {
+	fe, ok := s.Eval.(interface{ Fingerprint() string })
+	if !ok {
+		return ""
+	}
+	fp := fe.Fingerprint()
+	if fp == "" {
+		return ""
+	}
+	if s.CostFn != nil {
+		if s.CostTag == "" {
+			return ""
+		}
+		fp += "|cost=" + s.CostTag
+	}
+	return fp
+}
+
 // costFnKernel replaces the reduced goal value with the plan-level cost,
 // mirroring ScheduleSpace.Evaluate. The cost runs inside Reduce, which the
 // solver schedules per-state on the device, so packing stays parallel.
@@ -270,6 +314,7 @@ func NewPackedScheduleSpace(w *dag.Workflow, eval probir.Evaluator, tbl *estimat
 	sp.CostFn = func(st State) (float64, error) {
 		return PackedMeanCost(w, st, tbl, prices, region)
 	}
+	sp.CostTag = "packed:" + region
 	return sp
 }
 

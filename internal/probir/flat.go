@@ -1,0 +1,251 @@
+package probir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+
+	"deco/internal/dag"
+	"deco/internal/estimate"
+)
+
+// This file implements the common-random-number (CRN) evaluation core. A
+// Native program is compiled once per search into a Program: the workflow's
+// flat index form (dag.Flat), the dense per-(task, type) time-distribution
+// table (estimate.FlatTable), and a lazily-filled duration matrix
+// rows[task][type][iteration]. Duration draws are keyed by (task, type,
+// iteration) — NOT by search state — so every state evaluated within one
+// search observes the same world realizations. That is the CRN determinism
+// contract:
+//
+//   - Evaluating a neighbor state that reassigns Δ tasks resolves only the Δ
+//     missing rows (O(Δ·worlds) sampling instead of O(tasks·worlds)).
+//   - State-vs-state comparisons see the same randomness, cutting the
+//     Monte-Carlo variance of score differences.
+//   - Results depend only on (program, base seed, configuration); kernels
+//     built from a Program ignore the per-world rng entirely, so devices may
+//     run worlds in any order or in parallel and fold bit-identically.
+
+// crnSeed derives the rng seed of one (task, type) duration row from the
+// search-level base seed (splitmix64-style finalizer over a distinct stream
+// constant from worldSeed, so CRN rows never collide with state-keyed world
+// substreams).
+func crnSeed(base int64, stream int) int64 {
+	z := uint64(base) ^ 0x6A09E667F3BCC909
+	z += uint64(stream+1) * 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Program is a Native program compiled for one CRN base seed: the flat DAG,
+// the dense distribution table, and the shared duration matrix. Rows are
+// filled lazily (under a mutex) the first time a configuration needs them;
+// reads of filled rows are lock-free slices handed out by Rows. The scratch
+// pool serves per-world finish-time buffers so device threads evaluating
+// worlds concurrently never allocate.
+type Program struct {
+	flat   *dag.Flat
+	ft     *estimate.FlatTable
+	base   int64
+	iters  int
+	nTypes int
+
+	mu   sync.Mutex
+	rows [][]float64 // rows[task*nTypes+type][iteration], lazily filled
+
+	scratch sync.Pool // *[]float64 of len flat.Len()
+}
+
+func newProgram(flat *dag.Flat, ft *estimate.FlatTable, base int64, iters int) *Program {
+	p := &Program{
+		flat:   flat,
+		ft:     ft,
+		base:   base,
+		iters:  iters,
+		nTypes: ft.NumTypes,
+		rows:   make([][]float64, flat.Len()*ft.NumTypes),
+	}
+	n := flat.Len()
+	p.scratch.New = func() any {
+		s := make([]float64, n)
+		return &s
+	}
+	return p
+}
+
+// Rows resolves one configuration against the duration matrix, filling any
+// missing (task, type) rows: row[it] is the task's sampled duration in world
+// it, drawn from an rng seeded by crnSeed(base, task*nTypes+type) and
+// consumed in iteration order. The returned per-task slices are shared and
+// immutable once filled; callers must not modify them.
+func (p *Program) Rows(config []int) [][]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([][]float64, len(config))
+	for i, j := range config {
+		ri := i*p.nTypes + j
+		row := p.rows[ri]
+		if row == nil {
+			row = make([]float64, p.iters)
+			rng := rand.New(rand.NewSource(crnSeed(p.base, ri)))
+			td := p.ft.Dist(i, j)
+			for it := range row {
+				row[it] = td.Sample(rng)
+			}
+			p.rows[ri] = row
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// maxPrograms bounds the per-Native program cache. A search uses a single
+// base seed, so this only needs to cover a handful of concurrent or
+// successive searches (e.g. runtime replans) over the same Native.
+const maxPrograms = 8
+
+// program returns the compiled Program for the given CRN base, building and
+// caching it on first use.
+func (n *Native) program(base int64) *Program {
+	n.progMu.Lock()
+	defer n.progMu.Unlock()
+	if p, ok := n.progs[base]; ok {
+		return p
+	}
+	if n.progs == nil {
+		n.progs = make(map[int64]*Program)
+	}
+	if len(n.progs) >= maxPrograms {
+		for k := range n.progs {
+			delete(n.progs, k)
+			break
+		}
+	}
+	p := newProgram(n.flat, n.ftab, base, n.Iters)
+	n.progs[base] = p
+	return p
+}
+
+// CRNEvaluator is an Evaluator whose Monte-Carlo evaluation can run under
+// the common-random-number contract: kernels built by CRNKernel share one
+// duration matrix per base seed and ignore the per-world rng (Sample may be
+// called with a nil rng).
+type CRNEvaluator interface {
+	Evaluator
+	// CRNKernel builds the per-world kernel of one configuration under the
+	// CRN base seed.
+	CRNKernel(config []int, base int64) (WorldKernel, error)
+}
+
+// RunCRNKernel executes a CRN kernel's worlds sequentially and reduces them,
+// accumulating in iteration order — the reference semantics every device
+// execution must (and does) match bit-identically. The kernel must have been
+// built by a CRNKernel call (its Sample ignores the rng).
+func RunCRNKernel(k WorldKernel) (*Evaluation, error) {
+	width := k.Width()
+	sums := make([]float64, width)
+	tmp := make([]float64, width)
+	for it := 0; it < k.Worlds(); it++ {
+		for w := range tmp {
+			tmp[w] = 0
+		}
+		if err := k.Sample(it, nil, tmp); err != nil {
+			return nil, err
+		}
+		for w := range tmp {
+			sums[w] += tmp[w]
+		}
+	}
+	return k.Reduce(sums)
+}
+
+// EvaluateCRN evaluates one configuration under the CRN contract with the
+// given base seed. Two calls with equal (program, base, config) return
+// bit-identical evaluations regardless of device or interleaving.
+func (n *Native) EvaluateCRN(config []int, base int64) (*Evaluation, error) {
+	k, err := n.CRNKernel(config, base)
+	if err != nil {
+		return nil, err
+	}
+	return RunCRNKernel(k)
+}
+
+// hashFloats writes float64s to a hash in a fixed binary form.
+func hashFloats(w io.Writer, xs ...float64) {
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		w.Write(buf[:])
+	}
+}
+
+// hashInts writes ints to a hash in a fixed binary form.
+func hashInts(w io.Writer, xs ...int64) {
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		w.Write(buf[:])
+	}
+}
+
+// Fingerprint content-hashes everything the evaluation depends on: the
+// time-distribution table, prices, goal, constraints, iteration count, and
+// the DAG structure. Two Natives with equal fingerprints produce identical
+// evaluations for every (config, base) pair — the key property behind the
+// solver's cross-search evaluation cache.
+func (n *Native) Fingerprint() string {
+	n.fpOnce.Do(func() {
+		h := sha256.New()
+		io.WriteString(h, "native;")
+		io.WriteString(h, n.Table.Fingerprint())
+		hashFloats(h, n.PricePerHour...)
+		hashInts(h, int64(n.Goal), int64(n.Iters), int64(len(n.Constraints)))
+		for _, c := range n.Constraints {
+			io.WriteString(h, c.Kind)
+			hashFloats(h, c.Percentile, c.Bound)
+		}
+		f := n.flat
+		hashInts(h, int64(f.Len()))
+		for _, id := range f.IDs {
+			io.WriteString(h, id)
+			io.WriteString(h, "|")
+		}
+		var buf [4]byte
+		for _, o := range f.Order {
+			binary.LittleEndian.PutUint32(buf[:], uint32(o))
+			h.Write(buf[:])
+		}
+		for _, s := range f.ParentStart {
+			binary.LittleEndian.PutUint32(buf[:], uint32(s))
+			h.Write(buf[:])
+		}
+		for _, p := range f.Parents {
+			binary.LittleEndian.PutUint32(buf[:], uint32(p))
+			h.Write(buf[:])
+		}
+		n.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return n.fp
+}
+
+// checkConfig validates a configuration's length and type indices.
+func (n *Native) checkConfig(config []int) error {
+	if len(config) != n.W.Len() {
+		return fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
+	}
+	for _, j := range config {
+		if j < 0 || j >= n.NumTypes() {
+			return fmt.Errorf("probir: type index %d out of range", j)
+		}
+	}
+	return nil
+}

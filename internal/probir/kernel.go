@@ -13,11 +13,16 @@ import (
 // worlds, so the reduction is exactly the shared-memory block sum of §5.2,
 // and a device may run the worlds of one state in any order or in parallel.
 //
-// Determinism: world `it` of a state draws from WorldRNG(base, it), a
-// substream keyed by (state, iteration) rather than a single rng consumed in
-// iteration order. Evaluators' own Evaluate methods run the same kernels
-// through RunKernel, so results are bit-identical whether the worlds ran
-// sequentially, state-parallel, or two-level on a device.
+// Determinism: the canonical contract for Native programs is common random
+// numbers (flat.go) — duration draws are keyed by (task, type, iteration)
+// against a search-level base seed, kernels ignore the per-world rng, and
+// every state in a search shares the same world realizations. Kernels that
+// cannot share realizations (the Prolog interpreter, the runtime's
+// conditioned residual kernels) instead draw world `it` from
+// WorldRNG(base, it), a substream keyed by (state, iteration). Under either
+// contract a world's figures depend only on (kernel, base, it), so results
+// are bit-identical whether the worlds ran sequentially, state-parallel, or
+// two-level on a device.
 
 // WorldKernel is one state's Monte-Carlo evaluation, decomposed for
 // block/thread execution.
@@ -85,34 +90,40 @@ func RunKernel(k WorldKernel, base int64) (*Evaluation, error) {
 	return k.Reduce(sums)
 }
 
-// nativeKernel is the Native evaluator's per-world kernel. Its figures are
-// laid out as: the sampled makespan (if any goal/constraint needs it), the
-// sampled world cost (if a probabilistic budget needs it), then one 0/1
-// satisfaction indicator per probabilistic constraint.
+// nativeKernel is the Native evaluator's per-world kernel under the CRN
+// contract. Its figures are laid out as: the sampled makespan (if any
+// goal/constraint needs it), the sampled world cost (if a probabilistic
+// budget needs it), then one 0/1 satisfaction indicator per probabilistic
+// constraint. Makespan and cost figures of one world share the same
+// per-(task, world) duration draws from the program's CRN matrix (under the
+// old state-keyed contract they drew separately from one stream).
 type nativeKernel struct {
 	n      *Native
 	config []int
 
-	sampler  *configSampler
-	meanCost float64 // deterministic Eq. 1-2 cost, computed once
+	prog *Program
+	// rows[i] is task i's CRN duration row (rows[i][it] = duration in world
+	// it); nil when Worlds() == 0. pricePerTask is each task's hourly price
+	// under the configuration, resolved only when cost samples are needed.
+	rows         [][]float64
+	pricePerTask []float64
+	meanCost     float64 // deterministic Eq. 1-2 cost, computed once
 
-	width     int
-	msIdx     int   // -1 when no makespan samples are needed
-	costIdx   int   // -1 when no cost samples are needed
-	indIdx    []int // per constraint: indicator figure, or -1
-	needMS    bool
-	needCost  bool
+	width    int
+	msIdx    int   // -1 when no makespan samples are needed
+	costIdx  int   // -1 when no cost samples are needed
+	indIdx   []int // per constraint: indicator figure, or -1
+	needMS   bool
+	needCost bool
 }
 
-// Kernel implements KernelEvaluator.
-func (n *Native) Kernel(config []int) (WorldKernel, error) {
-	if len(config) != n.W.Len() {
-		return nil, fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
-	}
-	for _, j := range config {
-		if j < 0 || j >= n.NumTypes() {
-			return nil, fmt.Errorf("probir: type index %d out of range", j)
-		}
+// CRNKernel implements CRNEvaluator: it builds the per-world kernel of one
+// configuration against the shared duration matrix of the given base seed.
+// Row filling happens here (serially, under the program's lock), so Sample
+// is read-only and a device may run worlds concurrently.
+func (n *Native) CRNKernel(config []int, base int64) (WorldKernel, error) {
+	if err := n.checkConfig(config); err != nil {
+		return nil, err
 	}
 	k := &nativeKernel{n: n, config: config, msIdx: -1, costIdx: -1}
 	k.needMS = n.Goal == GoalMakespan
@@ -144,8 +155,15 @@ func (n *Native) Kernel(config []int) (WorldKernel, error) {
 	if k.meanCost, err = n.MeanCost(config); err != nil {
 		return nil, err
 	}
-	if k.sampler, err = n.newSampler(config); err != nil {
-		return nil, err
+	if k.needMS || k.needCost {
+		k.prog = n.program(base)
+		k.rows = k.prog.Rows(config)
+	}
+	if k.needCost {
+		k.pricePerTask = make([]float64, len(config))
+		for i, j := range config {
+			k.pricePerTask[i] = n.PricePerHour[j]
+		}
 	}
 	return k, nil
 }
@@ -162,17 +180,38 @@ func (k *nativeKernel) Worlds() int {
 // Width implements WorldKernel.
 func (k *nativeKernel) Width() int { return k.width }
 
-// Sample implements WorldKernel: draw one realization of every task's
-// execution time, run the longest-path DP for the makespan and sum the
-// realized cost, then score the probabilistic constraints.
-func (k *nativeKernel) Sample(it int, rng *rand.Rand, out []float64) error {
+// Sample implements WorldKernel: read world it's task durations from the CRN
+// matrix, run the longest-path DP for the makespan over pooled scratch and
+// sum the realized cost, then score the probabilistic constraints. The rng
+// is ignored (may be nil): all randomness was drawn at row-fill time.
+func (k *nativeKernel) Sample(it int, _ *rand.Rand, out []float64) error {
 	var ms, cost float64
 	if k.needMS {
-		ms = k.sampler.makespan(rng)
+		f := k.n.flat
+		sp := k.prog.scratch.Get().(*[]float64)
+		finish := *sp
+		// No zeroing needed: topological order writes finish[ti] before any
+		// child reads it, and every task is written each world.
+		for ki, ti := range f.Order {
+			start := 0.0
+			for _, p := range f.Parents[f.ParentStart[ki]:f.ParentStart[ki+1]] {
+				if fp := finish[p]; fp > start {
+					start = fp
+				}
+			}
+			end := start + k.rows[ti][it]
+			finish[ti] = end
+			if end > ms {
+				ms = end
+			}
+		}
+		k.prog.scratch.Put(sp)
 		out[k.msIdx] = ms
 	}
 	if k.needCost {
-		cost = k.sampler.cost(rng)
+		for i, row := range k.rows {
+			cost += row[it] / 3600 * k.pricePerTask[i]
+		}
 		out[k.costIdx] = cost
 	}
 	for ci, c := range k.n.Constraints {

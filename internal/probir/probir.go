@@ -23,6 +23,7 @@ package probir
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"deco/internal/dag"
 	"deco/internal/estimate"
@@ -78,14 +79,19 @@ type Native struct {
 	// Iters is Max_iter of Algorithm 1.
 	Iters int
 
-	order []string // topological order, cached
-	index map[string]int
-	// orderIdx[k] is the task index (W.Tasks order) of the k-th task in
-	// topological order; orderParents[k] are its parents' task indices. The
-	// per-world kernels run the longest-path DP over these integer arrays so
-	// the Monte-Carlo hot loop touches no maps.
-	orderIdx     []int
-	orderParents [][]int
+	// flat/ftab are the compiled index-based forms of the DAG and the
+	// time-distribution table: the per-world kernels run the longest-path DP
+	// over dense integer arrays so the Monte-Carlo hot loop touches no maps
+	// and performs no per-world allocations.
+	flat *dag.Flat
+	ftab *estimate.FlatTable
+
+	// progs caches compiled CRN Programs by base seed (see flat.go).
+	progMu sync.Mutex
+	progs  map[int64]*Program
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // NewNative builds a native evaluator. The constraint list may contain
@@ -98,7 +104,11 @@ func NewNative(w *dag.Workflow, tbl *estimate.Table, prices []float64, goal Goal
 	if len(prices) != len(tbl.Types) {
 		return nil, fmt.Errorf("probir: %d prices for %d types", len(prices), len(tbl.Types))
 	}
-	order, err := w.TopoOrder()
+	flat, err := w.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	ftab, err := tbl.Flatten(flat.IDs)
 	if err != nil {
 		return nil, err
 	}
@@ -107,25 +117,9 @@ func NewNative(w *dag.Workflow, tbl *estimate.Table, prices []float64, goal Goal
 			return nil, fmt.Errorf("probir: unsupported constraint kind %q", c.Kind)
 		}
 	}
-	idx := make(map[string]int, len(order))
-	for i, t := range w.Tasks {
-		idx[t.ID] = i
-	}
-	orderIdx := make([]int, len(order))
-	orderParents := make([][]int, len(order))
-	for k, id := range order {
-		orderIdx[k] = idx[id]
-		parents := w.Parents(id)
-		pi := make([]int, len(parents))
-		for i, p := range parents {
-			pi[i] = idx[p]
-		}
-		orderParents[k] = pi
-	}
 	return &Native{
 		W: w, Table: tbl, PricePerHour: prices, Goal: goal,
-		Constraints: cons, Iters: iters, order: order, index: idx,
-		orderIdx: orderIdx, orderParents: orderParents,
+		Constraints: cons, Iters: iters, flat: flat, ftab: ftab,
 	}, nil
 }
 
@@ -138,68 +132,40 @@ func (n *Native) NumTypes() int { return len(n.Table.Types) }
 // MeanCost returns the deterministic total cost of a configuration from mean
 // task times (Eq. 1-2): Σ_i mean_i(config)/3600 × U_config(i).
 func (n *Native) MeanCost(config []int) (float64, error) {
-	if len(config) != n.W.Len() {
-		return 0, fmt.Errorf("probir: config length %d, want %d", len(config), n.W.Len())
+	if err := n.checkConfig(config); err != nil {
+		return 0, err
 	}
 	total := 0.0
-	for i, t := range n.W.Tasks {
-		j := config[i]
-		td, err := n.Table.Dist(t.ID, j)
-		if err != nil {
-			return 0, err
-		}
-		total += td.Mean() / 3600 * n.PricePerHour[j]
+	for i, j := range config {
+		total += n.ftab.Dist(i, j).Mean() / 3600 * n.PricePerHour[j]
 	}
 	return total, nil
 }
 
-// sampleMakespan draws one world and returns its makespan via the
-// longest-path DP over the DAG (virtual root/tail of zero weight are
-// implicit).
-func (n *Native) sampleMakespan(config []int, rng *rand.Rand) (float64, error) {
-	finish := make(map[string]float64, len(n.order))
-	ms := 0.0
-	for _, id := range n.order {
-		start := 0.0
-		for _, p := range n.W.Parents(id) {
-			if finish[p] > start {
-				start = finish[p]
-			}
-		}
-		td, err := n.Table.Dist(id, config[n.index[id]])
-		if err != nil {
-			return 0, err
-		}
-		end := start + td.Sample(rng)
-		finish[id] = end
-		if end > ms {
-			ms = end
-		}
-	}
-	return ms, nil
-}
-
-// sampleCost draws one world's realized cost.
-func (n *Native) sampleCost(config []int, rng *rand.Rand) (float64, error) {
-	total := 0.0
-	for i, t := range n.W.Tasks {
-		j := config[i]
-		td, err := n.Table.Dist(t.ID, j)
-		if err != nil {
-			return 0, err
-		}
-		total += td.Sample(rng) / 3600 * n.PricePerHour[j]
-	}
-	return total, nil
-}
-
-// MeanMakespan estimates the expected makespan by Monte-Carlo sampling.
+// MeanMakespan estimates the expected makespan by Monte-Carlo sampling over
+// the flat evaluation core (the CRN base is drawn from rng).
 func (n *Native) MeanMakespan(config []int, rng *rand.Rand) (float64, error) {
+	if err := n.checkConfig(config); err != nil {
+		return 0, err
+	}
+	rows := n.program(rng.Int63()).Rows(config)
+	f := n.flat
+	finish := make([]float64, f.Len())
 	sum := 0.0
 	for it := 0; it < n.Iters; it++ {
-		ms, err := n.sampleMakespan(config, rng)
-		if err != nil {
-			return 0, err
+		ms := 0.0
+		for k, ti := range f.Order {
+			start := 0.0
+			for _, p := range f.Parents[f.ParentStart[k]:f.ParentStart[k+1]] {
+				if fp := finish[p]; fp > start {
+					start = fp
+				}
+			}
+			end := start + rows[ti][it]
+			finish[ti] = end
+			if end > ms {
+				ms = end
+			}
 		}
 		sum += ms
 	}
@@ -207,71 +173,9 @@ func (n *Native) MeanMakespan(config []int, rng *rand.Rand) (float64, error) {
 }
 
 // Evaluate implements Evaluator: Monte-Carlo inference per Algorithm 1, run
-// as the per-world kernel plus reduction of kernel.go. Each world draws from
-// its own (state, iteration) substream seeded off rng, so a device running
-// the same kernel in parallel produces bit-identical results.
+// as the per-world kernel plus reduction of kernel.go under the CRN contract
+// with a base seed drawn from rng. Results are bit-identical whether the
+// kernel's worlds run sequentially or in parallel on a device.
 func (n *Native) Evaluate(config []int, rng *rand.Rand) (*Evaluation, error) {
-	k, err := n.Kernel(config)
-	if err != nil {
-		return nil, err
-	}
-	return RunKernel(k, rng.Int63())
-}
-
-// configSampler resolves one configuration against the time-distribution
-// table once, so per-world sampling runs over integer-indexed arrays with no
-// map lookups in the Monte-Carlo hot loop.
-type configSampler struct {
-	n *Native
-	s *estimate.Sampler
-	// pricePerTask is the hourly price of each task's configured type.
-	pricePerTask []float64
-}
-
-// newSampler builds the per-world sampler of a configuration; config indices
-// must already be validated.
-func (n *Native) newSampler(config []int) (*configSampler, error) {
-	ids := make([]string, len(n.W.Tasks))
-	for i, t := range n.W.Tasks {
-		ids[i] = t.ID
-	}
-	s, err := n.Table.Sampler(ids, config)
-	if err != nil {
-		return nil, err
-	}
-	prices := make([]float64, len(config))
-	for i, j := range config {
-		prices[i] = n.PricePerHour[j]
-	}
-	return &configSampler{n: n, s: s, pricePerTask: prices}, nil
-}
-
-// makespan draws one world and returns its makespan via the longest-path DP
-// over the DAG (virtual root/tail of zero weight are implicit).
-func (cs *configSampler) makespan(rng *rand.Rand) float64 {
-	finish := make([]float64, cs.s.Len())
-	ms := 0.0
-	for k, ti := range cs.n.orderIdx {
-		start := 0.0
-		for _, p := range cs.n.orderParents[k] {
-			if finish[p] > start {
-				start = finish[p]
-			}
-		}
-		end := start + cs.s.Sample(ti, rng)
-		finish[ti] = end
-		if end > ms {
-			ms = end
-		}
-	}
-	return ms
-}
-
-// cost draws one world's realized cost.
-func (cs *configSampler) cost(rng *rand.Rand) float64 {
-	total := 0.0
-	for i := 0; i < cs.s.Len(); i++ {
-		total += cs.s.Sample(i, rng) / 3600 * cs.pricePerTask[i]
-	}
-	return total
+	return n.EvaluateCRN(config, rng.Int63())
 }

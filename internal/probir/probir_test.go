@@ -147,16 +147,18 @@ func TestNativeDeadlineFeasibility(t *testing.T) {
 func TestNativeProbabilisticDeadline(t *testing.T) {
 	w, tbl, prices := fixture(t, false) // stochastic I/O
 	// Pin the deadline at the empirical 60th percentile of the makespan
-	// distribution: a 40% requirement must pass, a 95% requirement must fail.
-	n0, err := NewNative(w, tbl, prices, GoalMakespan, nil, 400)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// distribution (sampled through the map-based adapter APIs, independent
+	// of the CRN core): a 40% requirement must pass, a 95% must fail.
 	r := rand.New(rand.NewSource(3))
 	samples := make([]float64, 2000)
 	config := []int{0, 0, 0, 0}
+	cfgMap := map[string]int{"a": 0, "b": 0, "c": 0, "d": 0}
 	for i := range samples {
-		if samples[i], err = n0.sampleMakespan(config, r); err != nil {
+		durs, err := tbl.SampleDurations(cfgMap, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if samples[i], _, err = w.Makespan(durs); err != nil {
 			t.Fatal(err)
 		}
 	}

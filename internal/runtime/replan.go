@@ -1,8 +1,14 @@
 package runtime
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
+	"sync"
 
 	"deco/internal/dag"
 	"deco/internal/opt"
@@ -20,6 +26,9 @@ type residualSpace struct {
 	base      []int
 	unstarted []int // positions free to change
 	numTypes  int
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // Initial implements opt.Space: the running plan restricted to unfinished
@@ -72,9 +81,60 @@ func (s *residualSpace) Evaluate(st opt.State, rng *rand.Rand) (*probir.Evaluati
 	return probir.RunKernel(k, rng.Int63())
 }
 
-// Kernel implements opt.KernelSpace for two-level device execution.
+// Kernel implements opt.KernelSpace for two-level device execution. The
+// residual space stays on the state-keyed rng contract: its conditioned
+// rejection sampling (condSample) draws a data-dependent number of variates
+// per task, which is incompatible with the fixed (task, iteration) streams
+// of the CRN duration matrix.
 func (s *residualSpace) Kernel(st opt.State) (probir.WorldKernel, error) {
 	return s.r.buildKernel(st)
+}
+
+// Fingerprint implements opt.FingerprintSpace: a content hash of the full
+// residual snapshot — everything a state's evaluation depends on — so cache
+// entries from different replan instants (different progress, drift, or
+// accrued cost) never collide.
+func (s *residualSpace) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		r := s.r
+		h := sha256.New()
+		io.WriteString(h, "residual;")
+		io.WriteString(h, r.tbl.Fingerprint())
+		var buf [8]byte
+		writeF := func(xs ...float64) {
+			for _, x := range xs {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+				h.Write(buf[:])
+			}
+		}
+		writeI := func(xs ...int64) {
+			for _, x := range xs {
+				binary.LittleEndian.PutUint64(buf[:], uint64(x))
+				h.Write(buf[:])
+			}
+		}
+		writeI(int64(len(r.ids)), int64(r.iters))
+		for i, id := range r.ids {
+			io.WriteString(h, id)
+			writeI(int64(r.state[i]))
+			writeF(r.startAt[i], r.elapsed[i], r.finish[i])
+		}
+		for _, ti := range r.order {
+			writeI(int64(ti), int64(len(r.parents[ti])))
+			for _, p := range r.parents[ti] {
+				writeI(int64(p))
+			}
+		}
+		writeF(r.now, r.accrued, r.drift)
+		writeF(r.prices...)
+		writeI(int64(len(r.cons)))
+		for _, c := range r.cons {
+			io.WriteString(h, c.Kind)
+			writeF(c.Percentile, c.Bound)
+		}
+		s.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return s.fp
 }
 
 // replanPlacements materializes the unstarted portion of a new
@@ -151,6 +211,7 @@ func (m *Monitor) replan(cur *probir.Evaluation, seed int64) (map[string]sim.Pla
 		Patience:  6,
 		Seed:      seed,
 		Ctx:       m.opt.Ctx,
+		Cache:     m.opt.Cache,
 	}
 	res, err := opt.Search(space, sopt)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"context"
 
 	"deco/internal/device"
+	"deco/internal/opt"
 	"deco/internal/probir"
 )
 
@@ -50,6 +51,10 @@ type Options struct {
 	// Sink, when set, receives every StreamEvent as it is appended to the
 	// monitor's log (the decod NDJSON stream hangs off this).
 	Sink func(StreamEvent)
+	// Cache, when set, is the shared evaluation cache replan searches
+	// consult (see opt.EvalCache); replans fingerprint their residual
+	// snapshot, so entries from distinct snapshots never collide.
+	Cache *opt.EvalCache
 }
 
 func (o *Options) fillDefaults() {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler returns the service's HTTP API:
@@ -22,6 +23,9 @@ import (
 //	POST   /v1/runs/{id}/cancel cancel a queued or running managed run
 //	GET    /healthz             liveness probe
 //	GET    /metrics             JSON counters + solve-latency quantiles
+//
+// When cfg.EnablePprof is set, the standard net/http/pprof endpoints are
+// additionally mounted under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -36,6 +40,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// pprof.Index dispatches /debug/pprof/{heap,goroutine,block,...}
+		// itself; Cmdline, Profile, Symbol and Trace need explicit routes.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -151,5 +164,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.evalCache))
 }

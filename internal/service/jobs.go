@@ -162,10 +162,11 @@ var (
 // worker keeps its own deco.Engine instances (engines are not shared across
 // goroutines), reusing them across jobs with the same solver configuration.
 type Manager struct {
-	cfg     Config
-	cache   *Cache
-	metrics *Metrics
-	catHash string
+	cfg       Config
+	cache     *Cache
+	evalCache *deco.EvalCache // shared across all worker engines; nil disables
+	metrics   *Metrics
+	catHash   string
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -182,14 +183,18 @@ type Manager struct {
 }
 
 // NewManager starts cfg.Workers workers over a queue of depth cfg.QueueDepth.
-func NewManager(cfg Config, cache *Cache, metrics *Metrics) *Manager {
+// evalCache, when non-nil, is shared by every worker engine (and through
+// them by managed runs' replan searches); it may be nil to disable
+// evaluation caching.
+func NewManager(cfg Config, cache *Cache, evalCache *deco.EvalCache, metrics *Metrics) *Manager {
 	m := &Manager{
-		cfg:     cfg,
-		cache:   cache,
-		metrics: metrics,
-		catHash: catalogHash(cloud.DefaultCatalog()),
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
+		cfg:       cfg,
+		cache:     cache,
+		evalCache: evalCache,
+		metrics:   metrics,
+		catHash:   catalogHash(cloud.DefaultCatalog()),
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
 	}
 	m.runCond = sync.NewCond(&m.mu)
 	m.wg.Add(cfg.Workers)
@@ -533,8 +538,12 @@ func (m *Manager) worker() {
 		eng, ok := engines[cfg]
 		var err error
 		if !ok {
-			eng, err = deco.NewEngine(deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters),
-				deco.WithSearchBudget(cfg.budget), deco.WithThreads(cfg.threads))
+			opts := []deco.Option{deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters),
+				deco.WithSearchBudget(cfg.budget), deco.WithThreads(cfg.threads)}
+			if m.evalCache != nil {
+				opts = append(opts, deco.WithEvalCache(m.evalCache))
+			}
+			eng, err = deco.NewEngine(opts...)
 			if err == nil {
 				if len(engines) >= 8 { // bound worker-local engine memory
 					for k := range engines {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"deco"
 )
 
 // Metrics aggregates the service's operational counters and the solve-latency
@@ -66,13 +68,20 @@ type Snapshot struct {
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
 
+	// Evaluation-cache statistics: the shared Monte-Carlo state-evaluation
+	// transposition table (distinct from the whole-plan cache above).
+	EvalCacheHits   int64 `json:"eval_cache_hits"`
+	EvalCacheMisses int64 `json:"eval_cache_misses"`
+	EvalCacheSize   int   `json:"eval_cache_size"`
+
 	SolveSamples int64   `json:"solve_samples"`
 	SolveP50Ms   float64 `json:"solve_latency_p50_ms"`
 	SolveP95Ms   float64 `json:"solve_latency_p95_ms"`
 }
 
-// Snapshot captures the current counters plus the given cache's statistics.
-func (m *Metrics) Snapshot(c *Cache) Snapshot {
+// Snapshot captures the current counters plus the statistics of the given
+// plan cache and evaluation cache (either may be nil).
+func (m *Metrics) Snapshot(c *Cache, ec *deco.EvalCache) Snapshot {
 	s := Snapshot{
 		JobsQueued:    m.JobsQueued.Load(),
 		JobsRunning:   m.JobsRunning.Load(),
@@ -85,6 +94,11 @@ func (m *Metrics) Snapshot(c *Cache) Snapshot {
 	if c != nil {
 		s.CacheHits, s.CacheMisses = c.Stats()
 		s.CacheSize = c.Len()
+	}
+	if ec != nil {
+		s.EvalCacheHits = ec.Hits()
+		s.EvalCacheMisses = ec.Misses()
+		s.EvalCacheSize = ec.Len()
 	}
 	m.mu.Lock()
 	s.SolveSamples = m.seen

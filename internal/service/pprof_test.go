@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// The pprof endpoints expose internals, so they must only exist when
+// explicitly enabled.
+func TestPprofGatedByConfig(t *testing.T) {
+	_, off := newTestServer(t, quickCfg())
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	cfg := quickCfg()
+	cfg.EnablePprof = true
+	_, on := newTestServer(t, cfg)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// /metrics reports the shared evaluation cache: resolving the same problem
+// twice must show eval-cache activity (the second solve is answered by the
+// plan cache, so the eval-cache traffic comes from the first search alone).
+func TestMetricsReportEvalCache(t *testing.T) {
+	srv, ts := newTestServer(t, quickCfg())
+	if srv.evalCache == nil {
+		t.Fatal("default config built no evaluation cache")
+	}
+
+	v := submit(t, ts, SubmitRequest{
+		Workflow: "pipeline",
+		Deadline: &PctBound{Percentile: 0.9, Value: 40000},
+	}, http.StatusAccepted)
+	waitForState(t, ts, v.ID, JobDone, 30*time.Second)
+
+	var snap Snapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap.EvalCacheMisses == 0 {
+		t.Errorf("no eval-cache misses recorded after a solve: %+v", snap)
+	}
+	if snap.EvalCacheSize == 0 {
+		t.Errorf("eval cache empty after a solve: %+v", snap)
+	}
+}
+
+// A negative capacity disables the evaluation cache entirely.
+func TestEvalCacheDisabled(t *testing.T) {
+	cfg := quickCfg()
+	cfg.EvalCacheCapacity = -1
+	srv := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Manager().Shutdown(ctx)
+	})
+	if srv.evalCache != nil {
+		t.Error("negative capacity still built an eval cache")
+	}
+}

@@ -135,7 +135,7 @@ func TestManagedRunAdaptsUnderDrift(t *testing.T) {
 		t.Error("replans fired but final assignments equal the original plan")
 	}
 
-	snap := srv.Metrics().Snapshot(nil)
+	snap := srv.Metrics().Snapshot(nil, nil)
 	if snap.RunsDone < 1 {
 		t.Errorf("runs_done = %d, want >= 1", snap.RunsDone)
 	}

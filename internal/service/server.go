@@ -19,6 +19,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"deco"
 )
 
 // Config sizes the service.
@@ -36,6 +38,15 @@ type Config struct {
 	// MaxJobsRetained bounds the job table; the oldest finished jobs are
 	// dropped past it (default 1024).
 	MaxJobsRetained int
+	// EvalCacheCapacity is the shared state-evaluation cache size in entries
+	// (default deco.DefaultEvalCacheCapacity; negative disables it). Unlike
+	// the plan cache, which memoizes whole solved jobs, the evaluation cache
+	// memoizes individual Monte-Carlo state evaluations and is shared by every
+	// worker engine and every managed run's replan searches.
+	EvalCacheCapacity int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by default;
+	// the profiles expose internals, so opt in per deployment).
+	EnablePprof bool
 
 	// Solver defaults applied to requests that leave them zero.
 	DefaultSeed         int64
@@ -67,6 +78,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxJobsRetained == 0 {
 		c.MaxJobsRetained = 1024
 	}
+	if c.EvalCacheCapacity == 0 {
+		c.EvalCacheCapacity = deco.DefaultEvalCacheCapacity
+	}
 	if c.DefaultSeed == 0 {
 		c.DefaultSeed = 1
 	}
@@ -83,11 +97,12 @@ func (c *Config) fillDefaults() {
 
 // Server ties the job manager to an HTTP listener.
 type Server struct {
-	cfg     Config
-	mgr     *Manager
-	cache   *Cache
-	metrics *Metrics
-	httpSrv *http.Server
+	cfg       Config
+	mgr       *Manager
+	cache     *Cache
+	evalCache *deco.EvalCache
+	metrics   *Metrics
+	httpSrv   *http.Server
 }
 
 // New builds a server (and starts its worker pool) without binding a socket;
@@ -95,12 +110,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	cache := NewCache(cfg.CacheCapacity)
+	var evalCache *deco.EvalCache
+	if cfg.EvalCacheCapacity > 0 {
+		evalCache = deco.NewEvalCache(cfg.EvalCacheCapacity)
+	}
 	metrics := NewMetrics()
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache,
-		metrics: metrics,
-		mgr:     NewManager(cfg, cache, metrics),
+		cfg:       cfg,
+		cache:     cache,
+		evalCache: evalCache,
+		metrics:   metrics,
+		mgr:       NewManager(cfg, cache, evalCache, metrics),
 	}
 	s.httpSrv = &http.Server{
 		Addr:              cfg.Addr,

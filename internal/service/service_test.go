@@ -318,13 +318,13 @@ func TestSubmitValidationAndRouting(t *testing.T) {
 	_, ts := newTestServer(t, quickCfg())
 
 	bad := []SubmitRequest{
-		{},                              // no source
-		{Workflow: "pipeline"},          // no constraint
-		{Workflow: "nosuchapp", Deadline: &PctBound{Value: 100}},        // unknown workflow
-		{Workflow: "pipeline", Program: "x.", Deadline: &PctBound{Value: 1}}, // two sources
-		{Workflow: "pipeline", Deadline: &PctBound{Value: -5}},          // non-positive bound
+		{},                     // no source
+		{Workflow: "pipeline"}, // no constraint
+		{Workflow: "nosuchapp", Deadline: &PctBound{Value: 100}},               // unknown workflow
+		{Workflow: "pipeline", Program: "x.", Deadline: &PctBound{Value: 1}},   // two sources
+		{Workflow: "pipeline", Deadline: &PctBound{Value: -5}},                 // non-positive bound
 		{Workflow: "pipeline", Goal: "speed", Deadline: &PctBound{Value: 100}}, // bad goal
-		{Program: "minimize C in totalcost(C)."}, // WLog program without imports still parses; constraints forbidden
+		{Program: "minimize C in totalcost(C)."},                               // WLog program without imports still parses; constraints forbidden
 	}
 	// The last case is actually valid WLog; replace it with a parse error.
 	bad[len(bad)-1] = SubmitRequest{Program: "minimize C in"}
@@ -414,7 +414,7 @@ func TestMetricsReservoirQuantiles(t *testing.T) {
 	for i := 1; i <= 1000; i++ {
 		m.ObserveSolve(float64(i) / 1000) // 1ms .. 1000ms uniformly
 	}
-	s := m.Snapshot(nil)
+	s := m.Snapshot(nil, nil)
 	if s.SolveSamples != 1000 {
 		t.Fatalf("samples = %d, want 1000", s.SolveSamples)
 	}

@@ -75,6 +75,9 @@ func (p *Plan) ExecuteAdaptive(ctx context.Context, seed int64, execCat *cloud.C
 	if o.Ctx == nil {
 		o.Ctx = ctx
 	}
+	if o.Cache == nil {
+		o.Cache = p.engine.search.Cache // share the engine's evaluation cache
+	}
 	mon, err := runtime.NewMonitor(p.Workflow, splan, tbl, prices, p.engine.region, p.Constraints, o)
 	if err != nil {
 		return nil, nil, err
