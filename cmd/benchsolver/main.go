@@ -1,15 +1,28 @@
-// Command benchsolver measures batch Monte-Carlo state evaluation — the
-// solver's hot loop — on a Montage-style scheduling problem, comparing the
-// flat common-random-number core against a reproduction of the previous
-// map-keyed evaluation path, and writes the numbers to BENCH_solver.json at
-// the repository root to seed the performance trajectory.
+// Command benchsolver measures batch state evaluation — the solver's hot
+// loop — for all three paper use cases, comparing each compiled pipeline
+// against a reproduction of the fallback path it replaced, and writes the
+// numbers to BENCH_solver.json at the repository root to seed the
+// performance trajectory.
 //
-// The "old" path is reimplemented here exactly as the hot loop used to run:
-// per state, per world, a map[string]float64 of sampled task durations
-// followed by a map-keyed longest-path dynamic program, with every state
-// drawing its own worlds from a state-keyed rng. The "new" path is the
-// production one: a compiled index-based program whose (task, iteration)
-// duration rows are shared by every state in the batch.
+// Scheduling row: the flat common-random-number core against the previous
+// map-keyed evaluation path — per state, per world, a map[string]float64 of
+// sampled task durations followed by a map-keyed longest-path dynamic
+// program, with every state drawing its own worlds from a state-keyed rng.
+//
+// Ensemble row: admission-search frontier expansions over one planned space.
+// The fallback evaluated every state from scratch on the per-state-rng Map
+// path and could never cache (the space had no fingerprint, so the old
+// capability ladder silently disabled the eval cache); the compiled path
+// binds the search-level cache once, so repeated expansions — a decod worker
+// re-serving the job, solver-config comparisons over the same plans — are
+// answered from entries earlier searches warmed.
+//
+// Follow-the-cost row: one runtime decision point. The fallback re-derived
+// every job's remaining work, live data and price rows per state; the
+// compiled path snapshots the runtime once per decision point and scores
+// placements as pure arithmetic over dense rows. Decision points are
+// content-distinct in production, so this row runs the cold compiled path
+// (no cache) and includes the per-decision snapshot in the measurement.
 //
 // Usage:
 //
@@ -20,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"math/rand"
 	"os"
@@ -28,7 +42,11 @@ import (
 
 	"deco/internal/cloud"
 	"deco/internal/dag"
+	"deco/internal/device"
+	"deco/internal/ensemble"
 	"deco/internal/estimate"
+	"deco/internal/ftc"
+	"deco/internal/opt"
 	"deco/internal/probir"
 	"deco/internal/wfgen"
 	"deco/internal/wlog"
@@ -184,6 +202,207 @@ func batchFlat(n *probir.Native, p *problem, base int64) error {
 	return nil
 }
 
+// legacyKey reproduces the old State.Key: a heap-sized scratch slice plus
+// the string conversion, paid on every visited-set probe and rng derivation.
+func legacyKey(s opt.State) string {
+	b := make([]byte, 0, len(s)*2)
+	for _, v := range s {
+		u := uint64(int64(v)<<1) ^ uint64(int64(v)>>63) // zigzag
+		for u >= 0x80 {
+			b = append(b, byte(u)|0x80)
+			u >>= 7
+		}
+		b = append(b, byte(u))
+	}
+	return string(b)
+}
+
+// legacyStateRng reproduces the solver's old per-state rng construction
+// (fnv over the state key xor the search seed) that the fallback path paid
+// for every evaluation, deterministic or not.
+func legacyStateRng(seed int64, key string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// expandBatch collects up to max distinct states breadth-first from the
+// space's initial state — the states a beam search's first expansions
+// actually visit.
+func expandBatch(sp opt.Space, max int) []opt.State {
+	seen := map[string]bool{}
+	frontier := []opt.State{sp.Initial()}
+	seen[frontier[0].Key()] = true
+	batch := []opt.State{frontier[0]}
+	for len(batch) < max && len(frontier) > 0 {
+		var next []opt.State
+		for _, p := range frontier {
+			for _, c := range sp.Neighbors(p) {
+				k := c.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				batch = append(batch, c)
+				next = append(next, c)
+				if len(batch) >= max {
+					return batch
+				}
+			}
+		}
+		frontier = next
+	}
+	return batch
+}
+
+// buildEnsembleBench assembles an admission-search instance: n prioritized
+// workflows with planned costs and a budget that roughly half the ensemble
+// fits into, plus the batch of admission states the search's first beam
+// rounds expand.
+func buildEnsembleBench(n int) (*ensemble.Space, []opt.State) {
+	rng := rand.New(rand.NewSource(7))
+	e := &ensemble.Ensemble{Kind: ensemble.Constant}
+	sp := &ensemble.Space{E: e}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		e.Workflows = append(e.Workflows, &dag.Workflow{Name: fmt.Sprintf("wf-%02d", i), Priority: i})
+		cost := 2 + 6*rng.Float64()
+		total += cost
+		sp.Plans = append(sp.Plans, &ensemble.PlannedWorkflow{Cost: cost, Feasible: true})
+	}
+	sp.Budget = total / 2
+	return sp, expandBatch(sp, 48)
+}
+
+// legacyAdmissionBatch reproduces the pre-compile fallback for the ensemble
+// admission space: per state, a fresh state-keyed rng, a bool admission
+// mask, and the Eq. 4 score fold over every workflow — redone on every
+// expansion because the old ladder gave fingerprint-less spaces no cache.
+func legacyAdmissionBatch(sp *ensemble.Space, states []opt.State, seed int64) error {
+	for _, st := range states {
+		_ = legacyStateRng(seed, legacyKey(st))
+		cost := 0.0
+		admitted := make([]bool, len(st))
+		for i, bit := range st {
+			if bit == 0 {
+				continue
+			}
+			if sp.Plans[i] == nil {
+				return fmt.Errorf("state admits unplannable workflow %d", i)
+			}
+			admitted[i] = true
+			cost += sp.Plans[i].Cost
+		}
+		ev := &probir.Evaluation{Value: sp.E.Score(admitted), Feasible: cost <= sp.Budget}
+		if !ev.Feasible && sp.Budget > 0 {
+			ev.Violation = (cost - sp.Budget) / sp.Budget
+		}
+	}
+	return nil
+}
+
+// stayOpt is a placement optimizer that never migrates; it only advances the
+// benchmark runtime to a mid-execution decision point.
+type stayOpt struct{}
+
+func (stayOpt) Name() string { return "stay" }
+
+func (stayOpt) Decide(rt *ftc.Runtime) ([]int, []float64, error) {
+	regions := make([]int, len(rt.Jobs))
+	for i, j := range rt.Jobs {
+		regions[i] = j.Region
+	}
+	return regions, nil, nil
+}
+
+// buildFTCBench builds a follow-the-cost runtime of nJobs funnel workflows,
+// executes it to a mid-run decision point, and collects the placement states
+// a per-decision search expands there.
+func buildFTCBench(nJobs, steps int) (*ftc.Runtime, []opt.State, error) {
+	cat := cloud.DefaultCatalog()
+	md, err := cloud.MetadataFromTruth(cat, 15, 5000, rand.New(rand.NewSource(11)))
+	if err != nil {
+		return nil, nil, err
+	}
+	est := estimate.New(cat, md)
+	var jobs []*ftc.Job
+	for i := 0; i < nJobs; i++ {
+		w, err := wfgen.Funnel(90, 6000, 20, rand.New(rand.NewSource(100+int64(i))))
+		if err != nil {
+			return nil, nil, err
+		}
+		tbl, err := est.BuildTable(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		region := i % len(cat.Regions)
+		probe, err := ftc.NewJob(w, tbl, region, 1, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		rem, err := probe.RemainingMeanSec()
+		if err != nil {
+			return nil, nil, err
+		}
+		j, err := ftc.NewJob(w, tbl, region, 1, rem*1.3)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	rt := &ftc.Runtime{Cat: cat, Jobs: jobs, Rng: rand.New(rand.NewSource(5)), Opt: stayOpt{}}
+	for s := 0; s < steps; s++ {
+		if _, err := rt.Step(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rt, expandBatch(ftc.NewSpace(rt), 96), nil
+}
+
+// legacyPlacementBatch reproduces the pre-compile fallback for the
+// follow-the-cost space: per state, a fresh state-keyed rng and a full
+// re-derivation of every job's remaining mean time, live data and map-keyed
+// prices — the work the compiled snapshot now does once per decision point.
+func legacyPlacementBatch(rt *ftc.Runtime, states []opt.State, seed int64) error {
+	for _, st := range states {
+		_ = legacyStateRng(seed, legacyKey(st))
+		ev := &probir.Evaluation{Feasible: true}
+		meanBW := rt.Cat.Perf.CrossRegionNet.Mean()
+		for i, j := range rt.Jobs {
+			if j.Done() {
+				continue
+			}
+			target := st[i]
+			if target < 0 || target >= len(rt.Cat.Regions) {
+				return fmt.Errorf("region %d out of range", target)
+			}
+			rem, err := j.RemainingMeanSec()
+			if err != nil {
+				return err
+			}
+			cost := rem / 3600 * rt.Cat.Regions[target].PricePerHour[rt.Cat.Types[j.TypeIndex].Name]
+			migTime := 0.0
+			if target != j.Region {
+				data := j.LiveDataMB()
+				priceGB := rt.Cat.Regions[j.Region].NetPricePerGB[rt.Cat.Regions[target].Name]
+				cost += data / 1024 * priceGB
+				if data > 0 && meanBW > 0 {
+					migTime = data / meanBW
+				}
+			}
+			ev.Value += cost
+			if j.DeadlineSec > 0 {
+				projected := j.Elapsed + migTime + rem
+				if projected > j.DeadlineSec {
+					ev.Feasible = false
+					ev.Violation += (projected - j.DeadlineSec) / j.DeadlineSec
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // row is one measured path in the output document.
 type row struct {
 	NsPerOp     int64 `json:"ns_per_op"`
@@ -191,15 +410,36 @@ type row struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
-type report struct {
+// useCaseRow is one ported use case's fallback-vs-compiled comparison.
+type useCaseRow struct {
 	Benchmark   string  `json:"benchmark"`
-	Tasks       int     `json:"tasks"`
 	States      int     `json:"states"`
-	Worlds      int     `json:"worlds"`
-	Old         row     `json:"old_map_path"`
-	New         row     `json:"new_flat_crn_path"`
+	Old         row     `json:"old_fallback_path"`
+	New         row     `json:"new_compiled_path"`
 	SpeedupNs   float64 `json:"speedup_ns"`
 	AllocsRatio float64 `json:"allocs_ratio"`
+}
+
+func (u *useCaseRow) ratios() {
+	if u.New.NsPerOp > 0 {
+		u.SpeedupNs = float64(u.Old.NsPerOp) / float64(u.New.NsPerOp)
+	}
+	if u.New.AllocsPerOp > 0 {
+		u.AllocsRatio = float64(u.Old.AllocsPerOp) / float64(u.New.AllocsPerOp)
+	}
+}
+
+type report struct {
+	Benchmark   string      `json:"benchmark"`
+	Tasks       int         `json:"tasks"`
+	States      int         `json:"states"`
+	Worlds      int         `json:"worlds"`
+	Old         row         `json:"old_map_path"`
+	New         row         `json:"new_flat_crn_path"`
+	SpeedupNs   float64     `json:"speedup_ns"`
+	AllocsRatio float64     `json:"allocs_ratio"`
+	Ensemble    *useCaseRow `json:"ensemble"`
+	FTC         *useCaseRow `json:"ftc"`
 }
 
 func measure(f func(base int64) error) (row, error) {
@@ -269,6 +509,57 @@ func main() {
 		rep.AllocsRatio = float64(oldRow.AllocsPerOp) / float64(newRow.AllocsPerOp)
 	}
 
+	// Ensemble admission: the fallback re-evaluates every expansion; the
+	// compiled problem binds the eval cache once, so the steady state of
+	// repeated expansions over one planned space is answered from it.
+	ensSpace, ensBatch := buildEnsembleBench(32)
+	ensProb, err := opt.Compile(ensSpace, opt.Options{
+		Maximize: true, Seed: 1, Device: device.Sequential{}, Cache: opt.NewEvalCache(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens := &useCaseRow{
+		Benchmark: "admission batch (beam expansions, 32 workflows), ensemble space; compiled row includes the bound eval cache",
+		States:    len(ensBatch),
+	}
+	if ens.Old, err = measure(func(base int64) error { return legacyAdmissionBatch(ensSpace, ensBatch, base) }); err != nil {
+		log.Fatal(err)
+	}
+	if ens.New, err = measure(func(base int64) error { _, err := ensProb.EvaluateStates(ensBatch); return err }); err != nil {
+		log.Fatal(err)
+	}
+	ens.ratios()
+	rep.Ensemble = ens
+
+	// Follow-the-cost decision point: the compiled row pays the runtime
+	// snapshot and Compile per iteration (decision points are
+	// content-distinct in production, so no cache) and still wins on the
+	// dense per-state arithmetic.
+	ftcRT, ftcBatch, err := buildFTCBench(12, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ftcRow := &useCaseRow{
+		Benchmark: "placement batch (one decision point, 12 jobs), follow-the-cost space; compiled row includes the per-decision snapshot",
+		States:    len(ftcBatch),
+	}
+	if ftcRow.Old, err = measure(func(base int64) error { return legacyPlacementBatch(ftcRT, ftcBatch, base) }); err != nil {
+		log.Fatal(err)
+	}
+	if ftcRow.New, err = measure(func(base int64) error {
+		prob, err := opt.Compile(ftc.NewSpace(ftcRT), opt.Options{Seed: 1, Device: device.Sequential{}})
+		if err != nil {
+			return err
+		}
+		_, err = prob.EvaluateStates(ftcBatch)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ftcRow.ratios()
+	rep.FTC = ftcRow
+
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -277,7 +568,14 @@ func main() {
 	if err := os.WriteFile(*out, doc, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("old: %d ns/op, %d allocs/op\nnew: %d ns/op, %d allocs/op\nspeedup %.1fx, allocs ratio %.1fx\nwrote %s\n",
+	fmt.Printf("scheduling: old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
 		oldRow.NsPerOp, oldRow.AllocsPerOp, newRow.NsPerOp, newRow.AllocsPerOp,
-		rep.SpeedupNs, rep.AllocsRatio, *out)
+		rep.SpeedupNs, rep.AllocsRatio)
+	fmt.Printf("ensemble:   old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
+		ens.Old.NsPerOp, ens.Old.AllocsPerOp, ens.New.NsPerOp, ens.New.AllocsPerOp,
+		ens.SpeedupNs, ens.AllocsRatio)
+	fmt.Printf("ftc:        old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
+		ftcRow.Old.NsPerOp, ftcRow.Old.AllocsPerOp, ftcRow.New.NsPerOp, ftcRow.New.AllocsPerOp,
+		ftcRow.SpeedupNs, ftcRow.AllocsRatio)
+	fmt.Printf("wrote %s\n", *out)
 }

@@ -1,11 +1,15 @@
 // Command decorun runs a WLog program through the Deco engine and prints
 // the resulting provisioning plan. The workflow comes from the program's
-// import(...) statements or an explicit -dax file.
+// import(...) statements or an explicit -dax file. Programs carrying an
+// ensemble(kind, n) fact are ensemble-admission problems and print the
+// admitted subset instead of a plan.
 //
 // Usage:
 //
 //	decorun -program schedule.wlog
 //	decorun -program schedule.wlog -dax montage.dax -runs 10
+//	decorun -program ensemble.wlog
+//	decorun -program ensemble.wlog -json
 //	decorun -program schedule.wlog -show-ir
 //	decorun -program schedule.wlog -adapt -risk 0.1 -perturb 0.5 -runs 5
 //
@@ -64,6 +68,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Ensemble programs (ensemble(kind, n) fact + maximize score) take the
+	// admission path; everything else below is the scheduling path.
+	if spec, isEnsemble, err := deco.ParseEnsembleProgram(string(src)); err != nil {
+		fatal(err)
+	} else if isEnsemble {
+		res, err := eng.RunEnsembleContext(context.Background(), spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Printf("ensemble: %s x%d (%s)\n", res.Kind, res.N, res.App)
+		fmt.Printf("admitted workflows:\n")
+		for _, name := range res.Admitted {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Printf("ensemble summary: admitted=%d/%d score=%.3f/%.3f cost=$%.4f budget=$%.4f feasible=%v states=%d\n",
+			len(res.Admitted), res.N, res.Score, res.MaxScore, res.TotalCost, res.Budget, res.Feasible, res.StatesEvaluated)
+		return
+	}
+
 	var w *dag.Workflow
 	if *daxPath != "" {
 		if w, err = dax.ParseFile(*daxPath); err != nil {

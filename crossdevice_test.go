@@ -5,8 +5,8 @@ package deco
 // worker's parallelism settings (jobKey deliberately excludes the threads
 // knob). The scheduling space exercises the common-random-number kernel
 // path (shared world realizations across states, two-level block/thread
-// execution); the ensemble and follow-the-cost spaces exercise the
-// per-state fallback path. evalpaths_test.go proves the per-state
+// execution); the ensemble and follow-the-cost spaces exercise their
+// deterministic Worlds()=1 kernels. evalpaths_test.go proves the per-state
 // equivalence of the individual evaluation paths.
 
 import (
@@ -116,7 +116,7 @@ func TestCrossDeviceDeterminismScheduling(t *testing.T) {
 }
 
 // TestCrossDeviceDeterminismEnsemble covers the admission space (§3.2):
-// deterministic per-state evaluations on the fallback Map path, with the
+// deterministic per-state evaluations on the compiled kernel path, with the
 // objective maximized.
 func TestCrossDeviceDeterminismEnsemble(t *testing.T) {
 	e := &ensemble.Ensemble{Kind: ensemble.Constant}
@@ -137,8 +137,8 @@ func TestCrossDeviceDeterminismEnsemble(t *testing.T) {
 }
 
 // TestCrossDeviceDeterminismFTC covers the region-assignment space (§3.3),
-// also on the fallback path but with a different feasibility structure
-// (deterministic deadlines, migration charges).
+// also kerneled deterministically but with a different feasibility
+// structure (deterministic deadlines, migration charges).
 func TestCrossDeviceDeterminismFTC(t *testing.T) {
 	cat := cloud.DefaultCatalog()
 	md, err := cloud.MetadataFromTruth(cat, 12, 3000, rand.New(rand.NewSource(1)))

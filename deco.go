@@ -119,6 +119,14 @@ func NewEvalCache(capacity int) *EvalCache { return opt.NewEvalCache(capacity) }
 // inference. Adaptive executions pass the cache on to their replan searches.
 func WithEvalCache(c *EvalCache) Option { return func(e *Engine) { e.search.Cache = c } }
 
+// WithEvalCacheScope labels this engine's evaluation-cache traffic for
+// per-scope hit/miss accounting (EvalCache.ScopeStats). Scopes are purely
+// observational — they never partition the cache or affect results; decod
+// uses them to report per-job-kind cache effectiveness in /metrics.
+func WithEvalCacheScope(scope string) Option {
+	return func(e *Engine) { e.search.CacheScope = scope }
+}
+
 // NewEngine builds an engine with the paper's defaults: the EC2 m1 catalog,
 // metadata discretized from the calibrated Table 2 distributions, the
 // two-level (block per state, thread per Monte-Carlo iteration) device, and

@@ -12,9 +12,11 @@ package deco
 //                         states and runs them on whatever device is
 //                         configured
 //
-// The deterministic ensemble and follow-the-cost spaces have no kernels;
-// there the property is that the Map-dispatched device path reproduces a
-// direct Evaluate call exactly on every device.
+// The deterministic ensemble and follow-the-cost spaces carry Worlds()=1
+// kernels (their evaluations ignore the CRN base), so the same three-way
+// property holds for them: direct Evaluate == kernel == the solver's
+// compiled dispatch on every device. The Map fallback path is additionally
+// pinned against direct Evaluate for both.
 
 import (
 	"math/rand"
@@ -181,9 +183,23 @@ func TestEvalPathEquivalenceEnsemble(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Kernel path, folded sequentially.
+		k, err := sp.CRNKernel(st, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kev, err := probir.RunCRNKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEval(t, "ensemble: kernel path", kev, want)
 		for _, dev := range pathDevices {
-			got := searchOneState(t, &frozenSpace{sp, st}, dev, base, true)
-			assertSameEval(t, "ensemble: "+dev.Name(), got, want)
+			// Compiled kernel dispatch and the Map fallback must both
+			// reproduce the direct evaluation on every device.
+			got := searchOneState(t, &frozenCRNSpace{frozenSpace{sp, st}, sp}, dev, base, true)
+			assertSameEval(t, "ensemble kernel: "+dev.Name(), got, want)
+			got = searchOneState(t, &frozenSpace{sp, st}, dev, base, true)
+			assertSameEval(t, "ensemble map: "+dev.Name(), got, want)
 		}
 	}
 }
@@ -220,9 +236,21 @@ func TestEvalPathEquivalenceFTC(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Kernel path, folded sequentially.
+		k, err := sp.CRNKernel(st, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kev, err := probir.RunCRNKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEval(t, "ftc: kernel path", kev, want)
 		for _, dev := range pathDevices {
-			got := searchOneState(t, &frozenSpace{sp, st}, dev, base, false)
-			assertSameEval(t, "ftc: "+dev.Name(), got, want)
+			got := searchOneState(t, &frozenCRNSpace{frozenSpace{sp, st}, sp}, dev, base, false)
+			assertSameEval(t, "ftc kernel: "+dev.Name(), got, want)
+			got = searchOneState(t, &frozenSpace{sp, st}, dev, base, false)
+			assertSameEval(t, "ftc map: "+dev.Name(), got, want)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package deco_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -63,6 +64,36 @@ configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
 	// Output:
 	// feasible: true
 	// tasks planned: 2
+}
+
+// ExampleEngine_RunEnsembleProgram shows the ensemble use case (§3.2): a
+// WLog program declaring the population with ensemble(kind, n), maximizing
+// the priority score under a shared budget via best-first admission search.
+func ExampleEngine_RunEnsembleProgram() {
+	eng, err := deco.NewEngine(deco.WithSeed(1), deco.WithIters(40),
+		deco.WithDevice(device.Sequential{}), deco.WithSearchBudget(400))
+	if err != nil {
+		panic(err)
+	}
+	src := `
+import(amazonec2).
+import(pipeline).
+ensemble(constant, 4).
+maximize S in score(S).
+C in totalcost(C) satisfies budget(mean, 40).
+enabled(astar).
+`
+	res, err := eng.RunEnsembleProgram(context.Background(), src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("admitted: %d/%d\n", len(res.Admitted), res.N)
+	fmt.Printf("score: %.3f of %.3f\n", res.Score, res.MaxScore)
+	fmt.Println("feasible:", res.Feasible)
+	// Output:
+	// admitted: 4/4
+	// score: 1.875 of 1.875
+	// feasible: true
 }
 
 var _ = rand.New // keep math/rand imported for doc parity with README snippets

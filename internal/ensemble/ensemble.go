@@ -10,9 +10,12 @@
 package ensemble
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"deco/internal/dag"
 	"deco/internal/estimate"
@@ -162,8 +165,34 @@ type Space struct {
 	// Plans holds the per-workflow plan (nil entries are unplannable
 	// workflows that can never be admitted).
 	Plans []*PlannedWorkflow
-	// Budget is the ensemble budget B of Eq. 5.
+	// Budget is the ensemble budget B of Eq. 5 (callers may change it
+	// between searches for budget sweeps; the fingerprint covers it).
 	Budget float64
+
+	// compiled flat arrays for the kernel path, derived from E and Plans on
+	// first use — both must be fully assembled before the first evaluation.
+	compileOnce sync.Once
+	weights     []float64 // Exp2(-priority) per workflow
+	costs       []float64 // planned cost per workflow (0 when unplannable)
+	plannable   []bool
+}
+
+// compile flattens the per-workflow weight and cost lookups once, so the
+// kernel path touches only dense slices.
+func (s *Space) compile() {
+	s.compileOnce.Do(func() {
+		n := len(s.E.Workflows)
+		s.weights = make([]float64, n)
+		s.costs = make([]float64, n)
+		s.plannable = make([]bool, n)
+		for i, w := range s.E.Workflows {
+			s.weights[i] = math.Exp2(-float64(w.Priority))
+			if i < len(s.Plans) && s.Plans[i] != nil {
+				s.costs[i] = s.Plans[i].Cost
+				s.plannable[i] = true
+			}
+		}
+	})
 }
 
 // NewSpace plans every workflow with the planner and assembles the space.
@@ -221,6 +250,87 @@ func (s *Space) Evaluate(st opt.State, rng *rand.Rand) (*probir.Evaluation, erro
 	ev := &probir.Evaluation{Value: s.E.Score(admitted), Feasible: cost <= s.Budget}
 	if !ev.Feasible && s.Budget > 0 {
 		ev.Violation = (cost - s.Budget) / s.Budget
+	}
+	return ev, nil
+}
+
+// CRNKernel implements opt.CRNSpace. The admission objective is
+// deterministic — no Monte-Carlo worlds — so the kernel is a single world of
+// two figures (score sum, cost sum) that ignores the CRN base entirely; it
+// exists so admission searches run the solver's compiled kernel pipeline
+// (and its evaluation cache) instead of the per-state fallback. Figures fold
+// in workflow-index order, exactly as Evaluate accumulates them, so both
+// paths are bit-identical on every device.
+func (s *Space) CRNKernel(st opt.State, base int64) (probir.WorldKernel, error) {
+	if len(st) != len(s.E.Workflows) {
+		return nil, fmt.Errorf("ensemble: state length %d, want %d", len(st), len(s.E.Workflows))
+	}
+	s.compile()
+	for i, bit := range st {
+		if bit != 0 && !s.plannable[i] {
+			return nil, fmt.Errorf("ensemble: state admits unplannable workflow %d", i)
+		}
+	}
+	return &admissionKernel{sp: s, st: st, budget: s.Budget}, nil
+}
+
+// Fingerprint implements opt.FingerprintSpace: a content hash of everything
+// Evaluate depends on — budget, priorities, and each plan's cost and
+// admissibility — so cache entries from different ensembles, plan sets, or
+// budget sweep points never collide.
+func (s *Space) Fingerprint() string {
+	if s.E == nil || len(s.Plans) != len(s.E.Workflows) {
+		return "" // half-built space: cannot vouch for identity
+	}
+	h := sha256.New()
+	var buf [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	putF(s.Budget)
+	putF(float64(len(s.E.Workflows)))
+	for i, w := range s.E.Workflows {
+		putF(float64(w.Priority))
+		if s.Plans[i] == nil {
+			putF(math.NaN())
+			continue
+		}
+		putF(s.Plans[i].Cost)
+	}
+	return fmt.Sprintf("ensemble:%x", h.Sum(nil))
+}
+
+// admissionKernel is the deterministic single-world kernel of the admission
+// space: figure 0 is the Eq. 4 score sum, figure 1 the Eq. 5 cost sum.
+type admissionKernel struct {
+	sp     *Space
+	st     opt.State
+	budget float64
+}
+
+func (k *admissionKernel) Worlds() int { return 1 }
+func (k *admissionKernel) Width() int  { return 2 }
+
+func (k *admissionKernel) Sample(it int, rng *rand.Rand, out []float64) error {
+	score, cost := 0.0, 0.0
+	for i, bit := range k.st {
+		if bit == 0 {
+			continue
+		}
+		score += k.sp.weights[i]
+		cost += k.sp.costs[i]
+	}
+	out[0] = score
+	out[1] = cost
+	return nil
+}
+
+func (k *admissionKernel) Reduce(sums []float64) (*probir.Evaluation, error) {
+	cost := sums[1]
+	ev := &probir.Evaluation{Value: sums[0], Feasible: cost <= k.budget}
+	if !ev.Feasible && k.budget > 0 {
+		ev.Violation = (cost - k.budget) / k.budget
 	}
 	return ev, nil
 }

@@ -49,6 +49,10 @@ func (e *Env) Fig9(out io.Writer) (*Fig9Result, error) {
 		search.MaxStates = 100
 	}
 	search.Seed = e.Cfg.Seed
+	// One cache and one CRN base across every member's planning search:
+	// structurally identical siblings (e.g. the constant ensemble's) hit the
+	// evaluations their predecessors warmed.
+	search.Cache = e.Cache
 
 	res := &Fig9Result{App: wfgen.AppLigo}
 	for ki, kind := range kinds {
@@ -80,6 +84,7 @@ func (e *Env) Fig9(out io.Writer) (*Fig9Result, error) {
 			admOpts := opt.Options{
 				Maximize: true, MaxStates: 4000, BeamWidth: 12, Patience: 10,
 				Seed: e.Cfg.Seed + int64(b), Device: e.Cfg.Device,
+				Cache: e.Cache, // admission runs the compiled kernel path too
 			}
 			dres, err := opt.Search(decoSpace, admOpts)
 			if err != nil {

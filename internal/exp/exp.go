@@ -62,6 +62,11 @@ type Env struct {
 	Meta   *cloud.Metadata
 	Est    *estimate.Estimator
 	Prices []float64 // US East, catalog order
+	// Cache is the environment-wide evaluation cache every solver search in
+	// the suite shares (scheduling, ensemble member planning and admission,
+	// follow-the-cost decisions). Hits are bit-identical to live evaluation,
+	// so sharing never changes a result — only wall-clock time.
+	Cache *opt.EvalCache
 }
 
 // NewEnv builds the environment with metadata discretized from the
@@ -86,7 +91,8 @@ func NewEnv(cfg Config) (*Env, error) {
 	for j, it := range cat.Types {
 		prices[j] = us.PricePerHour[it.Name]
 	}
-	return &Env{Cfg: cfg, Cat: cat, Meta: md, Est: estimate.New(cat, md), Prices: prices}, nil
+	return &Env{Cfg: cfg, Cat: cat, Meta: md, Est: estimate.New(cat, md), Prices: prices,
+		Cache: opt.NewEvalCache(0)}, nil
 }
 
 // MontageDegrees returns the Montage sizes of the evaluation: degrees

@@ -49,6 +49,12 @@ func (e *Env) runFTC(degree int, o ftc.Optimizer, seed int64) (*ftc.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	if d, ok := o.(*ftc.DecoOptimizer); ok {
+		// Every per-decision-point search shares the environment cache; the
+		// decision-point fingerprint keys entries, so repeats of identical
+		// runtime states (e.g. across the threshold sweep) hit.
+		d.Options.Cache = e.Cache
+	}
 	rt := &ftc.Runtime{Cat: e.Cat, Jobs: jobs, Rng: rand.New(rand.NewSource(seed + 999)), Opt: o}
 	return rt.Run()
 }

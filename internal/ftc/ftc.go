@@ -18,8 +18,12 @@
 package ftc
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 
 	"deco/internal/cloud"
 	"deco/internal/dag"
@@ -263,13 +267,71 @@ type Result struct {
 }
 
 // Space is the region-assignment search space Deco's generic search
-// explores at each decision point: state[i] is job i's target region.
+// explores at each decision point: state[i] is job i's target region. The
+// space snapshots the runtime on first evaluation (remaining work, live
+// data, prices), so it must be built fresh per decision point — which the
+// optimizers do; the fingerprint covers the snapshot so cache entries from
+// different decision points never collide.
 type Space struct {
 	rt *Runtime
+
+	compileOnce sync.Once
+	compileErr  error
+	jobs        []jobSnapshot
+	meanBW      float64
+	nRegions    int
+}
+
+// jobSnapshot is one job's decision-point state flattened for the kernel
+// path: everything Evaluate reads, with the per-target price and network
+// rows precomputed so scoring a state is pure arithmetic over slices.
+type jobSnapshot struct {
+	done     bool
+	region   int
+	rem      float64 // expected remaining serialized seconds
+	live     float64 // MB that must move on migration
+	elapsed  float64
+	deadline float64
+	price    []float64 // hourly price per target region for the job's type
+	netGB    []float64 // source region's per-GB transfer price per target
 }
 
 // NewSpace builds the region-assignment space over a runtime's jobs.
 func NewSpace(rt *Runtime) *Space { return &Space{rt: rt} }
+
+// compile snapshots the runtime once: per-job remaining means, live data,
+// and dense price/network rows replace the map lookups the evaluation used
+// to redo for every state.
+func (s *Space) compile() error {
+	s.compileOnce.Do(func() {
+		rt := s.rt
+		s.meanBW = rt.Cat.Perf.CrossRegionNet.Mean()
+		s.nRegions = len(rt.Cat.Regions)
+		s.jobs = make([]jobSnapshot, len(rt.Jobs))
+		for i, j := range rt.Jobs {
+			snap := jobSnapshot{done: j.Done(), region: j.Region,
+				elapsed: j.Elapsed, deadline: j.DeadlineSec}
+			if !snap.done {
+				rem, err := j.RemainingMeanSec()
+				if err != nil {
+					s.compileErr = err
+					return
+				}
+				snap.rem = rem
+				snap.live = j.LiveDataMB()
+				snap.price = make([]float64, s.nRegions)
+				snap.netGB = make([]float64, s.nRegions)
+				src := rt.Cat.Regions[j.Region]
+				for r := range rt.Cat.Regions {
+					snap.price[r] = rt.price(r, j.TypeIndex)
+					snap.netGB[r] = src.NetPricePerGB[rt.Cat.Regions[r].Name]
+				}
+			}
+			s.jobs[i] = snap
+		}
+	})
+	return s.compileErr
+}
 
 // Initial implements opt.Space: keep every job where it is.
 func (s *Space) Initial() opt.State {
@@ -300,41 +362,128 @@ func (s *Space) Neighbors(st opt.State) []opt.State {
 	return out
 }
 
-// Evaluate implements opt.Space: Eq. 7's expected remaining cost plus
-// migration charges, with Eq. 10's deterministic deadline per job.
-func (s *Space) Evaluate(st opt.State, rng *rand.Rand) (*probir.Evaluation, error) {
-	ev := &probir.Evaluation{Feasible: true}
-	meanBW := s.rt.Cat.Perf.CrossRegionNet.Mean()
-	for i, j := range s.rt.Jobs {
-		if j.Done() {
+// accumulate scores one placement over the compiled snapshot, writing the
+// three figures (cost sum, violation sum, infeasible-job count) into out.
+// Per-job arithmetic and fold order match the original per-state evaluation
+// exactly, so every path built on it — Evaluate, the kernel on any device —
+// produces bit-identical results.
+func (s *Space) accumulate(st opt.State, out []float64) error {
+	if len(st) != len(s.jobs) {
+		return fmt.Errorf("ftc: state length %d, want %d", len(st), len(s.jobs))
+	}
+	out[0], out[1], out[2] = 0, 0, 0
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if j.done {
 			continue
 		}
 		target := st[i]
-		if target < 0 || target >= len(s.rt.Cat.Regions) {
-			return nil, fmt.Errorf("ftc: region %d out of range", target)
+		if target < 0 || target >= s.nRegions {
+			return fmt.Errorf("ftc: region %d out of range", target)
 		}
-		rem, err := j.RemainingMeanSec()
-		if err != nil {
-			return nil, err
-		}
-		cost := rem / 3600 * s.rt.price(target, j.TypeIndex)
+		cost := j.rem / 3600 * j.price[target]
 		migTime := 0.0
-		if target != j.Region {
-			data := j.LiveDataMB()
-			priceGB := s.rt.Cat.Regions[j.Region].NetPricePerGB[s.rt.Cat.Regions[target].Name]
-			cost += data / 1024 * priceGB
-			if data > 0 && meanBW > 0 {
-				migTime = data / meanBW
+		if target != j.region {
+			cost += j.live / 1024 * j.netGB[target]
+			if j.live > 0 && s.meanBW > 0 {
+				migTime = j.live / s.meanBW
 			}
 		}
-		ev.Value += cost
-		if j.DeadlineSec > 0 {
-			projected := j.Elapsed + migTime + rem
-			if projected > j.DeadlineSec {
-				ev.Feasible = false
-				ev.Violation += (projected - j.DeadlineSec) / j.DeadlineSec
+		out[0] += cost
+		if j.deadline > 0 {
+			projected := j.elapsed + migTime + j.rem
+			if projected > j.deadline {
+				out[1] += (projected - j.deadline) / j.deadline
+				out[2]++
 			}
 		}
 	}
-	return ev, nil
+	return nil
+}
+
+// reduce turns the accumulated figures into an Evaluation.
+func (s *Space) reduce(sums []float64) *probir.Evaluation {
+	return &probir.Evaluation{Value: sums[0], Violation: sums[1], Feasible: sums[2] == 0}
+}
+
+// Evaluate implements opt.Space: Eq. 7's expected remaining cost plus
+// migration charges, with Eq. 10's deterministic deadline per job.
+func (s *Space) Evaluate(st opt.State, rng *rand.Rand) (*probir.Evaluation, error) {
+	if err := s.compile(); err != nil {
+		return nil, err
+	}
+	var sums [3]float64
+	if err := s.accumulate(st, sums[:]); err != nil {
+		return nil, err
+	}
+	return s.reduce(sums[:]), nil
+}
+
+// CRNKernel implements opt.CRNSpace. The placement objective is
+// deterministic — no Monte-Carlo worlds — so the kernel is a single world of
+// three figures that ignores the CRN base; it exists so per-decision-point
+// searches run the solver's compiled kernel pipeline (and its evaluation
+// cache) instead of the per-state fallback.
+func (s *Space) CRNKernel(st opt.State, base int64) (probir.WorldKernel, error) {
+	if err := s.compile(); err != nil {
+		return nil, err
+	}
+	if len(st) != len(s.jobs) {
+		return nil, fmt.Errorf("ftc: state length %d, want %d", len(st), len(s.jobs))
+	}
+	return &placementKernel{sp: s, st: st}, nil
+}
+
+// Fingerprint implements opt.FingerprintSpace: a content hash of the full
+// decision-point snapshot — every job's progress, placement, prices and
+// deadline plus the mean cross-region bandwidth — so cache entries are
+// shared exactly between searches seeing identical runtime state.
+func (s *Space) Fingerprint() string {
+	if s.compile() != nil {
+		return "" // unsnapshottable runtime: cannot vouch for identity
+	}
+	h := sha256.New()
+	var buf [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	putF(s.meanBW)
+	putF(float64(s.nRegions))
+	putF(float64(len(s.jobs)))
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if j.done {
+			putF(math.NaN())
+			continue
+		}
+		putF(float64(j.region))
+		putF(j.rem)
+		putF(j.live)
+		putF(j.elapsed)
+		putF(j.deadline)
+		for r := 0; r < s.nRegions; r++ {
+			putF(j.price[r])
+			putF(j.netGB[r])
+		}
+	}
+	return fmt.Sprintf("ftc:%x", h.Sum(nil))
+}
+
+// placementKernel is the deterministic single-world kernel of the placement
+// space: figures are (cost sum, violation sum, infeasible-job count).
+type placementKernel struct {
+	sp *Space
+	st opt.State
+}
+
+func (k *placementKernel) Worlds() int { return 1 }
+func (k *placementKernel) Width() int  { return 3 }
+
+func (k *placementKernel) Sample(it int, rng *rand.Rand, out []float64) error {
+	return k.sp.accumulate(k.st, out)
+}
+
+func (k *placementKernel) Reduce(sums []float64) (*probir.Evaluation, error) {
+	return k.sp.reduce(sums), nil
 }

@@ -14,20 +14,45 @@ import (
 // bit-identical evaluation the live path would have produced under the CRN
 // determinism contract — which is what makes it safe to share one cache
 // across the warm-started replans of a run, across successive searches, and
-// across decod jobs solving the same problem. Eviction is LRU.
+// across decod jobs solving the same problem. Eviction is LRU across every
+// binding's entries.
+//
+// Searches do not address the cache with flat keys: Compile resolves the
+// (fingerprint, seed) keyspace and the scope label once into a Binding, and
+// the hot loop looks up bare state keys against it.
 type EvalCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List
-	items map[string]*list.Element
+	views map[string]*cacheView
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	scopeMu sync.Mutex
+	scopes  map[string]*scopeCounter
+
+	// flat serves the prefixless Get/Put convenience API.
+	flat *Binding
+}
+
+// cacheView is one keyspace (one fingerprint|seed prefix) of the shared
+// table. Bindings with the same prefix share a view, so concurrent searches
+// over the same program see each other's entries.
+type cacheView struct {
+	prefix string
+	items  map[string]*list.Element
+}
+
+// scopeCounter accumulates hit/miss traffic for one scope label.
+type scopeCounter struct {
+	hits, misses atomic.Int64
 }
 
 type cacheEntry struct {
-	key string
-	ev  *probir.Evaluation
+	view *cacheView
+	key  string
+	ev   *probir.Evaluation
 }
 
 // DefaultEvalCacheCapacity bounds a cache built with capacity <= 0. At
@@ -41,44 +66,135 @@ func NewEvalCache(capacity int) *EvalCache {
 	if capacity <= 0 {
 		capacity = DefaultEvalCacheCapacity
 	}
-	return &EvalCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	c := &EvalCache{cap: capacity, ll: list.New(), views: make(map[string]*cacheView)}
+	c.flat = c.Bind("", "")
+	return c
+}
+
+// Binding is one search's window onto a shared cache: the keyspace prefix
+// and the scope counter are resolved exactly once (by Compile), so per-state
+// lookups take the bare state key and pay no prefix concatenation or
+// scope-map access.
+type Binding struct {
+	c     *EvalCache
+	view  *cacheView
+	scope *scopeCounter
+}
+
+// Bind resolves the keyspace for prefix (normally "fingerprint|seed|") and
+// the optional scope label, creating either on first use. Bindings with the
+// same prefix share entries.
+func (c *EvalCache) Bind(prefix, scope string) *Binding {
+	c.mu.Lock()
+	v, ok := c.views[prefix]
+	if !ok {
+		v = &cacheView{prefix: prefix, items: make(map[string]*list.Element)}
+		c.views[prefix] = v
+	}
+	c.mu.Unlock()
+	b := &Binding{c: c, view: v}
+	if scope != "" {
+		b.scope = c.scope(scope)
+	}
+	return b
 }
 
 // Get returns the cached evaluation for key, marking it most-recently used.
 // The returned Evaluation is shared: callers must not modify it.
-func (c *EvalCache) Get(key string) (*probir.Evaluation, bool) {
+func (b *Binding) Get(key string) (*probir.Evaluation, bool) {
+	c := b.c
 	c.mu.Lock()
-	el, ok := c.items[key]
+	el, ok := b.view.items[key]
 	var ev *probir.Evaluation
 	if ok {
 		c.ll.MoveToFront(el)
 		ev = el.Value.(*cacheEntry).ev
 	}
 	c.mu.Unlock()
-	if !ok {
+	if ok {
+		c.hits.Add(1)
+	} else {
 		c.misses.Add(1)
-		return nil, false
 	}
-	c.hits.Add(1)
-	return ev, true
+	if b.scope != nil {
+		if ok {
+			b.scope.hits.Add(1)
+		} else {
+			b.scope.misses.Add(1)
+		}
+	}
+	return ev, ok
 }
 
-// Put stores an evaluation, evicting the least-recently-used entry when the
-// cache is full.
-func (c *EvalCache) Put(key string, ev *probir.Evaluation) {
+// Put stores an evaluation under the binding's keyspace, evicting the
+// least-recently-used entry (across all bindings) when the cache is full.
+func (b *Binding) Put(key string, ev *probir.Evaluation) {
+	c := b.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, ok := b.view.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).ev = ev
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ev: ev})
+	b.view.items[key] = c.ll.PushFront(&cacheEntry{view: b.view, key: key, ev: ev})
 	if c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.items, el.Value.(*cacheEntry).key)
+		ent := el.Value.(*cacheEntry)
+		delete(ent.view.items, ent.key)
+		// A drained keyspace is dropped so long-lived caches serving many
+		// distinct programs don't accumulate empty views. A binding still
+		// holding the view keeps working; its next Put simply repopulates a
+		// detached map whose entries age out through the same LRU list.
+		if len(ent.view.items) == 0 && c.views[ent.view.prefix] == ent.view {
+			delete(c.views, ent.view.prefix)
+		}
 	}
+}
+
+// Get is the prefixless convenience lookup (tests and ad-hoc callers);
+// searches go through a Binding instead.
+func (c *EvalCache) Get(key string) (*probir.Evaluation, bool) { return c.flat.Get(key) }
+
+// Put is the prefixless convenience store; searches go through a Binding.
+func (c *EvalCache) Put(key string, ev *probir.Evaluation) { c.flat.Put(key, ev) }
+
+func (c *EvalCache) scope(name string) *scopeCounter {
+	c.scopeMu.Lock()
+	defer c.scopeMu.Unlock()
+	if c.scopes == nil {
+		c.scopes = make(map[string]*scopeCounter)
+	}
+	sc, ok := c.scopes[name]
+	if !ok {
+		sc = &scopeCounter{}
+		c.scopes[name] = sc
+	}
+	return sc
+}
+
+// ScopeStats returns the hit/miss counts attributed to a scope label since
+// construction (zeros for a scope never seen).
+func (c *EvalCache) ScopeStats(scope string) (hits, misses int64) {
+	c.scopeMu.Lock()
+	sc := c.scopes[scope]
+	c.scopeMu.Unlock()
+	if sc == nil {
+		return 0, 0
+	}
+	return sc.hits.Load(), sc.misses.Load()
+}
+
+// Scopes lists the scope labels that have recorded traffic.
+func (c *EvalCache) Scopes() []string {
+	c.scopeMu.Lock()
+	defer c.scopeMu.Unlock()
+	out := make([]string, 0, len(c.scopes))
+	for s := range c.scopes {
+		out = append(out, s)
+	}
+	return out
 }
 
 // Len is the current number of cached evaluations.

@@ -45,9 +45,26 @@ func (s State) Clone() State { return append(State(nil), s...) }
 // with the next element, making distinct states collide (e.g. {255} and
 // {-1, 1} under the old encoding).
 func (s State) Key() string {
-	b := make([]byte, 0, len(s)*2)
+	// Size pass first, so the encoding fits a stack buffer for typical
+	// states and the only allocation is the string itself — Key runs once
+	// per state per dedup pass and once per cache lookup, so it is on the
+	// solver's hot path.
+	n := 0
 	for _, v := range s {
 		u := uint64(int64(v)<<1) ^ uint64(int64(v)>>63) // zigzag
+		for u >= 0x80 {
+			n++
+			u >>= 7
+		}
+		n++
+	}
+	var buf [128]byte
+	b := buf[:0]
+	if n > len(buf) {
+		b = make([]byte, 0, n)
+	}
+	for _, v := range s {
+		u := uint64(int64(v)<<1) ^ uint64(int64(v)>>63)
 		for u >= 0x80 {
 			b = append(b, byte(u)|0x80)
 			u >>= 7
@@ -107,10 +124,11 @@ type Options struct {
 	// (fingerprint, seed, state), so hits are bit-identical to live
 	// evaluation and search trajectories do not depend on cache warmth.
 	Cache *EvalCache
-
-	// cachePrefix is the fingerprint|seed prefix of this search's cache
-	// keys, resolved once by Search; empty disables the cache.
-	cachePrefix string
+	// CacheScope labels this search's cache traffic for per-scope hit/miss
+	// accounting (EvalCache.ScopeStats) — e.g. decod tags searches by job
+	// kind so ensemble members' cross-member sharing is observable. Empty
+	// means unscoped; the scope never affects keys or results.
+	CacheScope string
 }
 
 // DefaultOptions returns a reasonable configuration on the given device.
@@ -195,215 +213,6 @@ type FingerprintSpace interface {
 	Fingerprint() string
 }
 
-// evaluateBatch scores states on the device, consulting the evaluation
-// cache when the search has one. Hits return the stored evaluation (shared,
-// never modified); misses run live and are stored. Because evaluations are
-// deterministic given (fingerprint, seed, state), a warm cache changes only
-// wall-clock time, never the search trajectory.
-func evaluateBatch(sp Space, states []State, opt Options) []scored {
-	if opt.Cache == nil || opt.cachePrefix == "" {
-		return evaluateBatchLive(sp, states, opt)
-	}
-	out := make([]scored, len(states))
-	var missStates []State
-	var missIdx []int
-	for i, st := range states {
-		key := st.Key()
-		if ev, ok := opt.Cache.Get(opt.cachePrefix + key); ok {
-			out[i] = scored{state: st, key: key, eval: ev}
-			continue
-		}
-		missStates = append(missStates, st)
-		missIdx = append(missIdx, i)
-	}
-	if len(missStates) > 0 {
-		for mi, s := range evaluateBatchLive(sp, missStates, opt) {
-			out[missIdx[mi]] = s
-			if s.err == nil && s.eval != nil {
-				opt.Cache.Put(opt.cachePrefix+s.key, s.eval)
-			}
-		}
-	}
-	return out
-}
-
-// evaluateBatchLive scores states on the device, bypassing the cache. The
-// CRN path runs first (shared realizations, delta sampling); the state-keyed
-// kernel path covers spaces without CRN support; the generic path is
-// state-level parallelism over Space.Evaluate. When both the space and the
-// device support it, kernel batches run two-level (block per state, thread
-// per Monte-Carlo iteration) so even a batch narrower than the machine — an
-// A* expansion, a few multi-start seeds, an exploitation child set —
-// saturates every worker. Cancellation is honored at per-thread granularity;
-// results are bit-identical across devices and scheduling orders because
-// every world's figures depend only on (kernel, base, iteration) and
-// reductions fold in iteration order.
-func evaluateBatchLive(sp Space, states []State, opt Options) []scored {
-	if out, ok := evaluateBatchCRN(sp, states, opt); ok {
-		return out
-	}
-	if out, ok := evaluateBatchKernel(sp, states, opt); ok {
-		return out
-	}
-	out := make([]scored, len(states))
-	opt.Device.Map(len(states), func(i int) {
-		if opt.Ctx != nil {
-			if err := opt.Ctx.Err(); err != nil {
-				out[i] = scored{state: states[i], key: states[i].Key(), err: fmt.Errorf("opt: search cancelled: %w", err)}
-				return
-			}
-		}
-		key := states[i].Key()
-		ev, err := sp.Evaluate(states[i], stateRng(opt.Seed, key))
-		out[i] = scored{state: states[i], key: key, eval: ev, err: err}
-	})
-	return out
-}
-
-// evaluateBatchCRN is the common-random-number path of evaluateBatchLive:
-// kernels share the search-seed duration matrix and ignore the per-world
-// rng, so it runs on every device — two-level on a BlockDevice, state-level
-// otherwise — with bit-identical sums either way. It reports ok=false when
-// the space has no CRN decomposition (or the batch is non-uniform /
-// deterministic), in which case the caller falls through.
-func evaluateBatchCRN(sp Space, states []State, opt Options) ([]scored, bool) {
-	cs, ok := sp.(CRNSpace)
-	if !ok || len(states) == 0 {
-		return nil, false
-	}
-	out := make([]scored, len(states))
-	kernels := make([]probir.WorldKernel, len(states))
-	worlds, width := 0, 0
-	shaped := false
-	for i, st := range states {
-		key := st.Key()
-		out[i] = scored{state: st, key: key}
-		k, err := cs.CRNKernel(st, opt.Seed)
-		if err != nil {
-			out[i].err = err
-			continue
-		}
-		if k == nil {
-			return nil, false // no CRN decomposition for this space
-		}
-		if !shaped {
-			worlds, width = k.Worlds(), k.Width()
-			shaped = true
-		} else if k.Worlds() != worlds || k.Width() != width {
-			return nil, false // non-uniform batch; let the generic path run it
-		}
-		kernels[i] = k
-	}
-	if worlds == 0 || width == 0 {
-		return nil, false // deterministic evaluation: nothing to thread over
-	}
-	if bd, ok := opt.Device.(device.BlockDevice); ok {
-		sums, errs := device.ReduceBlocks(bd, len(states), worlds, width, func(b, t int, slot []float64) error {
-			if kernels[b] == nil {
-				return nil // kernel construction already failed for this state
-			}
-			if opt.Ctx != nil {
-				if err := opt.Ctx.Err(); err != nil {
-					return fmt.Errorf("opt: search cancelled: %w", err)
-				}
-			}
-			return kernels[b].Sample(t, nil, slot)
-		})
-		bd.Map(len(states), func(i int) {
-			if out[i].err != nil {
-				return
-			}
-			if errs[i] != nil {
-				out[i].err = errs[i]
-				return
-			}
-			out[i].eval, out[i].err = kernels[i].Reduce(sums[i*width : (i+1)*width])
-		})
-		return out, true
-	}
-	// Non-block device: state-level parallelism, each state's worlds folded
-	// sequentially in iteration order — identical sums, identical results.
-	opt.Device.Map(len(states), func(i int) {
-		if out[i].err != nil || kernels[i] == nil {
-			return
-		}
-		if opt.Ctx != nil {
-			if err := opt.Ctx.Err(); err != nil {
-				out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
-				return
-			}
-		}
-		out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
-	})
-	return out, true
-}
-
-// evaluateBatchKernel is the two-level path of evaluateBatch. It reports
-// ok=false when the space or device cannot run it, in which case the caller
-// falls back to state-level parallelism.
-func evaluateBatchKernel(sp Space, states []State, opt Options) ([]scored, bool) {
-	ks, ok := sp.(KernelSpace)
-	if !ok {
-		return nil, false
-	}
-	bd, ok := opt.Device.(device.BlockDevice)
-	if !ok || len(states) == 0 {
-		return nil, false
-	}
-	out := make([]scored, len(states))
-	kernels := make([]probir.WorldKernel, len(states))
-	bases := make([]int64, len(states))
-	worlds, width := 0, 0
-	for i, st := range states {
-		key := st.Key()
-		out[i] = scored{state: st, key: key}
-		k, err := ks.Kernel(st)
-		if err != nil {
-			out[i].err = err
-			continue
-		}
-		if k == nil {
-			return nil, false // no world decomposition for this space
-		}
-		if kernels[i] == nil && worlds == 0 && width == 0 {
-			worlds, width = k.Worlds(), k.Width()
-		} else if k.Worlds() != worlds || k.Width() != width {
-			return nil, false // non-uniform batch; let the generic path run it
-		}
-		kernels[i] = k
-		// The same substream base Evaluate would derive from its state rng,
-		// so both paths are bit-identical.
-		bases[i] = stateRng(opt.Seed, key).Int63()
-	}
-	if worlds == 0 || width == 0 {
-		return nil, false // deterministic evaluation: nothing to thread over
-	}
-	sums, errs := device.ReduceBlocks(bd, len(states), worlds, width, func(b, t int, slot []float64) error {
-		if kernels[b] == nil {
-			return nil // kernel construction already failed for this state
-		}
-		if opt.Ctx != nil {
-			if err := opt.Ctx.Err(); err != nil {
-				return fmt.Errorf("opt: search cancelled: %w", err)
-			}
-		}
-		return kernels[b].Sample(t, probir.WorldRNG(bases[b], t), slot)
-	})
-	// Reductions are independent per state; run them as blocks too (CostFn
-	// objectives such as the packed plan cost do real work here).
-	bd.Map(len(states), func(i int) {
-		if out[i].err != nil {
-			return
-		}
-		if errs[i] != nil {
-			out[i].err = errs[i]
-			return
-		}
-		out[i].eval, out[i].err = kernels[i].Reduce(sums[i*width : (i+1)*width])
-	})
-	return out, true
-}
-
 // dedupStates returns the states not already visited, deduplicated among
 // themselves, WITHOUT marking them visited. Marking happens at evaluation
 // time (markVisited), so a state trimmed from a batch by the evaluation
@@ -461,39 +270,24 @@ type MultiStartSpace interface {
 	Starts() []State
 }
 
-// Search runs the solver over the space and returns the best state found. It
-// dispatches to A* when opt.AStar is set, otherwise to the generic search of
+// Search compiles the space against the options and runs the solver,
+// returning the best state found: Compile then Problem.Search. It dispatches
+// to A* when opt.AStar is set, otherwise to the generic search of
 // Algorithm 2. For MultiStartSpaces all starts seed the same frontier, so
 // the shared budget flows to the most promising region and the exploitation
 // phase descends from the single global incumbent.
 func Search(sp Space, opt Options) (*Result, error) {
-	fillDefaults(&opt)
-	if opt.Cache != nil {
-		fp := ""
-		if fs, ok := sp.(FingerprintSpace); ok {
-			fp = fs.Fingerprint()
-		}
-		if fp == "" {
-			opt.Cache = nil // unidentifiable program: a hit could be wrong
-		} else {
-			opt.cachePrefix = fmt.Sprintf("%s|%d|", fp, opt.Seed)
-		}
+	p, err := Compile(sp, opt)
+	if err != nil {
+		return nil, err
 	}
-	starts := []State{sp.Initial()}
-	if ms, ok := sp.(MultiStartSpace); ok {
-		if s := ms.Starts(); len(s) > 0 {
-			starts = s
-		}
-	}
-	if opt.AStar {
-		return astarSearch(sp, opt, starts)
-	}
-	return genericSearch(sp, opt, starts)
+	return p.Search()
 }
 
 // genericSearch is Algorithm 2 with device-parallel level evaluation and a
-// beam-bounded frontier, seeded with one or more start states.
-func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
+// beam-bounded frontier, seeded with the compiled start states.
+func (p *Problem) genericSearch() (*Result, error) {
+	sp, opt, starts := p.space, p.opts, p.starts
 	start := time.Now()
 	res := &Result{}
 	visited := map[string]bool{}
@@ -527,7 +321,7 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 			frontier = frontier[:exploreBudget-res.Evaluated]
 		}
 		markVisited(frontier, visited)
-		batch := evaluateBatch(sp, frontier, opt)
+		batch := p.evaluateBatch(frontier)
 		res.Evaluated += len(batch)
 		res.Levels++
 
@@ -593,7 +387,7 @@ func genericSearch(sp Space, opt Options, starts []State) (*Result, error) {
 			children = children[:opt.MaxStates-res.Evaluated]
 		}
 		markVisited(children, visited)
-		batch := evaluateBatch(sp, children, opt)
+		batch := p.evaluateBatch(children)
 		res.Evaluated += len(batch)
 		for i := range batch {
 			if batch[i].err != nil {
@@ -639,7 +433,8 @@ func (p *pq) PushItem(i pqItem) { heap.Push(p, i) }
 // astarSearch expands states best-first by g+h score (here: the evaluation
 // score, matching the paper's example where both scores are the estimated
 // monetary cost) and prunes states that cannot beat the best found solution.
-func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
+func (p *Problem) astarSearch() (*Result, error) {
+	sp, opt, starts := p.space, p.opts, p.starts
 	start := time.Now()
 	res := &Result{}
 	visited := map[string]bool{}
@@ -651,7 +446,7 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 	if err := opt.Ctx.Err(); err != nil {
 		return nil, fmt.Errorf("opt: search cancelled: %w", err)
 	}
-	initBatch := evaluateBatch(sp, initial, opt)
+	initBatch := p.evaluateBatch(initial)
 	res.Evaluated = len(initBatch)
 	open := pq{}
 	heap.Init(&open)
@@ -703,7 +498,7 @@ func astarSearch(sp Space, opt Options, starts []State) (*Result, error) {
 			children = children[:opt.MaxStates-res.Evaluated]
 		}
 		markVisited(children, visited)
-		batch := evaluateBatch(sp, children, opt)
+		batch := p.evaluateBatch(children)
 		res.Evaluated += len(batch)
 		res.Levels++
 		improved := false

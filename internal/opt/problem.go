@@ -1,0 +1,278 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deco/internal/device"
+	"deco/internal/probir"
+)
+
+// Problem is a search compiled against a space and a fixed Options: every
+// capability of the space — kernel/CRN decomposition, fingerprint, cache
+// binding, multi-start seeds — is resolved exactly once, here, and carried
+// as plain fields. The search loops and batch evaluators never probe the
+// space again; Compile is the only place in the solver that type-asserts
+// against the optional Space extensions.
+type Problem struct {
+	space  Space
+	opts   Options
+	starts []State
+
+	// fingerprint identifies the space's program content; empty means the
+	// space cannot vouch for its identity and the cache is unbound.
+	fingerprint string
+
+	// cache is the evaluation cache bound to (fingerprint, seed, scope);
+	// nil disables caching for this problem.
+	cache *Binding
+
+	// kernel builds the per-state world kernel; nil selects the generic
+	// per-state Evaluate path. When crn is set the kernel follows the
+	// common-random-number contract (shared duration matrix keyed by the
+	// search seed; the per-world rng is ignored), otherwise worlds draw from
+	// state-keyed substreams and the path requires a BlockDevice.
+	kernel        func(State) (probir.WorldKernel, error)
+	crn           bool
+	worlds, width int
+}
+
+// Compile resolves the space's capabilities against the options and returns
+// the runnable problem. The kernel dispatch is decided by probing one start
+// state: CRN kernels are preferred (shared realizations, delta sampling, any
+// device); state-keyed kernels run when the device schedules blocks; spaces
+// without a usable decomposition evaluate state-parallel via Space.Evaluate.
+// A kernel that fails to build for the probe state fails Compile — the same
+// construction would fail for the search's first batch anyway.
+func Compile(sp Space, o Options) (*Problem, error) {
+	fillDefaults(&o)
+	p := &Problem{space: sp, opts: o}
+
+	if fs, ok := sp.(FingerprintSpace); ok {
+		p.fingerprint = fs.Fingerprint()
+	}
+	if p.opts.Cache != nil && p.fingerprint != "" {
+		// An unidentifiable program stays unbound: a hit could be wrong.
+		p.cache = p.opts.Cache.Bind(fmt.Sprintf("%s|%d|", p.fingerprint, p.opts.Seed), p.opts.CacheScope)
+	}
+
+	p.starts = []State{sp.Initial()}
+	if ms, ok := sp.(MultiStartSpace); ok {
+		if s := ms.Starts(); len(s) > 0 {
+			p.starts = s
+		}
+	}
+
+	probe := p.starts[0]
+	if cs, ok := sp.(CRNSpace); ok {
+		k, err := cs.CRNKernel(probe, p.opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("opt: compiling CRN kernel: %w", err)
+		}
+		if usableKernel(k) {
+			seed := p.opts.Seed
+			p.kernel = func(st State) (probir.WorldKernel, error) { return cs.CRNKernel(st, seed) }
+			p.crn = true
+			p.worlds, p.width = k.Worlds(), k.Width()
+		}
+	}
+	if p.kernel == nil {
+		if ks, ok := sp.(KernelSpace); ok {
+			if _, block := p.opts.Device.(device.BlockDevice); block {
+				k, err := ks.Kernel(probe)
+				if err != nil {
+					return nil, fmt.Errorf("opt: compiling kernel: %w", err)
+				}
+				if usableKernel(k) {
+					p.kernel = ks.Kernel
+					p.worlds, p.width = k.Worlds(), k.Width()
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// usableKernel reports whether a probed kernel can drive the two-level path:
+// a nil kernel or an empty world/figure shape means there is nothing to
+// thread over and the generic path should run instead.
+func usableKernel(k probir.WorldKernel) bool {
+	return k != nil && k.Worlds() > 0 && k.Width() > 0
+}
+
+// Fingerprint returns the compiled program fingerprint (empty when the space
+// has none and caching is disabled).
+func (p *Problem) Fingerprint() string { return p.fingerprint }
+
+// Starts returns the compiled start states.
+func (p *Problem) Starts() []State { return p.starts }
+
+// Kerneled reports whether state evaluations run on the per-world kernel
+// path, and whether that path follows the common-random-number contract.
+func (p *Problem) Kerneled() (kernel, crn bool) { return p.kernel != nil, p.crn }
+
+// Search runs the compiled problem to completion: A* when Options.AStar is
+// set, otherwise the generic search of Algorithm 2.
+func (p *Problem) Search() (*Result, error) {
+	if p.opts.AStar {
+		return p.astarSearch()
+	}
+	return p.genericSearch()
+}
+
+// EvaluateStates scores a batch of states on the compiled pipeline — the
+// cache, kernel dispatch, and device the search itself would use — and
+// returns the evaluations in input order. It is the building block for
+// benchmarks and bit-exactness tests that need the solver's hot loop without
+// a surrounding search.
+func (p *Problem) EvaluateStates(states []State) ([]*probir.Evaluation, error) {
+	out := make([]*probir.Evaluation, len(states))
+	for i, s := range p.evaluateBatch(states) {
+		if s.err != nil {
+			return nil, s.err
+		}
+		out[i] = s.eval
+	}
+	return out, nil
+}
+
+// evaluateBatch scores states, consulting the evaluation cache when the
+// compiled problem has one. Hits return the stored evaluation (shared, never
+// modified); misses run live and are stored. Because evaluations are
+// deterministic given (fingerprint, seed, state), a warm cache changes only
+// wall-clock time, never the search trajectory.
+func (p *Problem) evaluateBatch(states []State) []scored {
+	if p.cache == nil {
+		return p.evaluateLive(states)
+	}
+	out := make([]scored, len(states))
+	var missStates []State
+	var missIdx []int
+	for i, st := range states {
+		key := st.Key()
+		if ev, ok := p.cache.Get(key); ok {
+			out[i] = scored{state: st, key: key, eval: ev}
+			continue
+		}
+		missStates = append(missStates, st)
+		missIdx = append(missIdx, i)
+	}
+	if len(missStates) > 0 {
+		for mi, s := range p.evaluateLive(missStates) {
+			out[missIdx[mi]] = s
+			if s.err == nil && s.eval != nil {
+				p.cache.Put(s.key, s.eval)
+			}
+		}
+	}
+	return out
+}
+
+// evaluateLive scores states bypassing the cache, on the path Compile
+// resolved: the kernel path when the space decomposes (two-level on a
+// BlockDevice — block per state, thread per Monte-Carlo iteration — so even
+// a batch narrower than the machine saturates every worker), the generic
+// state-parallel path otherwise. Cancellation is honored at per-thread
+// granularity; results are bit-identical across devices and scheduling
+// orders because every world's figures depend only on (kernel, base,
+// iteration) and reductions fold in iteration order.
+func (p *Problem) evaluateLive(states []State) []scored {
+	if p.kernel != nil {
+		if out, ok := p.evaluateKernel(states); ok {
+			return out
+		}
+	}
+	return p.evaluateMap(states)
+}
+
+// evaluateKernel is the per-world kernel path. It reports ok=false when a
+// state's kernel drifts from the compiled shape (or vanishes), in which case
+// the whole batch falls back to the generic path — the compiled shape is a
+// probe, not a guarantee, and a mixed batch must not mix paths.
+func (p *Problem) evaluateKernel(states []State) ([]scored, bool) {
+	if len(states) == 0 {
+		return nil, false
+	}
+	out := make([]scored, len(states))
+	kernels := make([]probir.WorldKernel, len(states))
+	var bases []int64
+	if !p.crn {
+		bases = make([]int64, len(states))
+	}
+	for i, st := range states {
+		key := st.Key()
+		out[i] = scored{state: st, key: key}
+		k, err := p.kernel(st)
+		if err != nil {
+			out[i].err = err
+			continue
+		}
+		if k == nil || k.Worlds() != p.worlds || k.Width() != p.width {
+			return nil, false // shape drifted from the compiled probe
+		}
+		kernels[i] = k
+		if !p.crn {
+			// The same substream base Evaluate would derive from its state
+			// rng, so both paths are bit-identical.
+			bases[i] = stateRng(p.opts.Seed, key).Int63()
+		}
+	}
+	if bd, ok := p.opts.Device.(device.BlockDevice); ok {
+		sums, errs := device.ReduceBlocks(bd, len(states), p.worlds, p.width, func(b, t int, slot []float64) error {
+			if kernels[b] == nil {
+				return nil // kernel construction already failed for this state
+			}
+			if err := p.opts.Ctx.Err(); err != nil {
+				return fmt.Errorf("opt: search cancelled: %w", err)
+			}
+			var rng *rand.Rand
+			if !p.crn {
+				rng = probir.WorldRNG(bases[b], t)
+			}
+			return kernels[b].Sample(t, rng, slot)
+		})
+		// Reductions are independent per state; run them as blocks too
+		// (CostFn objectives such as the packed plan cost do real work here).
+		bd.Map(len(states), func(i int) {
+			if out[i].err != nil {
+				return
+			}
+			if errs[i] != nil {
+				out[i].err = errs[i]
+				return
+			}
+			out[i].eval, out[i].err = kernels[i].Reduce(sums[i*p.width : (i+1)*p.width])
+		})
+		return out, true
+	}
+	// Non-block device: only the CRN path compiles here (Compile gates the
+	// state-keyed kernel path on a BlockDevice). Each state's worlds fold
+	// sequentially in iteration order — identical sums, identical results.
+	p.opts.Device.Map(len(states), func(i int) {
+		if out[i].err != nil || kernels[i] == nil {
+			return
+		}
+		if err := p.opts.Ctx.Err(); err != nil {
+			out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
+			return
+		}
+		out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
+	})
+	return out, true
+}
+
+// evaluateMap is the generic path: state-level parallelism over
+// Space.Evaluate with a state-keyed rng.
+func (p *Problem) evaluateMap(states []State) []scored {
+	out := make([]scored, len(states))
+	p.opts.Device.Map(len(states), func(i int) {
+		if err := p.opts.Ctx.Err(); err != nil {
+			out[i] = scored{state: states[i], key: states[i].Key(), err: fmt.Errorf("opt: search cancelled: %w", err)}
+			return
+		}
+		key := states[i].Key()
+		ev, err := p.space.Evaluate(states[i], stateRng(p.opts.Seed, key))
+		out[i] = scored{state: states[i], key: key, eval: ev, err: err}
+	})
+	return out
+}

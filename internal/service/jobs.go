@@ -18,7 +18,6 @@ import (
 	"deco/internal/cloud"
 	"deco/internal/dag"
 	"deco/internal/dax"
-	"deco/internal/wlog"
 )
 
 // JobState is the lifecycle of a planning job.
@@ -32,6 +31,14 @@ const (
 	JobCancelled JobState = "cancelled"
 )
 
+// Job kinds: the solve dispatch, JobView.Kind, and the evaluation-cache
+// scope labels of /metrics all share these names.
+const (
+	KindPlan     = "plan"     // scheduling job producing a provisioning plan
+	KindRun      = "run"      // managed adaptive execution
+	KindEnsemble = "ensemble" // ensemble-admission job (program mode only)
+)
+
 // PctBound is a probabilistic bound: P(X <= Value) >= Percentile. A
 // Percentile <= 0 selects the deterministic (expected-value) notion.
 type PctBound struct {
@@ -43,7 +50,9 @@ type PctBound struct {
 // must be set: Workflow (a named synthetic application: montage, montage4,
 // montage8, ligo, epigenomics, cybershake, pipeline — or a .dax/.xml path),
 // DAX (an inline DAX XML document), or Program (a raw WLog program, which
-// carries its own goal and constraints).
+// carries its own goal and constraints). A program with an ensemble(kind, n)
+// fact is an ensemble-admission job: it returns a deco.EnsembleResult
+// document instead of a plan.
 type SubmitRequest struct {
 	Workflow string `json:"workflow,omitempty"`
 	DAX      string `json:"dax,omitempty"`
@@ -115,7 +124,8 @@ func PlanResultOf(p *deco.Plan) PlanResult {
 type JobView struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
-	// Kind is "run" for managed runs, empty for planning jobs.
+	// Kind is "run" for managed runs, "ensemble" for ensemble-admission
+	// jobs, empty for ordinary planning jobs.
 	Kind   string `json:"kind,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
 	// Events counts the run's streamed events so far (managed runs only).
@@ -134,8 +144,9 @@ type job struct {
 	id  string
 	req SubmitRequest
 	// wf is the resolved workflow (nil in program mode).
-	wf  *dag.Workflow
-	key string // content-addressed cache key (empty for managed runs)
+	wf   *dag.Workflow
+	kind string // KindPlan, KindRun or KindEnsemble
+	key  string // content-addressed cache key (empty for managed runs)
 	// run marks a managed-run job and holds its live event log.
 	run *runState
 
@@ -217,8 +228,9 @@ func catalogHash(cat *cloud.Catalog) string {
 
 // normalize applies server defaults and validates the request, resolving the
 // workflow for workflow/DAX modes. It returns the resolved workflow (nil for
-// program mode) or a user error.
-func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
+// program mode) and the job kind (KindPlan, or KindEnsemble for programs
+// carrying an ensemble fact), or a user error.
+func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, string, error) {
 	if req.Seed == 0 {
 		req.Seed = m.cfg.DefaultSeed
 	}
@@ -226,19 +238,19 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
 		req.Iters = m.cfg.DefaultIters
 	}
 	if req.Iters < 1 {
-		return nil, fmt.Errorf("iters must be >= 1")
+		return nil, "", fmt.Errorf("iters must be >= 1")
 	}
 	if req.SearchBudget == 0 {
 		req.SearchBudget = m.cfg.DefaultSearchBudget
 	}
 	if req.SearchBudget < 1 {
-		return nil, fmt.Errorf("search_budget must be >= 1")
+		return nil, "", fmt.Errorf("search_budget must be >= 1")
 	}
 	if req.Threads == 0 {
 		req.Threads = m.cfg.DefaultThreads
 	}
 	if req.Threads < 0 {
-		return nil, fmt.Errorf("threads must be >= 0")
+		return nil, "", fmt.Errorf("threads must be >= 0")
 	}
 	sources := 0
 	for _, s := range []string{req.Workflow, req.DAX, req.Program} {
@@ -247,16 +259,21 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
 		}
 	}
 	if sources != 1 {
-		return nil, fmt.Errorf("exactly one of workflow, dax, program must be set")
+		return nil, "", fmt.Errorf("exactly one of workflow, dax, program must be set")
 	}
 	if req.Program != "" {
 		if req.Goal != "" || req.Deadline != nil || req.Budget != nil {
-			return nil, fmt.Errorf("program mode carries its own goal and constraints; goal/deadline/budget must be empty")
+			return nil, "", fmt.Errorf("program mode carries its own goal and constraints; goal/deadline/budget must be empty")
 		}
-		if _, err := wlog.Parse(req.Program); err != nil {
-			return nil, err
+		// ParseEnsembleProgram both validates the WLog syntax and detects
+		// the ensemble(kind, n) fact that routes the job to the admission
+		// solver instead of the scheduling solver.
+		if _, isEnsemble, err := deco.ParseEnsembleProgram(req.Program); err != nil {
+			return nil, "", err
+		} else if isEnsemble {
+			return nil, KindEnsemble, nil
 		}
-		return nil, nil
+		return nil, KindPlan, nil
 	}
 
 	// Workflow / DAX mode: resolve the DAG and check constraints.
@@ -268,16 +285,16 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
 		w, err = deco.NamedWorkflow(req.Workflow, req.Seed)
 	}
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if req.Deadline == nil && req.Budget == nil {
-		return nil, fmt.Errorf("at least one of deadline, budget is required")
+		return nil, "", fmt.Errorf("at least one of deadline, budget is required")
 	}
 	if req.Deadline != nil && req.Deadline.Value <= 0 {
-		return nil, fmt.Errorf("deadline value must be positive")
+		return nil, "", fmt.Errorf("deadline value must be positive")
 	}
 	if req.Budget != nil && req.Budget.Value <= 0 {
-		return nil, fmt.Errorf("budget value must be positive")
+		return nil, "", fmt.Errorf("budget value must be positive")
 	}
 	switch req.Goal {
 	case "":
@@ -288,9 +305,9 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, error) {
 		}
 	case "cost", "makespan":
 	default:
-		return nil, fmt.Errorf("goal must be \"cost\" or \"makespan\", got %q", req.Goal)
+		return nil, "", fmt.Errorf("goal must be \"cost\" or \"makespan\", got %q", req.Goal)
 	}
-	return w, nil
+	return w, KindPlan, nil
 }
 
 // jobKey computes the content-addressed cache key: a hash over the workflow
@@ -352,7 +369,7 @@ func workflowFingerprint(w *dag.Workflow) string {
 // immediately without touching the queue; a full queue rejects the request
 // with ErrQueueFull.
 func (m *Manager) Submit(req SubmitRequest) (JobView, error) {
-	w, err := m.normalize(&req)
+	w, kind, err := m.normalize(&req)
 	if err != nil {
 		return JobView{}, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
@@ -368,6 +385,7 @@ func (m *Manager) Submit(req SubmitRequest) (JobView, error) {
 		id:        fmt.Sprintf("j-%06d", m.nextID),
 		req:       req,
 		wf:        w,
+		kind:      kind,
 		key:       key,
 		submitted: time.Now(),
 	}
@@ -520,6 +538,7 @@ func (m *Manager) worker() {
 		iters   int
 		budget  int
 		threads int
+		scope   string
 	}
 	engines := make(map[engineCfg]*deco.Engine)
 	for j := range m.queue {
@@ -534,14 +553,18 @@ func (m *Manager) worker() {
 		m.metrics.JobsRunning.Add(1)
 		m.mu.Unlock()
 
-		cfg := engineCfg{seed: j.req.Seed, iters: j.req.Iters, budget: j.req.SearchBudget, threads: j.req.Threads}
+		// The scope labels the engine's eval-cache traffic by job kind, so
+		// /metrics can report e.g. how well ensemble members share
+		// evaluations; the cache itself stays one shared table.
+		cfg := engineCfg{seed: j.req.Seed, iters: j.req.Iters, budget: j.req.SearchBudget,
+			threads: j.req.Threads, scope: j.kind}
 		eng, ok := engines[cfg]
 		var err error
 		if !ok {
 			opts := []deco.Option{deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters),
 				deco.WithSearchBudget(cfg.budget), deco.WithThreads(cfg.threads)}
 			if m.evalCache != nil {
-				opts = append(opts, deco.WithEvalCache(m.evalCache))
+				opts = append(opts, deco.WithEvalCache(m.evalCache), deco.WithEvalCacheScope(cfg.scope))
 			}
 			eng, err = deco.NewEngine(opts...)
 			if err == nil {
@@ -557,9 +580,15 @@ func (m *Manager) worker() {
 
 		var doc json.RawMessage
 		if err == nil {
-			if j.run != nil {
+			switch {
+			case j.run != nil:
 				doc, err = m.runManaged(j, eng)
-			} else {
+			case j.kind == KindEnsemble:
+				var res *deco.EnsembleResult
+				if res, err = eng.RunEnsembleProgram(j.ctx, j.req.Program); err == nil {
+					doc, err = json.Marshal(res)
+				}
+			default:
 				var plan *deco.Plan
 				if plan, err = solve(j.ctx, eng, j); err == nil {
 					doc, err = json.Marshal(PlanResultOf(plan))
@@ -621,8 +650,10 @@ func (j *job) viewLocked() JobView {
 		Error:     j.errMsg,
 		Result:    j.result,
 	}
+	if j.kind != "" && j.kind != KindPlan {
+		v.Kind = j.kind
+	}
 	if j.run != nil {
-		v.Kind = "run"
 		v.Events = len(j.run.events)
 	}
 	if j.wf != nil {

@@ -53,6 +53,12 @@ func (m *Metrics) ObserveSolve(seconds float64) {
 	}
 }
 
+// ScopeStats is one job kind's share of the eval-cache traffic.
+type ScopeStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
 // Snapshot is the JSON document served by /metrics.
 type Snapshot struct {
 	JobsQueued    int64 `json:"jobs_queued"`
@@ -73,6 +79,10 @@ type Snapshot struct {
 	EvalCacheHits   int64 `json:"eval_cache_hits"`
 	EvalCacheMisses int64 `json:"eval_cache_misses"`
 	EvalCacheSize   int   `json:"eval_cache_size"`
+	// EvalCacheScopes breaks the eval-cache traffic down by job kind
+	// ("plan", "run", "ensemble"), so e.g. the cross-member sharing of
+	// ensemble admission jobs is observable separately from plan jobs.
+	EvalCacheScopes map[string]ScopeStats `json:"eval_cache_scopes,omitempty"`
 
 	SolveSamples int64   `json:"solve_samples"`
 	SolveP50Ms   float64 `json:"solve_latency_p50_ms"`
@@ -99,6 +109,13 @@ func (m *Metrics) Snapshot(c *Cache, ec *deco.EvalCache) Snapshot {
 		s.EvalCacheHits = ec.Hits()
 		s.EvalCacheMisses = ec.Misses()
 		s.EvalCacheSize = ec.Len()
+		for _, scope := range ec.Scopes() {
+			h, miss := ec.ScopeStats(scope)
+			if s.EvalCacheScopes == nil {
+				s.EvalCacheScopes = make(map[string]ScopeStats)
+			}
+			s.EvalCacheScopes[scope] = ScopeStats{Hits: h, Misses: miss}
+		}
 	}
 	m.mu.Lock()
 	s.SolveSamples = m.seen

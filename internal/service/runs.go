@@ -59,9 +59,12 @@ type RunResult struct {
 // SubmitRun validates and enqueues a managed run. Runs never touch the plan
 // cache: the execution is stochastic state, not a memoizable answer.
 func (m *Manager) SubmitRun(req RunRequest) (JobView, error) {
-	w, err := m.normalize(&req.SubmitRequest)
+	w, kind, err := m.normalize(&req.SubmitRequest)
 	if err != nil {
 		return JobView{}, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if kind == KindEnsemble {
+		return JobView{}, fmt.Errorf("%w: ensemble programs have no executable plan; submit them as a planning job", errBadRequest)
 	}
 	if req.Risk == 0 {
 		req.Risk = m.cfg.DefaultRisk
@@ -86,6 +89,7 @@ func (m *Manager) SubmitRun(req RunRequest) (JobView, error) {
 		id:        fmt.Sprintf("r-%06d", m.nextID),
 		req:       req.SubmitRequest,
 		wf:        w,
+		kind:      KindRun,
 		run:       &runState{req: req},
 		submitted: time.Now(),
 	}

@@ -486,3 +486,79 @@ func TestWorkflowFingerprintDistinguishesStructure(t *testing.T) {
 		t.Error("different iteration budget produced the same key")
 	}
 }
+
+// TestEnsembleJobAndCacheScopeMetrics submits ensemble-admission programs and
+// checks (a) the job routes to the admission solver and returns an
+// EnsembleResult document, and (b) /metrics breaks eval-cache traffic down by
+// job kind, with the second ensemble job (same members, different budget)
+// hitting the member-planning evaluations the first one warmed.
+func TestEnsembleJobAndCacheScopeMetrics(t *testing.T) {
+	_, ts := newTestServer(t, quickCfg())
+	prog := func(budget string) string {
+		return `import(amazonec2).
+import(pipeline).
+ensemble(constant, 3).
+maximize S in score(S).
+C in totalcost(C) satisfies budget(mean, ` + budget + `).
+`
+	}
+
+	v := submit(t, ts, SubmitRequest{Program: prog("40")}, http.StatusAccepted)
+	if v.Kind != KindEnsemble {
+		t.Fatalf("job kind = %q, want %q", v.Kind, KindEnsemble)
+	}
+	done := waitForState(t, ts, v.ID, JobDone, 120*time.Second)
+	var res deco.EnsembleResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("ensemble result: %v; body: %s", err, done.Result)
+	}
+	if res.Kind != "constant" || res.N != 3 {
+		t.Fatalf("result header: %+v", res)
+	}
+	if len(res.Admitted) == 0 || !res.Feasible {
+		t.Fatalf("expected a feasible admission under a generous budget: %+v", res)
+	}
+
+	// A different budget is a different job (no plan-cache hit) but the same
+	// member-planning searches: their evaluations must come out of the shared
+	// eval cache, attributed to the "ensemble" scope.
+	v2 := submit(t, ts, SubmitRequest{Program: prog("35")}, http.StatusAccepted)
+	waitForState(t, ts, v2.ID, JobDone, 120*time.Second)
+
+	var m Snapshot
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	sc, ok := m.EvalCacheScopes[KindEnsemble]
+	if !ok {
+		t.Fatalf("metrics missing eval-cache scope %q: %+v", KindEnsemble, m.EvalCacheScopes)
+	}
+	if sc.Misses == 0 {
+		t.Error("ensemble scope recorded no eval-cache misses")
+	}
+	if sc.Hits == 0 {
+		t.Error("second ensemble job did not hit the member-planning evaluations the first warmed")
+	}
+
+	// Identical resubmission is a whole-plan cache hit.
+	again := submit(t, ts, SubmitRequest{Program: prog("40")}, http.StatusOK)
+	if !again.Cached {
+		t.Error("identical ensemble resubmission missed the plan cache")
+	}
+}
+
+// TestEnsembleProgramRejectedAsRun pins the run-mode contract: ensemble
+// programs have no executable plan, so managed runs must refuse them.
+func TestEnsembleProgramRejectedAsRun(t *testing.T) {
+	_, ts := newTestServer(t, quickCfg())
+	prog := `import(amazonec2).
+import(pipeline).
+ensemble(constant, 2).
+maximize S in score(S).
+C in totalcost(C) satisfies budget(mean, 40).
+`
+	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: SubmitRequest{Program: prog}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("run submission of ensemble program: status %d, want 400; body: %s", resp.StatusCode, body)
+	}
+}
