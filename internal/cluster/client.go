@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// PeerSolvePath is the internal endpoint a node exposes for forwarded jobs.
+// It solves synchronously: the response body is the finished result document.
+const PeerSolvePath = "/v1/peer/solve"
+
+// Headers used by peer forwarding.
+const (
+	// HeaderRequestID carries the end-to-end request ID so one job can be
+	// traced across every node that touched it.
+	HeaderRequestID = "X-Request-Id"
+	// HeaderCached is "1" when the owner answered from its plan cache — a
+	// cross-shard cache hit from the forwarder's point of view.
+	HeaderCached = "X-Deco-Cached"
+	// HeaderForwarded marks a request as peer-forwarded so the owner never
+	// re-forwards it, even under a (misconfigured) disagreeing ring view.
+	HeaderForwarded = "X-Deco-Forwarded"
+)
+
+// maxReplyBytes bounds a peer response document; result documents are a few
+// KB, so 32 MiB is purely a hostile-peer guard.
+const maxReplyBytes = 32 << 20
+
+// SolveReply is a peer's answer to a forwarded job.
+type SolveReply struct {
+	// Doc is the finished result document (a PlanResult or EnsembleResult).
+	Doc json.RawMessage
+	// Cached reports whether the owner served it from its plan cache.
+	Cached bool
+}
+
+// Client forwards jobs to their owning peers over HTTP. It is safe for
+// concurrent use; cancellation and deadlines come from the caller's context
+// (the forwarding node hedges to local computation itself, so the client
+// carries no global timeout).
+type Client struct {
+	http *http.Client
+}
+
+// NewClient builds a forwarding client. dialTimeout bounds connection
+// establishment only — an unreachable peer fails fast so the caller can fall
+// back to local computation immediately rather than waiting out a hedge.
+func NewClient(dialTimeout time.Duration) *Client {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	return &Client{http: &http.Client{
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: dialTimeout}).DialContext,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// Solve posts the JSON-encoded submit request body to peer's solve endpoint
+// and returns the finished result document. Any transport error or non-200
+// status is reported as an error; the caller treats all of them the same way
+// — compute locally instead.
+func (c *Client) Solve(ctx context.Context, peer string, body []byte, requestID string) (*SolveReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(peer, "/")+PeerSolvePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building request for %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, "1")
+	if requestID != "" {
+		req.Header.Set(HeaderRequestID, requestID)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %s unreachable: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(io.LimitReader(resp.Body, maxReplyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading reply from %s: %w", peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s refused forwarded job: %s: %s",
+			peer, resp.Status, snippet(doc))
+	}
+	return &SolveReply{Doc: doc, Cached: resp.Header.Get(HeaderCached) == "1"}, nil
+}
+
+func snippet(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

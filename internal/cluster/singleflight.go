@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group deduplicates concurrent function calls by key: while one caller (the
+// leader) runs fn, every other caller with the same key blocks and receives
+// the leader's result. Once the leader returns the key is forgotten, so
+// sequential calls each execute — memoization is the cache's job, not ours.
+//
+// This is the in-process half of request coalescing: identical job keys
+// arriving on one node — whether submitted locally or forwarded in by a peer
+// — share a single solver run.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn under key, coalescing with any in-flight call for the same key.
+// shared reports whether the result came from another caller's execution.
+func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		// A panicking fn must still release waiters and forget the key, or
+		// every future caller of this key would block forever.
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("cluster: singleflight leader panicked: %v", r)
+			g.forget(key, c)
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	g.forget(key, c)
+	return c.val, c.err, false
+}
+
+func (g *Group) forget(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+}

@@ -52,6 +52,23 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+// Recheck is Get for the dequeue-time re-lookup a job performs after
+// waiting in the queue (the identical job ahead of it may have finished
+// meanwhile). A present entry counts as a hit, but absence does not count as
+// a miss — the submission already counted its miss at enqueue time, and one
+// request should contribute at most one hit or one miss to the ratio.
+func (c *Cache) Recheck(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
 // Put stores a plan under key, evicting the least recently used entry when
 // the cache is full.
 func (c *Cache) Put(key string, val json.RawMessage) {

@@ -1,0 +1,189 @@
+// Multi-tenant admission and scheduling: decod consolidates many users'
+// workflows onto shared planning capacity (the Workflow-as-a-Service setting
+// of Zhou & He's follow-up paper), so the single FIFO queue of PR 1 becomes
+// two per-tenant mechanisms:
+//
+//   - a token bucket per tenant at admission, bounding each tenant's
+//     sustained submission rate independently of everyone else's, and
+//   - stride scheduling across per-tenant FIFO queues at dispatch, so a
+//     backlogged tenant cannot starve the others: each dequeue charges the
+//     tenant 1/weight of virtual time, and the scheduler always serves the
+//     non-empty tenant with the smallest accumulated pass.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// fairQueue is a bounded, weighted fair queue of jobs keyed by tenant.
+// Within a tenant jobs stay FIFO; across tenants dispatch follows stride
+// scheduling, which for equal weights degenerates to round-robin and for
+// weight w gives a tenant a w-proportional share of dequeues under backlog.
+type fairQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	size     int
+	closed   bool
+	weights  map[string]float64
+	tenants  map[string]*tenantFifo
+	vtime    float64 // pass of the most recent dequeue: the queue's virtual clock
+}
+
+type tenantFifo struct {
+	jobs   []*job
+	pass   float64 // virtual time this tenant has consumed
+	stride float64 // 1/weight: virtual time charged per dequeue
+}
+
+// newFairQueue builds a queue bounding the total backlog at capacity.
+// weights maps tenant name to scheduling weight; absent tenants get weight 1.
+func newFairQueue(capacity int, weights map[string]float64) *fairQueue {
+	q := &fairQueue{capacity: capacity, weights: weights, tenants: make(map[string]*tenantFifo)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j under its tenant. It returns ErrQueueFull when the total
+// backlog is at capacity and ErrShuttingDown after close.
+func (q *fairQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	if q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	t, ok := q.tenants[j.tenant]
+	if !ok {
+		w := q.weights[j.tenant]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantFifo{stride: 1 / w}
+		q.tenants[j.tenant] = t
+	}
+	if len(t.jobs) == 0 && t.pass < q.vtime {
+		// An idle tenant re-enters at the current virtual time: it competes
+		// fairly from now on instead of cashing in the idle period as a burst.
+		t.pass = q.vtime
+	}
+	t.jobs = append(t.jobs, j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns the head of the non-empty
+// tenant queue with the smallest pass. It returns ok=false once the queue is
+// closed and fully drained.
+func (q *fairQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		return nil, false
+	}
+	var best *tenantFifo
+	var bestName string
+	for name, t := range q.tenants {
+		if len(t.jobs) == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && name < bestName) {
+			best, bestName = t, name
+		}
+	}
+	j := best.jobs[0]
+	best.jobs[0] = nil // release the reference for GC
+	best.jobs = best.jobs[1:]
+	q.size--
+	q.vtime = best.pass
+	best.pass += best.stride
+	if len(best.jobs) == 0 {
+		delete(q.tenants, bestName) // re-admission resynchronizes pass with vtime
+	}
+	return j, true
+}
+
+// close stops admission; blocked pops drain the backlog and then return
+// ok=false.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len returns the total backlog across tenants.
+func (q *fairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Depths returns the per-tenant backlog (tenants with queued jobs only).
+func (q *fairQueue) Depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.tenants))
+	for name, t := range q.tenants {
+		if len(t.jobs) > 0 {
+			out[name] = len(t.jobs)
+		}
+	}
+	return out
+}
+
+// quotas applies per-tenant token-bucket admission: each tenant may sustain
+// rate submissions per second with bursts up to burst. rate <= 0 disables
+// admission control entirely.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from tenant's bucket, reporting false when the
+// tenant is over quota.
+func (q *quotas) allow(tenant string, now time.Time) bool {
+	if q == nil || q.rate <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func qjob(tenant string, n int) *job {
+	return &job{id: fmt.Sprintf("%s-%d", tenant, n), tenant: tenant, state: JobQueued}
+}
+
+// With equal weights and both tenants backlogged, stride scheduling
+// alternates dequeues no matter how lopsided the arrival order was.
+func TestFairQueueAlternatesEqualWeights(t *testing.T) {
+	q := newFairQueue(64, nil)
+	for i := 0; i < 6; i++ {
+		if err := q.push(qjob("a", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := q.push(qjob("b", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for i := 0; i < 12; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		order = append(order, j.tenant)
+	}
+	// After the first dequeue the two tenants must alternate strictly; a
+	// FIFO would have produced aaaaaabbbbbb.
+	for i := 2; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("dequeue order %v does not alternate at %d", order, i)
+		}
+	}
+}
+
+func TestFairQueueWeightedShares(t *testing.T) {
+	q := newFairQueue(128, map[string]float64{"gold": 3, "free": 1})
+	for i := 0; i < 40; i++ {
+		q.push(qjob("gold", i))
+		q.push(qjob("free", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ { // dequeue half the backlog
+		j, _ := q.pop()
+		counts[j.tenant]++
+	}
+	// Weight 3:1 → expect ~30:10.
+	if counts["gold"] < 25 || counts["free"] > 15 {
+		t.Errorf("dequeues gold=%d free=%d, want ~3:1", counts["gold"], counts["free"])
+	}
+}
+
+func TestFairQueueTenantFIFOAndCatchUp(t *testing.T) {
+	q := newFairQueue(64, nil)
+	// Tenant a consumes virtual time alone...
+	for i := 0; i < 4; i++ {
+		q.push(qjob("a", i))
+	}
+	for i := 0; i < 4; i++ {
+		j, _ := q.pop()
+		if j.id != fmt.Sprintf("a-%d", i) {
+			t.Fatalf("intra-tenant order broken: got %s at %d", j.id, i)
+		}
+	}
+	// ...then a newcomer must NOT owe the virtual time it was absent for:
+	// it enters at the current clock and shares 50/50 from here on.
+	for i := 0; i < 4; i++ {
+		q.push(qjob("a", 10+i))
+		q.push(qjob("b", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		j, _ := q.pop()
+		counts[j.tenant]++
+	}
+	if counts["b"] < 2 {
+		t.Errorf("newcomer got %d of the first 4 dequeues, want >= 2", counts["b"])
+	}
+}
+
+func TestFairQueueCapacityAndClose(t *testing.T) {
+	q := newFairQueue(2, nil)
+	if err := q.push(qjob("a", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("b", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("c", 0)); err != ErrQueueFull {
+		t.Fatalf("overflow push: %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	if d := q.Depths(); d["a"] != 1 || d["b"] != 1 {
+		t.Errorf("Depths = %v", d)
+	}
+
+	q.close()
+	if err := q.push(qjob("d", 0)); err != ErrShuttingDown {
+		t.Fatalf("push after close: %v, want ErrShuttingDown", err)
+	}
+	// The backlog drains before pop reports closed.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatal("pop reported closed with jobs still queued")
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop returned a job from an empty closed queue")
+	}
+}
+
+func TestFairQueueBlockingPop(t *testing.T) {
+	q := newFairQueue(4, nil)
+	got := make(chan *job, 1)
+	go func() {
+		j, _ := q.pop()
+		got <- j
+	}()
+	time.Sleep(20 * time.Millisecond) // let the popper park
+	q.push(qjob("a", 1))
+	select {
+	case j := <-got:
+		if j.tenant != "a" {
+			t.Errorf("popped %+v", j)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push did not wake the blocked pop")
+	}
+}
+
+func TestQuotasTokenBucket(t *testing.T) {
+	q := newQuotas(1, 2) // 1 job/s sustained, burst of 2
+	now := time.Now()
+	if !q.allow("t", now) || !q.allow("t", now) {
+		t.Fatal("burst of 2 must admit 2 immediate submissions")
+	}
+	if q.allow("t", now) {
+		t.Fatal("third immediate submission must be rejected")
+	}
+	// Another tenant has its own bucket.
+	if !q.allow("u", now) {
+		t.Fatal("independent tenant was throttled")
+	}
+	// Tokens refill with time.
+	if !q.allow("t", now.Add(1100*time.Millisecond)) {
+		t.Fatal("refilled token was rejected")
+	}
+	// Refill never exceeds the burst.
+	later := now.Add(time.Hour)
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if q.allow("t", later) {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Errorf("after a long idle, %d admissions, want burst=2", ok)
+	}
+
+	// rate <= 0 disables admission control.
+	if !newQuotas(0, 0).allow("x", now) {
+		t.Error("disabled quotas rejected a submission")
+	}
+	var nilq *quotas
+	if !nilq.allow("x", now) {
+		t.Error("nil quotas rejected a submission")
+	}
+}

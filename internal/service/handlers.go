@@ -5,6 +5,9 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"time"
+
+	"deco/internal/cluster"
 )
 
 // Handler returns the service's HTTP API:
@@ -21,8 +24,15 @@ import (
 //	GET    /v1/runs/{id}/events stream the run's execution events as NDJSON
 //	                            (blocks until the run finishes)
 //	POST   /v1/runs/{id}/cancel cancel a queued or running managed run
+//	POST   /v1/peer/solve       peer-internal: solve a forwarded job
+//	                            synchronously and return its result document
 //	GET    /healthz             liveness probe
-//	GET    /metrics             JSON counters + solve-latency quantiles
+//	GET    /metrics             JSON counters + solve-latency quantiles +
+//	                            per-tenant and cluster series
+//
+// Submissions honor the X-Request-Id header (one is generated when absent);
+// the ID is echoed in job views, propagated on peer forwards, and stamped on
+// log lines so one job can be traced across nodes.
 //
 // When cfg.EnablePprof is set, the standard net/http/pprof endpoints are
 // additionally mounted under /debug/pprof/.
@@ -38,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
 	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("POST "+cluster.PeerSolvePath, s.handlePeerSolve)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -64,28 +75,101 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
+// requestID extracts the client's trace ID, minting one when absent.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(cluster.HeaderRequestID); id != "" && len(id) <= 128 {
+		return id
+	}
+	return genRequestID()
+}
+
+// decodeBody decodes a capped JSON request body into into, reporting the
+// HTTP status to answer with on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
-		return
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, err
+		}
+		return http.StatusBadRequest, err
 	}
-	view, err := s.mgr.Submit(req)
+	return http.StatusOK, nil
+}
+
+// writeSubmitError maps manager submission errors to HTTP statuses.
+func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errBadRequest):
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrQueueFull):
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
-	case err != nil:
+	default:
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if code, err := s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, code, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req.RequestID = requestID(r)
+	view, err := s.mgr.Submit(req)
+	switch {
+	case err != nil:
+		writeSubmitError(w, err)
 	case view.State == JobDone: // plan cache hit: answered synchronously
 		writeJSON(w, http.StatusOK, view)
 	default:
 		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+// handlePeerSolve answers a forwarded job synchronously: it enqueues the job
+// like a local submission (sharing the fair queue, caches and singleflight)
+// and streams back the finished result document. The forwarding node treats
+// any non-200 — draining, full queue, solver failure — as "compute locally
+// instead", so refusing here hands the work back rather than dropping it.
+func (s *Server) handlePeerSolve(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if code, err := s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, code, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req.RequestID = requestID(r)
+	view, err := s.mgr.SubmitForwarded(req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if !view.State.terminal() {
+		// The solve may outlast the server's WriteTimeout; this response's
+		// deadline is governed by the client's (forwarder's) hedge instead.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+		view, err = s.mgr.WaitJob(r.Context(), view.ID)
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+			return
+		}
+	}
+	switch view.State {
+	case JobDone:
+		if view.Cached {
+			w.Header().Set(cluster.HeaderCached, "1")
+		}
+		w.Header().Set(cluster.HeaderRequestID, view.RequestID)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(view.Result)
+	case JobCancelled:
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "forwarded job cancelled: " + view.Error})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "forwarded job failed: " + view.Error})
 	}
 }
 
@@ -113,25 +197,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+	if code, err := s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, code, apiError{Error: "bad request body: " + err.Error()})
 		return
 	}
+	req.RequestID = requestID(r)
 	view, err := s.mgr.SubmitRun(req)
-	switch {
-	case errors.Is(err, errBadRequest):
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
-	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
-	case errors.Is(err, ErrShuttingDown):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
-	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusAccepted, view)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusAccepted, view)
 }
 
 func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
@@ -144,6 +220,10 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	// The stream outlives the server's WriteTimeout by design: clear the
+	// write deadline and rely on request-context cancellation (client gone)
+	// to unblock the stream instead.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
 		if flusher != nil {
@@ -164,5 +244,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.evalCache))
+	writeJSON(w, http.StatusOK, s.mgr.Snapshot())
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -16,6 +17,7 @@ import (
 
 	"deco"
 	"deco/internal/cloud"
+	"deco/internal/cluster"
 	"deco/internal/dag"
 	"deco/internal/dax"
 )
@@ -39,6 +41,9 @@ const (
 	KindEnsemble = "ensemble" // ensemble-admission job (program mode only)
 )
 
+// DefaultTenant is the tenant jobs without an explicit tenant belong to.
+const DefaultTenant = "default"
+
 // PctBound is a probabilistic bound: P(X <= Value) >= Percentile. A
 // Percentile <= 0 selects the deterministic (expected-value) notion.
 type PctBound struct {
@@ -58,6 +63,14 @@ type SubmitRequest struct {
 	DAX      string `json:"dax,omitempty"`
 	Program  string `json:"program,omitempty"`
 
+	// Tenant names the submitting tenant for admission quotas, fair
+	// scheduling, and per-tenant metrics. Empty means DefaultTenant. The
+	// tenant is deliberately NOT part of the job key: identical problems
+	// from different tenants share the plan cache and coalesce into one
+	// computation — consolidating tenants onto shared capacity is the point
+	// of the WaaS setting.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Goal is "cost" or "makespan" (workflow/DAX modes only). Empty defaults
 	// to "cost" when a deadline is present, else "makespan".
 	Goal string `json:"goal,omitempty"`
@@ -75,6 +88,12 @@ type SubmitRequest struct {
 	// server default; 1 restricts the solver to state-level parallelism.
 	// The produced plan is identical for every setting.
 	Threads int `json:"threads,omitempty"`
+
+	// RequestID is transport metadata, not part of the request body: it is
+	// taken from the X-Request-Id header (or generated) and propagated
+	// through peer forwarding and log lines so a job can be traced across
+	// nodes.
+	RequestID string `json:"-"`
 }
 
 // Assignment maps one task to its provisioned instance type.
@@ -127,7 +146,17 @@ type JobView struct {
 	// Kind is "run" for managed runs, "ensemble" for ensemble-admission
 	// jobs, empty for ordinary planning jobs.
 	Kind   string `json:"kind,omitempty"`
-	Cached bool   `json:"cached,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// RequestID is the end-to-end trace ID (accepted via X-Request-Id or
+	// generated at submission).
+	RequestID string `json:"request_id,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	// Coalesced reports that the job shared another identical job's
+	// in-flight computation instead of solving on its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Remote reports that the result was computed by the job key's owning
+	// peer rather than this node.
+	Remote bool `json:"remote,omitempty"`
 	// Events counts the run's streamed events so far (managed runs only).
 	Events    int             `json:"events,omitempty"`
 	Workflow  string          `json:"workflow,omitempty"`
@@ -141,8 +170,14 @@ type JobView struct {
 // job is the manager's internal record; all fields below mu-guarded state are
 // written only under Manager.mu.
 type job struct {
-	id  string
-	req SubmitRequest
+	id        string
+	req       SubmitRequest
+	tenant    string
+	requestID string
+	// forwarded marks a job received from a peer: it is always solved
+	// locally (never re-forwarded) and bypasses tenant admission, which
+	// already happened at the ingress node.
+	forwarded bool
 	// wf is the resolved workflow (nil in program mode).
 	wf   *dag.Workflow
 	kind string // KindPlan, KindRun or KindEnsemble
@@ -152,6 +187,8 @@ type job struct {
 
 	state     JobState
 	cached    bool
+	coalesced bool
+	remote    bool
 	result    json.RawMessage
 	errMsg    string
 	submitted time.Time
@@ -164,20 +201,34 @@ type job struct {
 
 // Submission errors the HTTP layer maps to status codes.
 var (
-	ErrQueueFull    = errors.New("service: job queue is full")
-	ErrShuttingDown = errors.New("service: server is shutting down")
-	ErrNotFound     = errors.New("service: no such job")
+	ErrQueueFull     = errors.New("service: job queue is full")
+	ErrShuttingDown  = errors.New("service: server is shutting down")
+	ErrNotFound      = errors.New("service: no such job")
+	ErrQuotaExceeded = errors.New("service: tenant admission quota exceeded")
 )
 
-// Manager owns the job table, the bounded queue, and the worker pool. Each
-// worker keeps its own deco.Engine instances (engines are not shared across
-// goroutines), reusing them across jobs with the same solver configuration.
+// Manager owns the job table, the weighted fair queue, and the worker pool.
+// Each worker keeps its own deco.Engine instances (engines are not shared
+// across goroutines), reusing them across jobs with the same solver
+// configuration. When configured with peers, the manager routes every keyed
+// job to its ring owner and coalesces concurrent identical keys through a
+// singleflight group.
 type Manager struct {
 	cfg       Config
 	cache     *Cache
 	evalCache *deco.EvalCache // shared across all worker engines; nil disables
 	metrics   *Metrics
 	catHash   string
+
+	ring   *cluster.Ring   // nil on a standalone node
+	peers  *cluster.Client // nil on a standalone node
+	flight cluster.Group
+	quota  *quotas
+	// fwdSem bounds workers concurrently parked on a peer forward to
+	// Workers-1, so two nodes forwarding to each other can never consume
+	// every worker on both sides waiting for the other (distributed worker
+	// starvation); a job that cannot get a slot just solves locally.
+	fwdSem chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -186,17 +237,17 @@ type Manager struct {
 	closed bool
 
 	// runCond (on mu) wakes event streamers when a run appends events or
-	// reaches a terminal state.
+	// reaches a terminal state, and WaitJob callers when any job finishes.
 	runCond *sync.Cond
 
-	queue chan *job
+	queue *fairQueue
 	wg    sync.WaitGroup
 }
 
-// NewManager starts cfg.Workers workers over a queue of depth cfg.QueueDepth.
-// evalCache, when non-nil, is shared by every worker engine (and through
-// them by managed runs' replan searches); it may be nil to disable
-// evaluation caching.
+// NewManager starts cfg.Workers workers over a fair queue bounding the total
+// backlog at cfg.QueueDepth. evalCache, when non-nil, is shared by every
+// worker engine (and through them by managed runs' replan searches); it may
+// be nil to disable evaluation caching.
 func NewManager(cfg Config, cache *Cache, evalCache *deco.EvalCache, metrics *Metrics) *Manager {
 	m := &Manager{
 		cfg:       cfg,
@@ -204,8 +255,18 @@ func NewManager(cfg Config, cache *Cache, evalCache *deco.EvalCache, metrics *Me
 		evalCache: evalCache,
 		metrics:   metrics,
 		catHash:   catalogHash(cloud.DefaultCatalog()),
+		quota:     newQuotas(cfg.TenantRate, cfg.TenantBurst),
 		jobs:      make(map[string]*job),
-		queue:     make(chan *job, cfg.QueueDepth),
+		queue:     newFairQueue(cfg.QueueDepth, cfg.TenantWeights),
+	}
+	if len(cfg.Peers) > 0 {
+		m.ring = cluster.NewRing(cfg.Self, cfg.Peers)
+		m.peers = cluster.NewClient(cfg.ForwardDialTimeout)
+		slots := cfg.Workers - 1
+		if slots < 1 {
+			slots = 1
+		}
+		m.fwdSem = make(chan struct{}, slots)
 	}
 	m.runCond = sync.NewCond(&m.mu)
 	m.wg.Add(cfg.Workers)
@@ -213,6 +274,28 @@ func NewManager(cfg Config, cache *Cache, evalCache *deco.EvalCache, metrics *Me
 		go m.worker()
 	}
 	return m
+}
+
+// logf writes an operational log line through cfg.Logf; the default (nil)
+// discards, keeping embedded and test use quiet.
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Ring exposes the peer ring (nil on a standalone node); used by tests and
+// load harnesses to locate a key's owner.
+func (m *Manager) Ring() *cluster.Ring { return m.ring }
+
+// JobKeyFor computes the cluster-wide job key a request would get, without
+// submitting it. Used by load harnesses to steer storms at a known owner.
+func (m *Manager) JobKeyFor(req SubmitRequest) (string, error) {
+	w, _, err := m.normalize(&req)
+	if err != nil {
+		return "", err
+	}
+	return m.jobKey(&req, w), nil
 }
 
 // catalogHash fingerprints the pricing/performance catalog the engines use,
@@ -224,6 +307,15 @@ func catalogHash(cat *cloud.Catalog) string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// genRequestID mints a random 16-hex-character trace ID.
+func genRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // normalize applies server defaults and validates the request, resolving the
@@ -251,6 +343,13 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, string, error) {
 	}
 	if req.Threads < 0 {
 		return nil, "", fmt.Errorf("threads must be >= 0")
+	}
+	req.Tenant = strings.TrimSpace(req.Tenant)
+	if req.Tenant == "" {
+		req.Tenant = DefaultTenant
+	}
+	if len(req.Tenant) > 64 {
+		return nil, "", fmt.Errorf("tenant name longer than 64 bytes")
 	}
 	sources := 0
 	for _, s := range []string{req.Workflow, req.DAX, req.Program} {
@@ -315,7 +414,10 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, string, error) {
 // solver configuration. Two requests with the same key provably ask for the
 // same plan. Threads is deliberately excluded: plans are device- and
 // parallelism-independent (the solver's cross-device determinism tests pin
-// this down), so requests differing only in threads share a cache entry.
+// this down), so requests differing only in threads share a cache entry. The
+// tenant is excluded too (see SubmitRequest.Tenant). The same key shards
+// ownership across the peer ring, so it must be computed identically on
+// every node.
 func (m *Manager) jobKey(req *SubmitRequest, w *dag.Workflow) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "v1|cat=%s|seed=%d|iters=%d|budget=%d|goal=%s|", m.catHash, req.Seed, req.Iters, req.SearchBudget, req.Goal)
@@ -366,12 +468,30 @@ func workflowFingerprint(w *dag.Workflow) string {
 }
 
 // Submit validates and enqueues a planning request. Cache hits complete
-// immediately without touching the queue; a full queue rejects the request
-// with ErrQueueFull.
+// immediately without touching the queue; a tenant over its admission quota
+// is rejected with ErrQuotaExceeded, and a full queue with ErrQueueFull.
 func (m *Manager) Submit(req SubmitRequest) (JobView, error) {
+	return m.submit(req, false)
+}
+
+// SubmitForwarded enqueues a job received from a peer. It is always solved
+// locally (never re-forwarded) and bypasses the tenant admission quota,
+// which the ingress node already charged.
+func (m *Manager) SubmitForwarded(req SubmitRequest) (JobView, error) {
+	return m.submit(req, true)
+}
+
+func (m *Manager) submit(req SubmitRequest, forwarded bool) (JobView, error) {
 	w, kind, err := m.normalize(&req)
 	if err != nil {
 		return JobView{}, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if req.RequestID == "" {
+		req.RequestID = genRequestID()
+	}
+	if !forwarded && !m.quota.allow(req.Tenant, time.Now()) {
+		m.metrics.QuotaRejected.Add(1)
+		return JobView{}, fmt.Errorf("%w: tenant %q", ErrQuotaExceeded, req.Tenant)
 	}
 	key := m.jobKey(&req, w)
 
@@ -384,10 +504,17 @@ func (m *Manager) Submit(req SubmitRequest) (JobView, error) {
 	j := &job{
 		id:        fmt.Sprintf("j-%06d", m.nextID),
 		req:       req,
+		tenant:    req.Tenant,
+		requestID: req.RequestID,
+		forwarded: forwarded,
 		wf:        w,
 		kind:      kind,
 		key:       key,
 		submitted: time.Now(),
+	}
+	m.metrics.TenantAdd(j.tenant, "submitted", 1)
+	if forwarded {
+		m.metrics.PeerJobs.Add(1)
 	}
 
 	if cached, ok := m.cache.Get(key); ok {
@@ -397,20 +524,21 @@ func (m *Manager) Submit(req SubmitRequest) (JobView, error) {
 		j.started = j.submitted
 		j.finished = j.submitted
 		m.metrics.JobsDone.Add(1)
+		m.metrics.TenantAdd(j.tenant, "done", 1)
+		m.metrics.TenantAdd(j.tenant, "cache_hits", 1)
 		m.recordLocked(j)
 		return j.viewLocked(), nil
 	}
 
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.state = JobQueued
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.queue.push(j); err != nil {
 		j.cancel()
-		return JobView{}, ErrQueueFull
+		return JobView{}, err
 	}
 	m.metrics.JobsQueued.Add(1)
 	m.recordLocked(j)
+	m.logf("job %s rid=%s tenant=%s kind=%s queued (forwarded=%v)", j.id, j.requestID, j.tenant, j.kind, forwarded)
 	return j.viewLocked(), nil
 }
 
@@ -455,6 +583,38 @@ func (m *Manager) Get(id string) (JobView, error) {
 	return j.viewLocked(), nil
 }
 
+// WaitJob blocks until the job reaches a terminal state and returns its
+// final view. When ctx expires first the job is cancelled — for a forwarded
+// job this stops work the forwarding node has already given up on.
+func (m *Manager) WaitJob(ctx context.Context, id string) (JobView, error) {
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.runCond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+
+	m.mu.Lock()
+	for {
+		j, ok := m.jobs[id]
+		if !ok {
+			m.mu.Unlock()
+			return JobView{}, ErrNotFound
+		}
+		if j.state.terminal() {
+			v := j.viewLocked()
+			m.mu.Unlock()
+			return v, nil
+		}
+		if err := ctx.Err(); err != nil {
+			m.mu.Unlock()
+			_, _ = m.Cancel(id)
+			return JobView{}, err
+		}
+		m.runCond.Wait()
+	}
+}
+
 // List returns all retained jobs in submission order, without results (poll
 // the job endpoint for the full document).
 func (m *Manager) List() []JobView {
@@ -480,12 +640,13 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	}
 	switch j.state {
 	case JobQueued:
-		// The worker drops it when it reaches the head of the queue.
+		// The worker drops it when it reaches the head of its tenant queue.
 		j.state = JobCancelled
 		j.finished = time.Now()
 		j.cancel()
 		m.metrics.JobsQueued.Add(-1)
 		m.metrics.JobsCancelled.Add(1)
+		m.metrics.TenantAdd(j.tenant, "cancelled", 1)
 		m.runCond.Broadcast()
 	case JobRunning:
 		// The solver aborts between state evaluations; the worker marks the
@@ -495,16 +656,39 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	return j.viewLocked(), nil
 }
 
+// Snapshot assembles the /metrics document: the metrics store plus the
+// queue and worker-pool gauges only the manager knows.
+func (m *Manager) Snapshot() Snapshot {
+	s := m.metrics.Snapshot(m.cache, m.evalCache)
+	s.QueueDepth = m.queue.Len()
+	s.Workers = m.cfg.Workers
+	if s.Workers > 0 {
+		s.WorkerUtilization = float64(s.WorkersBusy) / float64(s.Workers)
+	}
+	for tenant, depth := range m.queue.Depths() {
+		ts := s.Tenants[tenant] // zero value if the tenant has no counters yet
+		ts.QueueDepth = depth
+		if s.Tenants == nil {
+			s.Tenants = make(map[string]TenantSnapshot)
+		}
+		s.Tenants[tenant] = ts
+	}
+	return s
+}
+
 // Shutdown stops accepting submissions, drains every accepted job (queued
-// and running), and waits for the workers to exit. If ctx expires first, the
-// remaining jobs are cancelled and Shutdown waits for them to abort.
+// and running, including jobs forwarded in by peers), and waits for the
+// workers to exit. If ctx expires first, the remaining jobs are cancelled
+// and Shutdown waits for them to abort. Peers forwarding new work during the
+// drain are refused with ErrShuttingDown and compute locally instead — a
+// forwarded job is either finished here or handed back, never dropped.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	alreadyClosed := m.closed
 	m.closed = true
 	m.mu.Unlock()
 	if !alreadyClosed {
-		close(m.queue)
+		m.queue.close()
 	}
 	done := make(chan struct{})
 	go func() {
@@ -527,7 +711,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue, keeping one engine per solver configuration.
+// worker drains the fair queue, keeping one engine per solver configuration.
 // Engines are not safe for concurrent use, so they are strictly
 // worker-local; the map lets a worker alternate between configurations
 // without rebuilding calibrated metadata every job.
@@ -541,7 +725,11 @@ func (m *Manager) worker() {
 		scope   string
 	}
 	engines := make(map[engineCfg]*deco.Engine)
-	for j := range m.queue {
+	for {
+		j, ok := m.queue.pop()
+		if !ok {
+			return
+		}
 		m.mu.Lock()
 		if j.state != JobQueued { // cancelled while queued
 			m.mu.Unlock()
@@ -552,6 +740,7 @@ func (m *Manager) worker() {
 		m.metrics.JobsQueued.Add(-1)
 		m.metrics.JobsRunning.Add(1)
 		m.mu.Unlock()
+		m.metrics.WorkersBusy.Add(1)
 
 		// The scope labels the engine's eval-cache traffic by job kind, so
 		// /metrics can report e.g. how well ensemble members share
@@ -578,23 +767,15 @@ func (m *Manager) worker() {
 			}
 		}
 
-		var doc json.RawMessage
+		var out solveOut
 		if err == nil {
-			switch {
-			case j.run != nil:
-				doc, err = m.runManaged(j, eng)
-			case j.kind == KindEnsemble:
-				var res *deco.EnsembleResult
-				if res, err = eng.RunEnsembleProgram(j.ctx, j.req.Program); err == nil {
-					doc, err = json.Marshal(res)
-				}
-			default:
-				var plan *deco.Plan
-				if plan, err = solve(j.ctx, eng, j); err == nil {
-					doc, err = json.Marshal(PlanResultOf(plan))
-				}
+			if j.run != nil {
+				out.doc, err = m.runManaged(j, eng)
+			} else {
+				out, err = m.solveKeyed(j, eng)
 			}
 		}
+		m.metrics.WorkersBusy.Add(-1)
 
 		m.mu.Lock()
 		j.finished = time.Now()
@@ -604,23 +785,161 @@ func (m *Manager) worker() {
 			j.state = JobCancelled
 			j.errMsg = err.Error()
 			m.metrics.JobsCancelled.Add(1)
+			m.metrics.TenantAdd(j.tenant, "cancelled", 1)
 		case err != nil:
 			j.state = JobFailed
 			j.errMsg = err.Error()
 			m.metrics.JobsFailed.Add(1)
+			m.metrics.TenantAdd(j.tenant, "failed", 1)
+			m.logf("job %s rid=%s tenant=%s failed: %v", j.id, j.requestID, j.tenant, err)
 		default:
 			j.state = JobDone
-			j.result = doc
+			j.result = out.doc
+			j.cached = j.cached || out.cached
+			j.coalesced = out.coalesced
+			j.remote = out.remote
 			m.metrics.JobsDone.Add(1)
+			m.metrics.TenantAdd(j.tenant, "done", 1)
+			if out.cached {
+				m.metrics.TenantAdd(j.tenant, "cache_hits", 1)
+			}
 			if j.run == nil {
-				m.metrics.ObserveSolve(j.finished.Sub(j.started).Seconds())
-				m.cache.Put(j.key, doc)
+				m.metrics.ObserveSolve(j.tenant, j.finished.Sub(j.started).Seconds())
+				// Only locally computed results enter the plan cache: the
+				// owner is the cache authority for its shard, so remote docs
+				// stay remote and coalesced followers reuse the leader's Put.
+				if !out.remote && !out.coalesced && !out.cached {
+					m.cache.Put(j.key, out.doc)
+				}
 			}
 		}
 		j.cancel()
 		m.runCond.Broadcast()
 		m.mu.Unlock()
 	}
+}
+
+// solveOut is the outcome of a keyed (non-run) job's solve path.
+type solveOut struct {
+	doc       json.RawMessage
+	cached    bool // answered from a plan cache (local recheck or owner's)
+	coalesced bool // shared another job's in-flight computation
+	remote    bool // computed by the owning peer
+}
+
+// solveKeyed answers a keyed job: local plan-cache recheck first (the job
+// may have queued behind the identical job that just finished), then the
+// singleflight group, inside which the job either forwards to its ring owner
+// or solves locally.
+func (m *Manager) solveKeyed(j *job, eng *deco.Engine) (solveOut, error) {
+	if doc, ok := m.cache.Recheck(j.key); ok {
+		return solveOut{doc: doc, cached: true}, nil
+	}
+	for {
+		v, err, shared := m.flight.Do(j.key, func() (any, error) {
+			return m.solveRouted(j, eng)
+		})
+		if shared && err != nil && errors.Is(err, context.Canceled) && j.ctx.Err() == nil {
+			// The flight leader was cancelled, not us: retry (possibly
+			// becoming the new leader).
+			continue
+		}
+		if err != nil {
+			return solveOut{}, err
+		}
+		out := v.(solveOut)
+		if shared {
+			out.coalesced = true
+			m.metrics.CoalescedTotal.Add(1)
+		}
+		return out, nil
+	}
+}
+
+// solveRouted runs inside the singleflight: it forwards the job to its ring
+// owner when that is another node, with a hedged fallback to local
+// computation when the owner is unreachable, refuses the job (draining, full
+// queue), errors, or exceeds the hedge delay.
+func (m *Manager) solveRouted(j *job, eng *deco.Engine) (solveOut, error) {
+	owner := ""
+	if m.ring != nil && !j.forwarded {
+		if o := m.ring.Owner(j.key); o != m.ring.Self() {
+			owner = o
+		}
+	}
+	if owner == "" {
+		return m.solveLocal(j, eng)
+	}
+
+	// Take a forwarding slot; if every slot is parked on a peer already,
+	// solving locally is both deadlock-free and no slower than queueing.
+	select {
+	case m.fwdSem <- struct{}{}:
+		defer func() { <-m.fwdSem }()
+	default:
+		return m.solveLocal(j, eng)
+	}
+
+	m.metrics.ForwardsTotal.Add(1)
+	body, err := json.Marshal(j.req)
+	if err != nil {
+		return solveOut{}, err
+	}
+	fctx, fcancel := context.WithCancel(j.ctx)
+	defer fcancel()
+	type fwdReply struct {
+		rep *cluster.SolveReply
+		err error
+	}
+	ch := make(chan fwdReply, 1)
+	go func() {
+		rep, err := m.peers.Solve(fctx, owner, body, j.requestID)
+		ch <- fwdReply{rep, err}
+	}()
+
+	hedge := time.NewTimer(m.cfg.ForwardHedge)
+	defer hedge.Stop()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			if r.rep.Cached {
+				m.metrics.CrossShardHits.Add(1)
+			}
+			return solveOut{doc: r.rep.Doc, cached: r.rep.Cached, remote: true}, nil
+		}
+		m.metrics.ForwardFailures.Add(1)
+		m.logf("job %s rid=%s: forward to owner %s failed (%v); solving locally", j.id, j.requestID, owner, r.err)
+	case <-hedge.C:
+		// The owner is reachable but slow (or hung): abandon the forward and
+		// compute locally. fcancel (deferred) tells the owner to stop.
+		m.metrics.ForwardHedged.Add(1)
+		m.logf("job %s rid=%s: owner %s exceeded hedge %v; solving locally", j.id, j.requestID, owner, m.cfg.ForwardHedge)
+	case <-j.ctx.Done():
+		return solveOut{}, j.ctx.Err()
+	}
+	return m.solveLocal(j, eng)
+}
+
+// solveLocal runs the job on this node's engine.
+func (m *Manager) solveLocal(j *job, eng *deco.Engine) (solveOut, error) {
+	m.metrics.SolvesTotal.Add(1)
+	var doc json.RawMessage
+	var err error
+	if j.kind == KindEnsemble {
+		var res *deco.EnsembleResult
+		if res, err = eng.RunEnsembleProgram(j.ctx, j.req.Program); err == nil {
+			doc, err = json.Marshal(res)
+		}
+	} else {
+		var plan *deco.Plan
+		if plan, err = solve(j.ctx, eng, j); err == nil {
+			doc, err = json.Marshal(PlanResultOf(plan))
+		}
+	}
+	if err != nil {
+		return solveOut{}, err
+	}
+	return solveOut{doc: doc}, nil
 }
 
 // solve dispatches a job to the engine's context-aware entry points.
@@ -645,7 +964,11 @@ func (j *job) viewLocked() JobView {
 	v := JobView{
 		ID:        j.id,
 		State:     j.state,
+		Tenant:    j.tenant,
+		RequestID: j.requestID,
 		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Remote:    j.remote,
 		Submitted: j.submitted,
 		Error:     j.errMsg,
 		Result:    j.result,

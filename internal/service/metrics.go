@@ -11,9 +11,9 @@ import (
 )
 
 // Metrics aggregates the service's operational counters and the solve-latency
-// distribution. Counters are lock-free; the latency reservoir is a fixed-size
-// uniform sample (Vitter's algorithm R) so p50/p95 stay O(1) memory no matter
-// how many jobs the daemon has served.
+// distribution. Counters are lock-free; latency reservoirs are fixed-size
+// uniform samples (Vitter's algorithm R) so quantiles stay O(1) memory no
+// matter how many jobs the daemon has served.
 type Metrics struct {
 	JobsQueued    atomic.Int64 // gauge: submitted, not yet started
 	JobsRunning   atomic.Int64 // gauge: currently solving
@@ -24,32 +24,129 @@ type Metrics struct {
 	RunsDone     atomic.Int64 // cumulative managed runs completed
 	ReplansTotal atomic.Int64 // cumulative replans across all managed runs
 
-	mu        sync.Mutex
-	latencies []float64 // reservoir of solve latencies in seconds
-	seen      int64     // total latencies observed
-	rng       *rand.Rand
+	// WorkersBusy is the gauge of workers currently executing a job (solving
+	// locally, forwarding, or driving a managed run).
+	WorkersBusy atomic.Int64
+
+	// Cluster counters. SolvesTotal counts local engine solves — the work
+	// that coalescing, caching and forwarding all exist to avoid, so the
+	// cluster-wide sum after an identical-key storm should be exactly 1.
+	SolvesTotal     atomic.Int64
+	CoalescedTotal  atomic.Int64 // jobs that shared another job's in-flight computation
+	ForwardsTotal   atomic.Int64 // jobs routed to their owning peer
+	ForwardFailures atomic.Int64 // forwards that fell back to local computation on error
+	ForwardHedged   atomic.Int64 // forwards abandoned for local computation after the hedge delay
+	CrossShardHits  atomic.Int64 // forwarded jobs answered from the owner's plan cache
+	PeerJobs        atomic.Int64 // jobs received from peers via the solve endpoint
+	QuotaRejected   atomic.Int64 // submissions refused by per-tenant admission
+
+	mu     sync.Mutex
+	solve  reservoir
+	rng    *rand.Rand
+	tmu    sync.Mutex
+	tenant map[string]*tenantCounters
+	trng   *rand.Rand
 }
 
-// reservoirCap bounds the latency sample; 512 points give quantile estimates
-// well within the noise of Monte-Carlo solve times.
-const reservoirCap = 512
+// reservoir is a fixed-size uniform sample of a latency stream; guarded by
+// the owning mutex.
+type reservoir struct {
+	cap   int
+	items []float64
+	seen  int64
+}
+
+func (r *reservoir) observe(v float64, rng *rand.Rand) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, v)
+		return
+	}
+	if j := rng.Int63n(r.seen); j < int64(r.cap) {
+		r.items[j] = v
+	}
+}
+
+// quantiles returns the p50/p95/p99 of the sample in milliseconds.
+func (r *reservoir) quantiles() (p50, p95, p99 float64) {
+	if len(r.items) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), r.items...)
+	sort.Float64s(s)
+	return 1000 * quantile(s, 0.50), 1000 * quantile(s, 0.95), 1000 * quantile(s, 0.99)
+}
+
+// tenantCounters is one tenant's share of the traffic; guarded by Metrics.tmu.
+type tenantCounters struct {
+	submitted int64
+	done      int64
+	failed    int64
+	cancelled int64
+	cacheHits int64
+	solve     reservoir
+}
+
+// reservoirCap bounds the global latency sample; 512 points give quantile
+// estimates well within the noise of Monte-Carlo solve times. Per-tenant
+// reservoirs are smaller because there may be many tenants.
+const (
+	reservoirCap       = 512
+	tenantReservoirCap = 128
+)
 
 // NewMetrics returns an empty metrics store.
 func NewMetrics() *Metrics {
-	return &Metrics{rng: rand.New(rand.NewSource(1))}
+	return &Metrics{
+		solve:  reservoir{cap: reservoirCap},
+		rng:    rand.New(rand.NewSource(1)),
+		tenant: make(map[string]*tenantCounters),
+		trng:   rand.New(rand.NewSource(2)),
+	}
 }
 
-// ObserveSolve records one solve latency in seconds.
-func (m *Metrics) ObserveSolve(seconds float64) {
+// ObserveSolve records one solve latency in seconds, attributed to tenant.
+func (m *Metrics) ObserveSolve(tenant string, seconds float64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.seen++
-	if len(m.latencies) < reservoirCap {
-		m.latencies = append(m.latencies, seconds)
+	m.solve.observe(seconds, m.rng)
+	m.mu.Unlock()
+	if tenant != "" {
+		m.tmu.Lock()
+		m.tenantLocked(tenant).solve.observe(seconds, m.trng)
+		m.tmu.Unlock()
+	}
+}
+
+// tenantLocked returns tenant's counters, creating them; caller holds tmu.
+func (m *Metrics) tenantLocked(name string) *tenantCounters {
+	t, ok := m.tenant[name]
+	if !ok {
+		t = &tenantCounters{solve: reservoir{cap: tenantReservoirCap}}
+		m.tenant[name] = t
+	}
+	return t
+}
+
+// TenantAdd bumps one of a tenant's counters by name:
+// "submitted", "done", "failed", "cancelled", "cache_hits".
+func (m *Metrics) TenantAdd(tenant, counter string, delta int64) {
+	if tenant == "" {
 		return
 	}
-	if j := m.rng.Int63n(m.seen); j < reservoirCap {
-		m.latencies[j] = seconds
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	t := m.tenantLocked(tenant)
+	switch counter {
+	case "submitted":
+		t.submitted += delta
+	case "done":
+		t.done += delta
+	case "failed":
+		t.failed += delta
+	case "cancelled":
+		t.cancelled += delta
+	case "cache_hits":
+		t.cacheHits += delta
 	}
 }
 
@@ -57,6 +154,21 @@ func (m *Metrics) ObserveSolve(seconds float64) {
 type ScopeStats struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+}
+
+// TenantSnapshot is one tenant's row in /metrics: admission, completion and
+// cache-hit counters plus queue depth and a solve-latency distribution.
+type TenantSnapshot struct {
+	Submitted  int64   `json:"submitted"`
+	Done       int64   `json:"done"`
+	Failed     int64   `json:"failed,omitempty"`
+	Cancelled  int64   `json:"cancelled,omitempty"`
+	CacheHits  int64   `json:"cache_hits"`
+	QueueDepth int     `json:"queue_depth"`
+	Samples    int64   `json:"solve_samples"`
+	P50Ms      float64 `json:"solve_latency_p50_ms"`
+	P95Ms      float64 `json:"solve_latency_p95_ms"`
+	P99Ms      float64 `json:"solve_latency_p99_ms"`
 }
 
 // Snapshot is the JSON document served by /metrics.
@@ -69,6 +181,24 @@ type Snapshot struct {
 
 	RunsDone     int64 `json:"runs_done"`
 	ReplansTotal int64 `json:"replans_total"`
+
+	// Queue and worker-pool gauges: QueueDepth counts jobs sitting in the
+	// fair queue (including cancelled-but-undequeued ones), and
+	// WorkerUtilization is WorkersBusy/Workers.
+	QueueDepth        int     `json:"queue_depth"`
+	Workers           int     `json:"workers"`
+	WorkersBusy       int64   `json:"workers_busy"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+
+	// Cluster counters (all zero on a standalone node).
+	SolvesTotal     int64 `json:"solves_total"`
+	CoalescedTotal  int64 `json:"coalesced_total"`
+	ForwardsTotal   int64 `json:"forwards_total"`
+	ForwardFailures int64 `json:"forward_failures"`
+	ForwardHedged   int64 `json:"forward_hedged"`
+	CrossShardHits  int64 `json:"cross_shard_hits"`
+	PeerJobs        int64 `json:"peer_jobs"`
+	QuotaRejected   int64 `json:"quota_rejected"`
 
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -87,19 +217,33 @@ type Snapshot struct {
 	SolveSamples int64   `json:"solve_samples"`
 	SolveP50Ms   float64 `json:"solve_latency_p50_ms"`
 	SolveP95Ms   float64 `json:"solve_latency_p95_ms"`
+	SolveP99Ms   float64 `json:"solve_latency_p99_ms"`
+
+	// Tenants is the per-tenant breakdown of the traffic above.
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
 }
 
 // Snapshot captures the current counters plus the statistics of the given
-// plan cache and evaluation cache (either may be nil).
+// plan cache and evaluation cache (either may be nil). Queue and worker
+// gauges are filled by (*Manager).Snapshot, which knows the pool.
 func (m *Metrics) Snapshot(c *Cache, ec *deco.EvalCache) Snapshot {
 	s := Snapshot{
-		JobsQueued:    m.JobsQueued.Load(),
-		JobsRunning:   m.JobsRunning.Load(),
-		JobsDone:      m.JobsDone.Load(),
-		JobsFailed:    m.JobsFailed.Load(),
-		JobsCancelled: m.JobsCancelled.Load(),
-		RunsDone:      m.RunsDone.Load(),
-		ReplansTotal:  m.ReplansTotal.Load(),
+		JobsQueued:      m.JobsQueued.Load(),
+		JobsRunning:     m.JobsRunning.Load(),
+		JobsDone:        m.JobsDone.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		JobsCancelled:   m.JobsCancelled.Load(),
+		RunsDone:        m.RunsDone.Load(),
+		ReplansTotal:    m.ReplansTotal.Load(),
+		WorkersBusy:     m.WorkersBusy.Load(),
+		SolvesTotal:     m.SolvesTotal.Load(),
+		CoalescedTotal:  m.CoalescedTotal.Load(),
+		ForwardsTotal:   m.ForwardsTotal.Load(),
+		ForwardFailures: m.ForwardFailures.Load(),
+		ForwardHedged:   m.ForwardHedged.Load(),
+		CrossShardHits:  m.CrossShardHits.Load(),
+		PeerJobs:        m.PeerJobs.Load(),
+		QuotaRejected:   m.QuotaRejected.Load(),
 	}
 	if c != nil {
 		s.CacheHits, s.CacheMisses = c.Stats()
@@ -118,14 +262,23 @@ func (m *Metrics) Snapshot(c *Cache, ec *deco.EvalCache) Snapshot {
 		}
 	}
 	m.mu.Lock()
-	s.SolveSamples = m.seen
-	sample := append([]float64(nil), m.latencies...)
+	s.SolveSamples = m.solve.seen
+	s.SolveP50Ms, s.SolveP95Ms, s.SolveP99Ms = m.solve.quantiles()
 	m.mu.Unlock()
-	if len(sample) > 0 {
-		sort.Float64s(sample)
-		s.SolveP50Ms = 1000 * quantile(sample, 0.50)
-		s.SolveP95Ms = 1000 * quantile(sample, 0.95)
+
+	m.tmu.Lock()
+	if len(m.tenant) > 0 {
+		s.Tenants = make(map[string]TenantSnapshot, len(m.tenant))
+		for name, t := range m.tenant {
+			ts := TenantSnapshot{
+				Submitted: t.submitted, Done: t.done, Failed: t.failed,
+				Cancelled: t.cancelled, CacheHits: t.cacheHits, Samples: t.solve.seen,
+			}
+			ts.P50Ms, ts.P95Ms, ts.P99Ms = t.solve.quantiles()
+			s.Tenants[name] = ts
+		}
 	}
+	m.tmu.Unlock()
 	return s
 }
 

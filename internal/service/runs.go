@@ -57,7 +57,10 @@ type RunResult struct {
 }
 
 // SubmitRun validates and enqueues a managed run. Runs never touch the plan
-// cache: the execution is stochastic state, not a memoizable answer.
+// cache (the execution is stochastic state, not a memoizable answer) and are
+// never forwarded to peers — the event stream lives on the node the client
+// submitted to — but they share the tenant admission quota and fair queue
+// with planning jobs.
 func (m *Manager) SubmitRun(req RunRequest) (JobView, error) {
 	w, kind, err := m.normalize(&req.SubmitRequest)
 	if err != nil {
@@ -78,6 +81,13 @@ func (m *Manager) SubmitRun(req RunRequest) (JobView, error) {
 	if req.Perturb <= 0 {
 		return JobView{}, fmt.Errorf("%w: perturb must be positive, got %v", errBadRequest, req.Perturb)
 	}
+	if req.RequestID == "" {
+		req.RequestID = genRequestID()
+	}
+	if !m.quota.allow(req.Tenant, time.Now()) {
+		m.metrics.QuotaRejected.Add(1)
+		return JobView{}, fmt.Errorf("%w: tenant %q", ErrQuotaExceeded, req.Tenant)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -88,21 +98,23 @@ func (m *Manager) SubmitRun(req RunRequest) (JobView, error) {
 	j := &job{
 		id:        fmt.Sprintf("r-%06d", m.nextID),
 		req:       req.SubmitRequest,
+		tenant:    req.Tenant,
+		requestID: req.RequestID,
 		wf:        w,
 		kind:      KindRun,
 		run:       &runState{req: req},
 		submitted: time.Now(),
 	}
+	m.metrics.TenantAdd(j.tenant, "submitted", 1)
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.state = JobQueued
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.queue.push(j); err != nil {
 		j.cancel()
-		return JobView{}, ErrQueueFull
+		return JobView{}, err
 	}
 	m.metrics.JobsQueued.Add(1)
 	m.recordLocked(j)
+	m.logf("run %s rid=%s tenant=%s queued", j.id, j.requestID, j.tenant)
 	return j.viewLocked(), nil
 }
 

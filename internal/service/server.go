@@ -32,6 +32,46 @@ type Config struct {
 	// QueueDepth bounds jobs accepted but not yet running (default 64);
 	// submissions beyond it are rejected with 429.
 	QueueDepth int
+
+	// Self is this node's advertised base URL (e.g. "http://host0:8080") and
+	// Peers the full static membership of the cluster, self included or not
+	// (it is added). With no peers the node runs standalone: no ring, no
+	// forwarding. Every node must list the same peer spellings.
+	Self  string
+	Peers []string
+	// ForwardHedge is how long a worker waits on the owning peer before
+	// abandoning the forward and computing locally (default 2s). It only
+	// fires when the owner is reachable but slow; an unreachable owner fails
+	// the forward immediately.
+	ForwardHedge time.Duration
+	// ForwardDialTimeout bounds connection establishment to a peer (default
+	// 2s) so dead peers fail fast into local computation.
+	ForwardDialTimeout time.Duration
+
+	// TenantRate is the per-tenant admission quota in submissions per
+	// second, enforced by a token bucket per tenant; 0 disables admission
+	// control. TenantBurst is the bucket depth (default max(1, TenantRate)).
+	TenantRate  float64
+	TenantBurst float64
+	// TenantWeights maps tenant names to fair-scheduling weights; absent
+	// tenants weigh 1. A weight-2 tenant gets twice the dequeues of a
+	// weight-1 tenant while both are backlogged.
+	TenantWeights map[string]float64
+
+	// HTTP hardening. MaxRequestBytes caps a submission body (default 1
+	// MiB) — peer-to-peer forwarding makes unbounded bodies a cluster-wide
+	// hazard, since one oversized program would be copied to its owner.
+	// ReadTimeout/WriteTimeout/MaxHeaderBytes harden the listener; the
+	// streaming endpoints (run events, peer solve) extend their own write
+	// deadlines past WriteTimeout.
+	MaxRequestBytes int64
+	ReadTimeout     time.Duration
+	WriteTimeout    time.Duration
+	MaxHeaderBytes  int
+
+	// Logf, when non-nil, receives operational log lines (submissions,
+	// forwards, failures) with request IDs. nil discards them.
+	Logf func(format string, args ...any)
 	// CacheCapacity is the plan cache size in entries (default 256; 0
 	// disables caching).
 	CacheCapacity int
@@ -78,6 +118,30 @@ func (c *Config) fillDefaults() {
 	if c.MaxJobsRetained == 0 {
 		c.MaxJobsRetained = 1024
 	}
+	if c.ForwardHedge <= 0 {
+		c.ForwardHedge = 2 * time.Second
+	}
+	if c.ForwardDialTimeout <= 0 {
+		c.ForwardDialTimeout = 2 * time.Second
+	}
+	if c.TenantBurst <= 0 && c.TenantRate > 0 {
+		c.TenantBurst = c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 60 * time.Second
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 64 << 10
+	}
 	if c.EvalCacheCapacity == 0 {
 		c.EvalCacheCapacity = deco.DefaultEvalCacheCapacity
 	}
@@ -122,10 +186,17 @@ func New(cfg Config) *Server {
 		metrics:   metrics,
 		mgr:       NewManager(cfg, cache, evalCache, metrics),
 	}
+	// Listener hardening: header and body read bounds, a write deadline
+	// (long-lived streams extend their own), and a header-size cap. These
+	// matter doubly in a cluster, where one node's slowloris becomes every
+	// forwarding peer's stuck worker.
 	s.httpSrv = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		MaxHeaderBytes:    cfg.MaxHeaderBytes,
 	}
 	return s
 }

@@ -412,7 +412,7 @@ func TestMetricsEndpointShape(t *testing.T) {
 func TestMetricsReservoirQuantiles(t *testing.T) {
 	m := NewMetrics()
 	for i := 1; i <= 1000; i++ {
-		m.ObserveSolve(float64(i) / 1000) // 1ms .. 1000ms uniformly
+		m.ObserveSolve("default", float64(i)/1000) // 1ms .. 1000ms uniformly
 	}
 	s := m.Snapshot(nil, nil)
 	if s.SolveSamples != 1000 {
