@@ -438,8 +438,13 @@ type report struct {
 	New         row         `json:"new_flat_crn_path"`
 	SpeedupNs   float64     `json:"speedup_ns"`
 	AllocsRatio float64     `json:"allocs_ratio"`
-	Ensemble    *useCaseRow `json:"ensemble"`
-	FTC         *useCaseRow `json:"ftc"`
+	// SchedulingDelta compares one full frontier expansion against the same
+	// expansion with incremental (dirty-cone) evaluation: old = every child
+	// re-runs the full per-world DP, new = children reuse the parent's
+	// finish-time snapshot. Same states, same worlds, bit-identical results.
+	SchedulingDelta *useCaseRow `json:"scheduling_delta"`
+	Ensemble        *useCaseRow `json:"ensemble"`
+	FTC             *useCaseRow `json:"ftc"`
 }
 
 func measure(f func(base int64) error) (row, error) {
@@ -509,6 +514,58 @@ func main() {
 		rep.AllocsRatio = float64(oldRow.AllocsPerOp) / float64(newRow.AllocsPerOp)
 	}
 
+	// Delta evaluation: one frontier expansion — a parent plus its full Δ=1
+	// neighbor set at per-task granularity — through the compiled problem
+	// pipeline, with and without snapshot-reusing delta evaluation. Both
+	// rows run warm (rows filled, parent snapshot captured), the steady
+	// state of a running search; results are bit-identical by construction,
+	// so this row measures pure wall clock.
+	schedSpace := opt.NewScheduleSpace(p.w, native)
+	schedSpace.Groups = opt.GroupPerTask(p.w)
+	expansionProb := func(budget int64) (*opt.Problem, opt.State, error) {
+		prob, err := opt.Compile(schedSpace, opt.Options{
+			Device: device.Sequential{}, Seed: 9, SnapshotBudget: budget,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		parent := prob.Starts()[0]
+		if _, _, _, err := prob.EvaluateExpansion(parent); err != nil { // warm
+			return nil, nil, err
+		}
+		return prob, parent, nil
+	}
+	fullProb, fullParent, err := expansionProb(-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deltaProb, deltaParent, err := expansionProb(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta := &useCaseRow{
+		Benchmark: "frontier expansion (parent + Δ=1 children, per-task groups), scheduling space; old = full per-world DP per child, new = dirty-cone delta from the parent snapshot",
+	}
+	if _, kids, _, err := deltaProb.EvaluateExpansion(deltaParent); err != nil {
+		log.Fatal(err)
+	} else {
+		delta.States = 1 + len(kids)
+	}
+	if delta.Old, err = measure(func(int64) error {
+		_, _, _, err := fullProb.EvaluateExpansion(fullParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if delta.New, err = measure(func(int64) error {
+		_, _, _, err := deltaProb.EvaluateExpansion(deltaParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	delta.ratios()
+	rep.SchedulingDelta = delta
+
 	// Ensemble admission: the fallback re-evaluates every expansion; the
 	// compiled problem binds the eval cache once, so the steady state of
 	// repeated expansions over one planned space is answered from it.
@@ -571,6 +628,9 @@ func main() {
 	fmt.Printf("scheduling: old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
 		oldRow.NsPerOp, oldRow.AllocsPerOp, newRow.NsPerOp, newRow.AllocsPerOp,
 		rep.SpeedupNs, rep.AllocsRatio)
+	fmt.Printf("sched-delta: full %d ns/op %d allocs/op | delta %d ns/op %d allocs/op | speedup %.1fx\n",
+		delta.Old.NsPerOp, delta.Old.AllocsPerOp, delta.New.NsPerOp, delta.New.AllocsPerOp,
+		delta.SpeedupNs)
 	fmt.Printf("ensemble:   old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
 		ens.Old.NsPerOp, ens.Old.AllocsPerOp, ens.New.NsPerOp, ens.New.AllocsPerOp,
 		ens.SpeedupNs, ens.AllocsRatio)

@@ -168,6 +168,102 @@ func TestEvalPathEquivalenceScheduling(t *testing.T) {
 	}
 }
 
+// TestDeltaChainEquivalence walks randomized Promote/Demote chains through
+// the scheduling space and asserts that delta (snapshot-reusing) evaluation
+// is bit-identical to full evaluation at every step — on every device, with
+// and without the evaluation cache, and against the one-pass sequential
+// reference EvaluateCRN. The chain descends through EvaluateExpansion, so
+// each step's children evaluate from the parent snapshot captured the step
+// before: delta-on-delta, the regime a beam search actually runs in.
+func TestDeltaChainEquivalence(t *testing.T) {
+	env, err := exp.NewEnv(exp.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wfgen.BySize(wfgen.AppMontage, 24, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := env.Est.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline, err := env.Deadline(w, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := []wlog.Constraint{
+		{Kind: "deadline", Percentile: 0.9, Bound: deadline},
+		{Kind: "budget", Percentile: 0.9, Bound: 50},
+	}
+	eval, err := probir.NewNative(w, tbl, env.Prices, probir.GoalCost, cons, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := opt.NewScheduleSpace(w, eval)
+	const base = 31
+	for _, dev := range pathDevices {
+		for _, cached := range []bool{false, true} {
+			name := dev.Name()
+			if cached {
+				name += "/cache"
+			}
+			compile := func(budget int64) *opt.Problem {
+				o := opt.Options{Device: dev, Seed: base, SnapshotBudget: budget}
+				if cached {
+					o.Cache = opt.NewEvalCache(4096)
+				}
+				p, err := opt.Compile(sp, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			delta, full := compile(0), compile(-1)
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			st := sp.Initial()
+			for step := 0; step < 6; step++ {
+				pe, kids, evs, err := delta.EvaluateExpansion(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				peF, kidsF, evsF, err := full.EvaluateExpansion(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameEval(t, name+": parent", pe, peF)
+				if len(kids) != len(kidsF) {
+					t.Fatalf("%s step %d: %d children vs %d", name, step, len(kids), len(kidsF))
+				}
+				for i := range kids {
+					if kids[i].Key() != kidsF[i].Key() {
+						t.Fatalf("%s step %d child %d: %v != %v", name, step, i, kids[i], kidsF[i])
+					}
+					assertSameEval(t, name+": child", evs[i], evsF[i])
+				}
+				if len(kids) == 0 {
+					break
+				}
+				// Spot-check one child against the sequential reference and
+				// descend through it.
+				j := rng.Intn(len(kids))
+				want, err := eval.EvaluateCRN(kids[j], base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameEval(t, name+": reference", evs[j], want)
+				st = kids[j]
+			}
+			if st := delta.DeltaStats(); st.DeltaEvals == 0 {
+				t.Errorf("%s: chain never took the delta path: %+v", name, st)
+			}
+			if st := full.DeltaStats(); st.DeltaEvals != 0 || st.Snapshots != 0 {
+				t.Errorf("%s: delta-disabled problem took the delta path: %+v", name, st)
+			}
+		}
+	}
+}
+
 func TestEvalPathEquivalenceEnsemble(t *testing.T) {
 	e := &ensemble.Ensemble{Kind: ensemble.Constant}
 	sp := &ensemble.Space{E: e, Budget: 7}

@@ -129,6 +129,12 @@ type Options struct {
 	// kind so ensemble members' cross-member sharing is observable. Empty
 	// means unscoped; the scope never affects keys or results.
 	CacheScope string
+	// SnapshotBudget caps the bytes of per-state finish-time snapshots the
+	// compiled problem retains for incremental (delta) evaluation. 0 selects
+	// the default (64 MiB); negative disables delta evaluation entirely.
+	// Delta evaluation is bit-identical to full evaluation, so the budget
+	// trades memory against wall clock only — never results.
+	SnapshotBudget int64
 }
 
 // DefaultOptions returns a reasonable configuration on the given device.
@@ -160,6 +166,18 @@ type scored struct {
 	key   string
 	eval  *probir.Evaluation
 	err   error
+}
+
+// candidate is a state queued for evaluation together with its provenance:
+// the key of the parent it was expanded from and the tasks the producing
+// transformation changed, when known. Provenance is what lets the kernel
+// path route a state through delta evaluation; a candidate without it (a
+// start state, or a space without transform metadata) evaluates fully.
+type candidate struct {
+	state     State
+	key       string
+	parentKey string
+	dirty     []int32
 }
 
 // score ranks states: any feasible state beats any infeasible one; feasible
@@ -204,6 +222,54 @@ type CRNSpace interface {
 	CRNKernel(s State, base int64) (probir.WorldKernel, error)
 }
 
+// Transform is one transformation edge of the search graph: the child state
+// produced from a parent plus the metadata delta evaluation needs — which
+// operation ran and exactly which task assignments changed.
+type Transform struct {
+	// Op is the transformation operation that produced Child.
+	Op Op
+	// Tasks are the task indices whose assignment differs between the
+	// parent and Child. The slice is owned by the Transform and must not
+	// alias the parent state.
+	Tasks []int32
+	// Child is the resulting state.
+	Child State
+}
+
+// TransformSpace is an optional Space extension: neighbor generation that
+// reports which tasks each transformation touched. TransformNeighbors must
+// produce exactly the states Neighbors produces, in the same order — it is
+// the same expansion, annotated — so a search routed through either is
+// identical. The solver uses the annotations to evaluate children
+// incrementally from their parent's finish-time snapshot.
+type TransformSpace interface {
+	Space
+	TransformNeighbors(s State) []Transform
+}
+
+// DeltaSpace is an optional extension of CRNSpace: a space whose CRN kernels
+// can capture per-world finish-time snapshots and evaluate a child
+// configuration incrementally from its parent's snapshot (probir's
+// DeltaEvaluator lifted to search states). The solver enables delta
+// evaluation when a space implements both DeltaSpace and TransformSpace and
+// NewSnapshot returns non-nil.
+type DeltaSpace interface {
+	CRNSpace
+	// NewSnapshot returns a pooled snapshot sized for this space's
+	// evaluation, or nil when evaluations have no reusable per-world state.
+	NewSnapshot() *probir.Snapshot
+	// ReleaseSnapshot returns a snapshot to the pool.
+	ReleaseSnapshot(s *probir.Snapshot)
+	// CRNKernelSnap is CRNKernel, additionally capturing the state's
+	// per-world finish times into snap.
+	CRNKernelSnap(s State, base int64, snap *probir.Snapshot) (probir.WorldKernel, error)
+	// CRNDeltaKernel builds a kernel evaluating s from its parent's
+	// snapshot, recomputing only the dirty tasks' cone, and capturing into
+	// snap. Returns (nil, nil) when delta does not apply; the caller then
+	// evaluates fully.
+	CRNDeltaKernel(s State, base int64, dirty []int32, parent, snap *probir.Snapshot) (probir.WorldKernel, error)
+}
+
 // FingerprintSpace is an optional Space extension: a content hash of
 // everything an evaluation depends on (program, distributions, objective).
 // It gates the evaluation cache — an empty fingerprint means the space
@@ -213,30 +279,29 @@ type FingerprintSpace interface {
 	Fingerprint() string
 }
 
-// dedupStates returns the states not already visited, deduplicated among
-// themselves, WITHOUT marking them visited. Marking happens at evaluation
-// time (markVisited), so a state trimmed from a batch by the evaluation
-// budget stays reachable — and evaluable — through a later expansion of
-// another parent.
-func dedupStates(states []State, visited map[string]bool) []State {
-	seen := make(map[string]bool, len(states))
-	var out []State
-	for _, s := range states {
-		k := s.Key()
-		if visited[k] || seen[k] {
+// dedupCandidates returns the candidates not already visited, deduplicated
+// among themselves, WITHOUT marking them visited. Marking happens at
+// evaluation time (markVisited), so a state trimmed from a batch by the
+// evaluation budget stays reachable — and evaluable — through a later
+// expansion of another parent.
+func dedupCandidates(cands []candidate, visited map[string]bool) []candidate {
+	seen := make(map[string]bool, len(cands))
+	var out []candidate
+	for _, c := range cands {
+		if visited[c.key] || seen[c.key] {
 			continue
 		}
-		seen[k] = true
-		out = append(out, s)
+		seen[c.key] = true
+		out = append(out, c)
 	}
 	return out
 }
 
-// markVisited records states as visited at the moment they are actually
+// markVisited records candidates as visited at the moment they are actually
 // submitted for evaluation.
-func markVisited(states []State, visited map[string]bool) {
-	for _, s := range states {
-		visited[s.Key()] = true
+func markVisited(cands []candidate, visited map[string]bool) {
+	for _, c := range cands {
+		visited[c.key] = true
 	}
 }
 
@@ -287,11 +352,11 @@ func Search(sp Space, opt Options) (*Result, error) {
 // genericSearch is Algorithm 2 with device-parallel level evaluation and a
 // beam-bounded frontier, seeded with the compiled start states.
 func (p *Problem) genericSearch() (*Result, error) {
-	sp, opt, starts := p.space, p.opts, p.starts
+	opt := p.opts
 	start := time.Now()
 	res := &Result{}
 	visited := map[string]bool{}
-	frontier := dedupStates(starts, visited)
+	frontier := dedupCandidates(p.startCandidates(), visited)
 	var best *scored
 	stale := 0
 
@@ -321,7 +386,7 @@ func (p *Problem) genericSearch() (*Result, error) {
 			frontier = frontier[:exploreBudget-res.Evaluated]
 		}
 		markVisited(frontier, visited)
-		batch := p.evaluateBatch(frontier)
+		batch := p.evaluateCandidates(frontier)
 		res.Evaluated += len(batch)
 		res.Levels++
 
@@ -358,11 +423,11 @@ func (p *Problem) genericSearch() (*Result, error) {
 		if len(expand) > opt.BeamWidth {
 			expand = expand[:opt.BeamWidth]
 		}
-		var next []State
+		var next []candidate
 		for _, s := range expand {
-			next = append(next, sp.Neighbors(s.state)...)
+			next = append(next, p.childCandidates(s.state, s.key)...)
 		}
-		frontier = dedupStates(next, visited)
+		frontier = dedupCandidates(next, visited)
 	}
 	if best == nil {
 		return nil, fmt.Errorf("opt: no states evaluated")
@@ -377,7 +442,7 @@ func (p *Problem) genericSearch() (*Result, error) {
 			return nil, fmt.Errorf("opt: search cancelled: %w", err)
 		}
 		item := heap.Pop(&pool).(pqItem)
-		children := dedupStates(sp.Neighbors(item.state), visited)
+		children := dedupCandidates(p.childCandidates(item.state, item.key), visited)
 		if len(children) == 0 {
 			continue
 		}
@@ -387,7 +452,7 @@ func (p *Problem) genericSearch() (*Result, error) {
 			children = children[:opt.MaxStates-res.Evaluated]
 		}
 		markVisited(children, visited)
-		batch := p.evaluateBatch(children)
+		batch := p.evaluateCandidates(children)
 		res.Evaluated += len(batch)
 		for i := range batch {
 			if batch[i].err != nil {
@@ -434,11 +499,11 @@ func (p *pq) PushItem(i pqItem) { heap.Push(p, i) }
 // score, matching the paper's example where both scores are the estimated
 // monetary cost) and prunes states that cannot beat the best found solution.
 func (p *Problem) astarSearch() (*Result, error) {
-	sp, opt, starts := p.space, p.opts, p.starts
+	opt := p.opts
 	start := time.Now()
 	res := &Result{}
 	visited := map[string]bool{}
-	initial := dedupStates(starts, visited)
+	initial := dedupCandidates(p.startCandidates(), visited)
 	if len(initial) > opt.MaxStates {
 		initial = initial[:opt.MaxStates]
 	}
@@ -446,7 +511,7 @@ func (p *Problem) astarSearch() (*Result, error) {
 	if err := opt.Ctx.Err(); err != nil {
 		return nil, fmt.Errorf("opt: search cancelled: %w", err)
 	}
-	initBatch := p.evaluateBatch(initial)
+	initBatch := p.evaluateCandidates(initial)
 	res.Evaluated = len(initBatch)
 	open := pq{}
 	heap.Init(&open)
@@ -488,7 +553,7 @@ func (p *Problem) astarSearch() (*Result, error) {
 		if best != nil && score(item.eval, opt.Maximize) > score(best.eval, opt.Maximize) {
 			continue
 		}
-		children := dedupStates(sp.Neighbors(item.state), visited)
+		children := dedupCandidates(p.childCandidates(item.state, item.key), visited)
 		if len(children) == 0 {
 			continue
 		}
@@ -498,7 +563,7 @@ func (p *Problem) astarSearch() (*Result, error) {
 			children = children[:opt.MaxStates-res.Evaluated]
 		}
 		markVisited(children, visited)
-		batch := p.evaluateBatch(children)
+		batch := p.evaluateCandidates(children)
 		res.Evaluated += len(batch)
 		res.Levels++
 		improved := false

@@ -35,6 +35,50 @@ type Problem struct {
 	kernel        func(State) (probir.WorldKernel, error)
 	crn           bool
 	worlds, width int
+
+	// delta, when set, routes kernel construction through dspace: every
+	// evaluated state captures a finish-time snapshot into snaps, and a
+	// candidate whose parent snapshot is retained evaluates incrementally
+	// over the dirty cone instead of the full DAG. tspace annotates
+	// neighbor expansion with the changed-task metadata that drives it.
+	// Delta is bit-identical to full evaluation by construction; disabling
+	// it (Options.SnapshotBudget < 0) changes wall clock only.
+	delta  bool
+	dspace DeltaSpace
+	tspace TransformSpace
+	snaps  *snapStore
+	stats  DeltaStats
+}
+
+// DeltaStats reports how the compiled problem's evaluations were routed, for
+// observability and benchmark gating. Counters cover kernel-path live
+// evaluations only (cache hits evaluate nothing).
+type DeltaStats struct {
+	// DeltaEvals counts states evaluated incrementally from a parent
+	// snapshot.
+	DeltaEvals int64
+	// FullEvals counts kernel-path states evaluated by the full DP.
+	FullEvals int64
+	// Fallbacks counts states that carried transform provenance but
+	// evaluated fully anyway (parent snapshot missing or evicted, or the
+	// dirty cone exceeded the structural threshold).
+	Fallbacks int64
+	// Snapshots / SnapshotBytes are the retained snapshot count and bytes;
+	// Evictions counts snapshots recycled under budget pressure.
+	Snapshots     int
+	SnapshotBytes int64
+	Evictions     int64
+}
+
+// DeltaStats returns the problem's evaluation-routing counters. It is only
+// meaningful between searches (the counters are updated from the search
+// goroutine).
+func (p *Problem) DeltaStats() DeltaStats {
+	st := p.stats
+	if p.snaps != nil {
+		st.Snapshots, st.SnapshotBytes, st.Evictions = p.snaps.stats()
+	}
+	return st
 }
 
 // Compile resolves the space's capabilities against the options and returns
@@ -90,6 +134,25 @@ func Compile(sp Space, o Options) (*Problem, error) {
 			}
 		}
 	}
+	// Delta evaluation needs the CRN contract (parent finish times are only
+	// reusable when every state shares one duration matrix), transform
+	// metadata to know what changed, and an evaluation that actually has
+	// per-world finish times to snapshot.
+	if p.crn && p.opts.SnapshotBudget >= 0 {
+		ds, okD := sp.(DeltaSpace)
+		ts, okT := sp.(TransformSpace)
+		if okD && okT {
+			if probeSnap := ds.NewSnapshot(); probeSnap != nil {
+				ds.ReleaseSnapshot(probeSnap)
+				budget := p.opts.SnapshotBudget
+				if budget == 0 {
+					budget = 64 << 20
+				}
+				p.delta, p.dspace, p.tspace = true, ds, ts
+				p.snaps = newSnapStore(budget, ds.ReleaseSnapshot)
+			}
+		}
+	}
 	return p, nil
 }
 
@@ -126,8 +189,12 @@ func (p *Problem) Search() (*Result, error) {
 // benchmarks and bit-exactness tests that need the solver's hot loop without
 // a surrounding search.
 func (p *Problem) EvaluateStates(states []State) ([]*probir.Evaluation, error) {
+	cands := make([]candidate, len(states))
+	for i, st := range states {
+		cands[i] = candidate{state: st, key: st.Key()}
+	}
 	out := make([]*probir.Evaluation, len(states))
-	for i, s := range p.evaluateBatch(states) {
+	for i, s := range p.evaluateCandidates(cands) {
 		if s.err != nil {
 			return nil, s.err
 		}
@@ -136,29 +203,85 @@ func (p *Problem) EvaluateStates(states []State) ([]*probir.Evaluation, error) {
 	return out, nil
 }
 
-// evaluateBatch scores states, consulting the evaluation cache when the
-// compiled problem has one. Hits return the stored evaluation (shared, never
-// modified); misses run live and are stored. Because evaluations are
+// EvaluateExpansion scores a parent state and then its full neighbor
+// expansion on the compiled pipeline, returning the parent's evaluation and
+// the children with theirs in generation order. When the problem compiled
+// with delta evaluation, the parent's evaluation captures its finish-time
+// snapshot and every child whose dirty cone is small enough evaluates
+// incrementally from it — the frontier-expansion hot loop the delta engine
+// exists for, exposed for benchmarks and equivalence tests.
+func (p *Problem) EvaluateExpansion(parent State) (*probir.Evaluation, []State, []*probir.Evaluation, error) {
+	pk := parent.Key()
+	ps := p.evaluateCandidates([]candidate{{state: parent, key: pk}})
+	if ps[0].err != nil {
+		return nil, nil, nil, ps[0].err
+	}
+	batch := p.evaluateCandidates(p.childCandidates(parent, pk))
+	states := make([]State, len(batch))
+	evals := make([]*probir.Evaluation, len(batch))
+	for i, s := range batch {
+		if s.err != nil {
+			return nil, nil, nil, s.err
+		}
+		states[i], evals[i] = s.state, s.eval
+	}
+	return ps[0].eval, states, evals, nil
+}
+
+// startCandidates wraps the compiled start states as parentless candidates.
+func (p *Problem) startCandidates() []candidate {
+	out := make([]candidate, len(p.starts))
+	for i, s := range p.starts {
+		out[i] = candidate{state: s, key: s.Key()}
+	}
+	return out
+}
+
+// childCandidates expands a parent into evaluation candidates. With a
+// TransformSpace compiled in, each child carries the parent key and the
+// changed-task set so the kernel path can evaluate it incrementally;
+// otherwise this is exactly Space.Neighbors (TransformNeighbors is required
+// to enumerate the same children in the same order, so the search trajectory
+// is independent of which path built the candidates).
+func (p *Problem) childCandidates(parent State, parentKey string) []candidate {
+	if p.tspace != nil {
+		trs := p.tspace.TransformNeighbors(parent)
+		out := make([]candidate, len(trs))
+		for i, tr := range trs {
+			out[i] = candidate{state: tr.Child, key: tr.Child.Key(), parentKey: parentKey, dirty: tr.Tasks}
+		}
+		return out
+	}
+	ns := p.space.Neighbors(parent)
+	out := make([]candidate, len(ns))
+	for i, s := range ns {
+		out[i] = candidate{state: s, key: s.Key()}
+	}
+	return out
+}
+
+// evaluateCandidates scores candidates, consulting the evaluation cache when
+// the compiled problem has one. Hits return the stored evaluation (shared,
+// never modified); misses run live and are stored. Because evaluations are
 // deterministic given (fingerprint, seed, state), a warm cache changes only
 // wall-clock time, never the search trajectory.
-func (p *Problem) evaluateBatch(states []State) []scored {
+func (p *Problem) evaluateCandidates(cands []candidate) []scored {
 	if p.cache == nil {
-		return p.evaluateLive(states)
+		return p.evaluateLive(cands)
 	}
-	out := make([]scored, len(states))
-	var missStates []State
+	out := make([]scored, len(cands))
+	var miss []candidate
 	var missIdx []int
-	for i, st := range states {
-		key := st.Key()
-		if ev, ok := p.cache.Get(key); ok {
-			out[i] = scored{state: st, key: key, eval: ev}
+	for i, c := range cands {
+		if ev, ok := p.cache.Get(c.key); ok {
+			out[i] = scored{state: c.state, key: c.key, eval: ev}
 			continue
 		}
-		missStates = append(missStates, st)
+		miss = append(miss, c)
 		missIdx = append(missIdx, i)
 	}
-	if len(missStates) > 0 {
-		for mi, s := range p.evaluateLive(missStates) {
+	if len(miss) > 0 {
+		for mi, s := range p.evaluateLive(miss) {
 			out[missIdx[mi]] = s
 			if s.err == nil && s.eval != nil {
 				p.cache.Put(s.key, s.eval)
@@ -168,7 +291,7 @@ func (p *Problem) evaluateBatch(states []State) []scored {
 	return out
 }
 
-// evaluateLive scores states bypassing the cache, on the path Compile
+// evaluateLive scores candidates bypassing the cache, on the path Compile
 // resolved: the kernel path when the space decomposes (two-level on a
 // BlockDevice — block per state, thread per Monte-Carlo iteration — so even
 // a batch narrower than the machine saturates every worker), the generic
@@ -176,49 +299,114 @@ func (p *Problem) evaluateBatch(states []State) []scored {
 // granularity; results are bit-identical across devices and scheduling
 // orders because every world's figures depend only on (kernel, base,
 // iteration) and reductions fold in iteration order.
-func (p *Problem) evaluateLive(states []State) []scored {
+func (p *Problem) evaluateLive(cands []candidate) []scored {
 	if p.kernel != nil {
-		if out, ok := p.evaluateKernel(states); ok {
+		out, ok := p.evaluateKernel(cands)
+		if ok {
 			return out
 		}
+		// Shape drifted: the batch falls back to the generic path, but any
+		// kernel-construction errors already recorded stay errors — a state
+		// whose kernel failed to build must surface that failure, not
+		// silently re-run under different state-keyed randomness.
+		return p.evaluateMapMerge(cands, out)
 	}
-	return p.evaluateMap(states)
+	return p.evaluateMapMerge(cands, nil)
+}
+
+// buildKernel constructs one candidate's world kernel. Without delta this is
+// the compiled kernel builder. With delta, the candidate's evaluation
+// captures a snapshot, and when its parent's snapshot is retained the kernel
+// evaluates incrementally over the dirty cone; a declined delta (cone too
+// large, parent evicted) falls back to a full capturing kernel. The returned
+// snapshot, if any, is owned by the caller: stored on evaluation success,
+// released otherwise.
+func (p *Problem) buildKernel(c candidate) (probir.WorldKernel, *probir.Snapshot, error) {
+	if !p.delta {
+		k, err := p.kernel(c.state)
+		return k, nil, err
+	}
+	snap := p.dspace.NewSnapshot()
+	if snap != nil && c.parentKey != "" && len(c.dirty) > 0 {
+		if parent, ok := p.snaps.get(c.parentKey); ok {
+			k, err := p.dspace.CRNDeltaKernel(c.state, p.opts.Seed, c.dirty, parent, snap)
+			if err != nil {
+				p.dspace.ReleaseSnapshot(snap)
+				return nil, nil, err
+			}
+			if k != nil {
+				p.stats.DeltaEvals++
+				return k, snap, nil
+			}
+		}
+		p.stats.Fallbacks++
+	}
+	k, err := p.dspace.CRNKernelSnap(c.state, p.opts.Seed, snap)
+	if err != nil {
+		p.dspace.ReleaseSnapshot(snap)
+		return nil, nil, err
+	}
+	p.stats.FullEvals++
+	return k, snap, nil
 }
 
 // evaluateKernel is the per-world kernel path. It reports ok=false when a
 // state's kernel drifts from the compiled shape (or vanishes), in which case
 // the whole batch falls back to the generic path — the compiled shape is a
-// probe, not a guarantee, and a mixed batch must not mix paths.
-func (p *Problem) evaluateKernel(states []State) ([]scored, bool) {
-	if len(states) == 0 {
+// probe, not a guarantee, and a mixed batch must not mix paths. The returned
+// slice is valid either way: on ok=false it carries the per-state
+// construction errors recorded so far, which the fallback must preserve.
+func (p *Problem) evaluateKernel(cands []candidate) ([]scored, bool) {
+	if len(cands) == 0 {
 		return nil, false
 	}
-	out := make([]scored, len(states))
-	kernels := make([]probir.WorldKernel, len(states))
+	out := make([]scored, len(cands))
+	kernels := make([]probir.WorldKernel, len(cands))
+	var snaps []*probir.Snapshot
+	if p.delta {
+		snaps = make([]*probir.Snapshot, len(cands))
+	}
+	releaseAll := func() {
+		for i, sn := range snaps {
+			if sn != nil {
+				p.dspace.ReleaseSnapshot(sn)
+				snaps[i] = nil
+			}
+		}
+	}
 	var bases []int64
 	if !p.crn {
-		bases = make([]int64, len(states))
+		bases = make([]int64, len(cands))
 	}
-	for i, st := range states {
-		key := st.Key()
-		out[i] = scored{state: st, key: key}
-		k, err := p.kernel(st)
+	for i, c := range cands {
+		out[i] = scored{state: c.state, key: c.key}
+		k, snap, err := p.buildKernel(c)
 		if err != nil {
 			out[i].err = err
 			continue
 		}
 		if k == nil || k.Worlds() != p.worlds || k.Width() != p.width {
-			return nil, false // shape drifted from the compiled probe
+			// Shape drifted from the compiled probe. Snapshots captured for
+			// this abandoned batch are recycled; recorded errors survive in
+			// out for the fallback path to preserve.
+			if snap != nil {
+				p.dspace.ReleaseSnapshot(snap)
+			}
+			releaseAll()
+			return out, false
 		}
 		kernels[i] = k
+		if snaps != nil {
+			snaps[i] = snap
+		}
 		if !p.crn {
 			// The same substream base Evaluate would derive from its state
 			// rng, so both paths are bit-identical.
-			bases[i] = stateRng(p.opts.Seed, key).Int63()
+			bases[i] = stateRng(p.opts.Seed, c.key).Int63()
 		}
 	}
 	if bd, ok := p.opts.Device.(device.BlockDevice); ok {
-		sums, errs := device.ReduceBlocks(bd, len(states), p.worlds, p.width, func(b, t int, slot []float64) error {
+		sums, errs := device.ReduceBlocks(bd, len(cands), p.worlds, p.width, func(b, t int, slot []float64) error {
 			if kernels[b] == nil {
 				return nil // kernel construction already failed for this state
 			}
@@ -233,7 +421,7 @@ func (p *Problem) evaluateKernel(states []State) ([]scored, bool) {
 		})
 		// Reductions are independent per state; run them as blocks too
 		// (CostFn objectives such as the packed plan cost do real work here).
-		bd.Map(len(states), func(i int) {
+		bd.Map(len(cands), func(i int) {
 			if out[i].err != nil {
 				return
 			}
@@ -243,36 +431,62 @@ func (p *Problem) evaluateKernel(states []State) ([]scored, bool) {
 			}
 			out[i].eval, out[i].err = kernels[i].Reduce(sums[i*p.width : (i+1)*p.width])
 		})
-		return out, true
+	} else {
+		// Non-block device: only the CRN path compiles here (Compile gates
+		// the state-keyed kernel path on a BlockDevice). Each state's worlds
+		// fold sequentially in iteration order — identical sums, identical
+		// results.
+		p.opts.Device.Map(len(cands), func(i int) {
+			if out[i].err != nil || kernels[i] == nil {
+				return
+			}
+			if err := p.opts.Ctx.Err(); err != nil {
+				out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
+				return
+			}
+			out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
+		})
 	}
-	// Non-block device: only the CRN path compiles here (Compile gates the
-	// state-keyed kernel path on a BlockDevice). Each state's worlds fold
-	// sequentially in iteration order — identical sums, identical results.
-	p.opts.Device.Map(len(states), func(i int) {
-		if out[i].err != nil || kernels[i] == nil {
-			return
+	// Sampling is complete: snapshots of successfully evaluated states enter
+	// the store (possibly evicting older generations back to the pool);
+	// failed states' snapshots are recycled directly. Storing strictly after
+	// the batch finishes is what makes eviction safe — no running kernel can
+	// hold a reference to an evicted snapshot.
+	if snaps != nil {
+		for i, sn := range snaps {
+			if sn == nil {
+				continue
+			}
+			if out[i].err == nil && out[i].eval != nil {
+				p.snaps.put(out[i].key, sn)
+			} else {
+				p.dspace.ReleaseSnapshot(sn)
+			}
 		}
-		if err := p.opts.Ctx.Err(); err != nil {
-			out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
-			return
-		}
-		out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
-	})
+	}
 	return out, true
 }
 
-// evaluateMap is the generic path: state-level parallelism over
-// Space.Evaluate with a state-keyed rng.
-func (p *Problem) evaluateMap(states []State) []scored {
-	out := make([]scored, len(states))
-	p.opts.Device.Map(len(states), func(i int) {
-		if err := p.opts.Ctx.Err(); err != nil {
-			out[i] = scored{state: states[i], key: states[i].Key(), err: fmt.Errorf("opt: search cancelled: %w", err)}
+// evaluateMapMerge is the generic evaluation path: state-level parallelism
+// over Space.Evaluate with a state-keyed rng. prior, when non-nil, carries
+// the per-state results of an abandoned kernel batch: states whose kernel
+// construction already failed keep their recorded errors instead of being
+// silently re-evaluated under different randomness (the fallback would
+// otherwise mask real construction failures).
+func (p *Problem) evaluateMapMerge(cands []candidate, prior []scored) []scored {
+	out := make([]scored, len(cands))
+	p.opts.Device.Map(len(cands), func(i int) {
+		if prior != nil && prior[i].err != nil {
+			out[i] = prior[i]
 			return
 		}
-		key := states[i].Key()
-		ev, err := p.space.Evaluate(states[i], stateRng(p.opts.Seed, key))
-		out[i] = scored{state: states[i], key: key, eval: ev, err: err}
+		c := cands[i]
+		if err := p.opts.Ctx.Err(); err != nil {
+			out[i] = scored{state: c.state, key: c.key, err: fmt.Errorf("opt: search cancelled: %w", err)}
+			return
+		}
+		ev, err := p.space.Evaluate(c.state, stateRng(p.opts.Seed, c.key))
+		out[i] = scored{state: c.state, key: c.key, eval: ev, err: err}
 	})
 	return out
 }

@@ -163,15 +163,16 @@ func (s *ScheduleSpace) Starts() []State {
 	return starts
 }
 
-// Neighbors implements Space: one child per (group, enabled direction), as
-// in Figure 5b where each child promotes one task, plus one whole-workflow
-// shift per direction. The global shift preserves type homogeneity, which
-// the Merge/Co-Scheduling packing rewards (heterogeneous plans cannot share
-// instances across types), so it lets the search cross the homogeneity
-// ridge single-group moves cannot.
-func (s *ScheduleSpace) Neighbors(st State) []State {
+// TransformNeighbors implements TransformSpace: one child per (group,
+// enabled direction), as in Figure 5b where each child promotes one task,
+// plus one whole-workflow shift per direction, each annotated with the
+// operation and the exact task indices whose type changed. The global shift
+// preserves type homogeneity, which the Merge/Co-Scheduling packing rewards
+// (heterogeneous plans cannot share instances across types), so it lets the
+// search cross the homogeneity ridge single-group moves cannot.
+func (s *ScheduleSpace) TransformNeighbors(st State) []Transform {
 	k := s.Eval.NumTypes()
-	var out []State
+	var out []Transform
 	for _, op := range s.Ops {
 		var delta int
 		switch op {
@@ -184,31 +185,42 @@ func (s *ScheduleSpace) Neighbors(st State) []State {
 		}
 		for _, g := range s.Groups {
 			child := st.Clone()
-			changed := false
+			var tasks []int32
 			for _, i := range g {
 				nv := child[i] + delta
 				if nv >= 0 && nv < k {
 					child[i] = nv
-					changed = true
+					tasks = append(tasks, int32(i))
 				}
 			}
-			if changed {
-				out = append(out, child)
+			if len(tasks) > 0 {
+				out = append(out, Transform{Op: op, Tasks: tasks, Child: child})
 			}
 		}
 		// Global shift: every task moves one step in this direction.
 		child := st.Clone()
-		changed := false
+		var tasks []int32
 		for i := range child {
 			nv := child[i] + delta
 			if nv >= 0 && nv < k {
 				child[i] = nv
-				changed = true
+				tasks = append(tasks, int32(i))
 			}
 		}
-		if changed {
-			out = append(out, child)
+		if len(tasks) > 0 {
+			out = append(out, Transform{Op: op, Tasks: tasks, Child: child})
 		}
+	}
+	return out
+}
+
+// Neighbors implements Space: TransformNeighbors with the transformation
+// metadata stripped — by construction the same children in the same order.
+func (s *ScheduleSpace) Neighbors(st State) []State {
+	trs := s.TransformNeighbors(st)
+	out := make([]State, len(trs))
+	for i, tr := range trs {
+		out[i] = tr.Child
 	}
 	return out
 }
@@ -254,6 +266,60 @@ func (s *ScheduleSpace) CRNKernel(st State, base int64) (probir.WorldKernel, err
 		return nil, nil
 	}
 	k, err := ce.CRNKernel(st, base)
+	if err != nil || k == nil {
+		return k, err
+	}
+	if s.CostFn == nil {
+		return k, nil
+	}
+	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
+}
+
+// NewSnapshot implements DeltaSpace: a pooled finish-time snapshot from the
+// evaluator, or nil when the evaluator cannot delta (which disables delta
+// evaluation at Compile time).
+func (s *ScheduleSpace) NewSnapshot() *probir.Snapshot {
+	if de, ok := s.Eval.(probir.DeltaEvaluator); ok {
+		return de.NewSnapshot()
+	}
+	return nil
+}
+
+// ReleaseSnapshot implements DeltaSpace.
+func (s *ScheduleSpace) ReleaseSnapshot(sn *probir.Snapshot) {
+	if de, ok := s.Eval.(probir.DeltaEvaluator); ok {
+		de.ReleaseSnapshot(sn)
+	}
+}
+
+// CRNKernelSnap implements DeltaSpace: CRNKernel with snapshot capture, with
+// any CostFn objective applied at reduction time exactly as Evaluate applies
+// it after the Monte-Carlo loop. Capture happens inside the wrapped kernel's
+// Sample, so the CostFn wrapper never affects the snapshot.
+func (s *ScheduleSpace) CRNKernelSnap(st State, base int64, snap *probir.Snapshot) (probir.WorldKernel, error) {
+	de, ok := s.Eval.(probir.DeltaEvaluator)
+	if !ok {
+		return nil, nil
+	}
+	k, err := de.CRNKernelSnap(st, base, snap)
+	if err != nil || k == nil {
+		return k, err
+	}
+	if s.CostFn == nil {
+		return k, nil
+	}
+	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
+}
+
+// CRNDeltaKernel implements DeltaSpace: the evaluator's incremental kernel
+// (nil when delta does not apply for this transition), with any CostFn
+// objective applied at reduction time.
+func (s *ScheduleSpace) CRNDeltaKernel(st State, base int64, dirty []int32, parent, snap *probir.Snapshot) (probir.WorldKernel, error) {
+	de, ok := s.Eval.(probir.DeltaEvaluator)
+	if !ok {
+		return nil, nil
+	}
+	k, err := de.CRNDeltaKernel(st, base, dirty, parent, snap)
 	if err != nil || k == nil {
 		return k, err
 	}

@@ -1,0 +1,292 @@
+package probir
+
+import (
+	"fmt"
+
+	"deco/internal/dag"
+)
+
+// This file implements incremental (delta) state evaluation. Under the CRN
+// contract every state in a search shares one duration matrix keyed by
+// (task, type, iteration), so when a neighbor differs from its parent by a
+// transformation that reassigns a few tasks, the parent's per-(task, world)
+// finish times remain valid for every task whose inputs did not change. The
+// delta kernel copies the parent's finish row for a world and re-runs the
+// longest-path recurrence only over the dirty cone — the reassigned tasks
+// plus their topological descendants (dag.Flat.Cone) — and within the cone
+// skips any task none of whose parents actually changed value in that world
+// (value-change propagation over the child CSR). Recomputed tasks read
+// bitwise-identical inputs to a full evaluation, and skipped tasks provably
+// kept their parent values, so the resulting makespan is bit-identical to
+// the full DP; the max over tasks is order-independent. Cost figures are
+// recomputed in full, in the same index order as the full path, because
+// float summation order is observable. Delta is therefore a wall-clock
+// optimization only — never a semantics change.
+
+// deltaConeFraction is the structural fallback threshold: when the cone's
+// recomputation cost (tasks + parent edges) exceeds this fraction of the
+// full DP's cost, CRNDeltaKernel declines and the caller evaluates fully.
+// Past that point the copy + bookkeeping overhead outweighs the skipped
+// work.
+const deltaConeFraction = 0.75
+
+// Snapshot holds one state's per-world finish times — finish[it*n+task] —
+// plus each world's makespan and argmax task. A snapshot is written by a
+// capturing or delta kernel as its worlds run (disjoint slices per world, so
+// device threads never contend) and read as the parent of later delta
+// kernels. Snapshots are pooled by the Native that issued them; callers
+// return them via ReleaseSnapshot when evicted from their snapshot store.
+type Snapshot struct {
+	n      int
+	worlds int
+	base   int64 // CRN base seed the finish times were computed under
+	finish []float64
+	ms     []float64
+	amax   []int32
+}
+
+// Bytes reports the snapshot's retained memory, for store budgeting.
+func (s *Snapshot) Bytes() int64 {
+	return int64(len(s.finish))*8 + int64(len(s.ms))*8 + int64(len(s.amax))*4
+}
+
+// DeltaEvaluator is a CRNEvaluator that can additionally capture per-world
+// finish-time snapshots and evaluate a neighbor configuration incrementally
+// from its parent's snapshot.
+type DeltaEvaluator interface {
+	CRNEvaluator
+	// NewSnapshot returns a pooled snapshot sized for this evaluator, or nil
+	// when evaluation involves no per-world finish times (nothing to reuse).
+	NewSnapshot() *Snapshot
+	// ReleaseSnapshot returns a snapshot to the pool. The caller must hold
+	// no kernel built against it.
+	ReleaseSnapshot(s *Snapshot)
+	// CRNKernelSnap is CRNKernel, additionally recording every world's
+	// finish times into snap (which must come from NewSnapshot; nil degrades
+	// to CRNKernel). The snapshot is valid once the kernel has run all
+	// worlds.
+	CRNKernelSnap(config []int, base int64, snap *Snapshot) (WorldKernel, error)
+	// CRNDeltaKernel builds a kernel that evaluates config by reusing the
+	// parent snapshot, recomputing only the cone of the dirty tasks — the
+	// tasks whose (task, type) assignment differs from the parent's — and
+	// capturing the result into snap so it can parent further deltas.
+	// Returns (nil, nil) when delta does not apply (no parent, base
+	// mismatch, or cone too large): the caller must then evaluate fully.
+	// The caller is responsible for dirty being exactly the set of tasks on
+	// which config and the parent's configuration differ.
+	CRNDeltaKernel(config []int, base int64, dirty []int32, parent, snap *Snapshot) (WorldKernel, error)
+}
+
+// needsMSSampling reports whether evaluation samples per-world makespans —
+// the precondition for finish-time snapshots to exist at all.
+func (n *Native) needsMSSampling() bool {
+	if n.Goal == GoalMakespan {
+		return true
+	}
+	for _, c := range n.Constraints {
+		if c.Kind == "deadline" {
+			return true
+		}
+	}
+	return false
+}
+
+// NewSnapshot implements DeltaEvaluator. Snapshots are pooled per Native;
+// the returned snapshot's contents are undefined until a capturing kernel
+// has run.
+func (n *Native) NewSnapshot() *Snapshot {
+	if !n.needsMSSampling() {
+		return nil
+	}
+	nt := n.W.Len()
+	if v := n.snaps.Get(); v != nil {
+		s := v.(*Snapshot)
+		if s.n == nt && s.worlds == n.Iters {
+			return s
+		}
+		// Sized for a different shape (shouldn't happen per Native); drop it.
+	}
+	return &Snapshot{
+		n:      nt,
+		worlds: n.Iters,
+		finish: make([]float64, nt*n.Iters),
+		ms:     make([]float64, n.Iters),
+		amax:   make([]int32, n.Iters),
+	}
+}
+
+// ReleaseSnapshot implements DeltaEvaluator.
+func (n *Native) ReleaseSnapshot(s *Snapshot) {
+	if s != nil {
+		n.snaps.Put(s)
+	}
+}
+
+// CRNKernelSnap implements DeltaEvaluator.
+func (n *Native) CRNKernelSnap(config []int, base int64, snap *Snapshot) (WorldKernel, error) {
+	k, err := n.newCRNKernel(config, base)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil && k.needMS {
+		if snap.n != n.W.Len() || snap.worlds != n.Iters {
+			return nil, fmt.Errorf("probir: snapshot shape (%d tasks, %d worlds), want (%d, %d)",
+				snap.n, snap.worlds, n.W.Len(), n.Iters)
+		}
+		snap.base = base
+		k.capture = snap
+	}
+	return k, nil
+}
+
+// CRNDeltaKernel implements DeltaEvaluator.
+func (n *Native) CRNDeltaKernel(config []int, base int64, dirty []int32, parent, snap *Snapshot) (WorldKernel, error) {
+	if parent == nil || snap == nil || !n.needsMSSampling() {
+		return nil, nil
+	}
+	nt := n.W.Len()
+	if parent.base != base || parent.n != nt || parent.worlds != n.Iters {
+		return nil, nil
+	}
+	if len(dirty) == 0 {
+		// An identical configuration is not a delta; let the caller's eval
+		// cache or full path handle it.
+		return nil, nil
+	}
+	for _, d := range dirty {
+		if d < 0 || int(d) >= nt {
+			return nil, fmt.Errorf("probir: dirty task %d out of range", d)
+		}
+	}
+	if snap.n != nt || snap.worlds != n.Iters {
+		return nil, fmt.Errorf("probir: snapshot shape (%d tasks, %d worlds), want (%d, %d)",
+			snap.n, snap.worlds, nt, n.Iters)
+	}
+	f := n.flat
+	prog := n.program(base)
+	sc := prog.cones.Get().(*dag.ConeScratch)
+	cone, edges := f.Cone(dirty, sc)
+	full := nt + len(f.Parents)
+	if float64(len(cone)+edges) > deltaConeFraction*float64(full) {
+		prog.cones.Put(sc)
+		return nil, nil
+	}
+	k, err := n.newCRNKernel(config, base)
+	if err != nil {
+		prog.cones.Put(sc)
+		return nil, err
+	}
+	k.cone = append(k.cone, cone...) // own the cone; scratch goes back now
+	prog.cones.Put(sc)
+	if !k.needMS {
+		// Nothing to delta (no makespan figures); run it as a plain kernel.
+		return k, nil
+	}
+	snap.base = base
+	k.capture = snap
+	k.parent = parent
+	k.dirtyMask = make([]bool, nt)
+	for _, d := range dirty {
+		k.dirtyMask[d] = true
+	}
+	for ci, kpos := range k.cone {
+		if k.dirtyMask[f.Order[kpos]] {
+			k.lastDirty = ci
+		}
+	}
+	return k, nil
+}
+
+// sampleDeltaMS computes world it's makespan incrementally: copy the
+// parent's finish row, walk the cone in topological order recomputing a task
+// only if it is dirty or one of its parents changed value this world, push
+// value changes to children through the child CSR, and derive the makespan
+// in O(1) from the parent's (makespan, argmax) unless the argmax task itself
+// changed. Recompute marks are epoch-stamped (no per-world clearing), and
+// the walk stops as soon as no marked task remains ahead and every dirty
+// task has been visited — past that point the world provably keeps its
+// parent values. All comparisons are bitwise, so the result is exactly the
+// full DP's.
+func (k *nativeKernel) sampleDeltaMS(it int) float64 {
+	f := k.n.flat
+	n0 := f.Len()
+	row := k.capture.finish[it*n0 : (it+1)*n0]
+	copy(row, k.parent.finish[it*n0:(it+1)*n0])
+
+	em := k.prog.flags.Get().(*epochMarks)
+	epoch := em.next()
+	marks := em.marks
+	parentAmax := k.parent.amax[it]
+	amaxChanged := false
+	changedMax := 0.0
+	changedArg := int32(-1)
+	pending := 0 // marked tasks not yet visited; all lie ahead in the cone
+	for ci, kpos := range k.cone {
+		if pending == 0 && ci > k.lastDirty {
+			break
+		}
+		ti := f.Order[kpos]
+		if marks[ti] == epoch {
+			pending--
+		} else if !k.dirtyMask[ti] {
+			continue
+		}
+		start := 0.0
+		for _, p := range f.Parents[f.ParentStart[kpos]:f.ParentStart[kpos+1]] {
+			if v := row[p]; v > start {
+				start = v
+			}
+		}
+		end := start + k.rows[ti][it]
+		if end != row[ti] {
+			row[ti] = end
+			for _, c := range f.Children[f.ChildStart[ti]:f.ChildStart[ti+1]] {
+				if marks[c] != epoch {
+					marks[c] = epoch
+					pending++
+				}
+			}
+			if changedArg < 0 || end > changedMax {
+				changedMax = end
+				changedArg = ti
+			}
+			if ti == parentAmax {
+				amaxChanged = true
+			}
+		}
+	}
+	k.prog.flags.Put(em)
+
+	var ms float64
+	amax := parentAmax
+	if amaxChanged {
+		if changedMax >= k.parent.ms[it] {
+			// Every unchanged task still sits at its parent value, all of
+			// which are <= the parent makespan, so the changed maximum wins
+			// outright — no rescan needed.
+			ms = changedMax
+			amax = changedArg
+		} else {
+			// The task that attained the parent's makespan dropped below it;
+			// rescan the contiguous finish row.
+			ms = 0
+			amax = -1
+			for i, v := range row {
+				if v > ms {
+					ms = v
+					amax = int32(i)
+				}
+			}
+		}
+	} else {
+		// The parent's maximum still stands; only a changed value can beat it.
+		ms = k.parent.ms[it]
+		if changedArg >= 0 && changedMax > ms {
+			ms = changedMax
+			amax = changedArg
+		}
+	}
+	k.capture.ms[it] = ms
+	k.capture.amax[it] = amax
+	return ms
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"deco/internal/dag"
 	"deco/internal/estimate"
@@ -48,10 +49,14 @@ func crnSeed(base int64, stream int) int64 {
 
 // Program is a Native program compiled for one CRN base seed: the flat DAG,
 // the dense distribution table, and the shared duration matrix. Rows are
-// filled lazily (under a mutex) the first time a configuration needs them;
-// reads of filled rows are lock-free slices handed out by Rows. The scratch
-// pool serves per-world finish-time buffers so device threads evaluating
-// worlds concurrently never allocate.
+// filled lazily the first time a configuration needs them; a filled row is
+// published through an atomic pointer, so the warm path — every row already
+// sampled, the steady state of a search — is entirely lock-free and never
+// serializes behind another goroutine filling rows for a different
+// configuration. Only the fill itself takes fillMu (double-checked, so two
+// goroutines racing to the same missing row sample it once). The scratch and
+// flag pools serve per-world buffers so device threads evaluating worlds
+// concurrently never allocate.
 type Program struct {
 	flat   *dag.Flat
 	ft     *estimate.FlatTable
@@ -59,10 +64,35 @@ type Program struct {
 	iters  int
 	nTypes int
 
-	mu   sync.Mutex
-	rows [][]float64 // rows[task*nTypes+type][iteration], lazily filled
+	fillMu sync.Mutex
+	rows   []atomic.Pointer[[]float64] // rows[task*nTypes+type][iteration], lazily filled
 
-	scratch sync.Pool // *[]float64 of len flat.Len()
+	scratch sync.Pool // *[]float64 of len flat.Len(): per-world finish times
+	flags   sync.Pool // *epochMarks of len flat.Len(): per-world delta recompute marks
+	cones   sync.Pool // *dag.ConeScratch: per-kernel-build cone computation
+}
+
+// epochMarks is a reusable per-task mark buffer that resets in O(1): a task
+// is marked iff marks[task] == epoch, so bumping the epoch unmarks
+// everything. The delta makespan pass marks the tasks whose finish value
+// must be recomputed in the current world.
+type epochMarks struct {
+	epoch uint32
+	marks []uint32
+}
+
+// next unmarks every task and returns the fresh epoch, clearing the buffer
+// explicitly on the (once per 4G worlds) wrap so stale marks can never alias
+// a live epoch.
+func (e *epochMarks) next() uint32 {
+	e.epoch++
+	if e.epoch == 0 {
+		for i := range e.marks {
+			e.marks[i] = 0
+		}
+		e.epoch = 1
+	}
+	return e.epoch
 }
 
 func newProgram(flat *dag.Flat, ft *estimate.FlatTable, base int64, iters int) *Program {
@@ -72,37 +102,57 @@ func newProgram(flat *dag.Flat, ft *estimate.FlatTable, base int64, iters int) *
 		base:   base,
 		iters:  iters,
 		nTypes: ft.NumTypes,
-		rows:   make([][]float64, flat.Len()*ft.NumTypes),
+		rows:   make([]atomic.Pointer[[]float64], flat.Len()*ft.NumTypes),
 	}
 	n := flat.Len()
 	p.scratch.New = func() any {
 		s := make([]float64, n)
 		return &s
 	}
+	p.flags.New = func() any {
+		return &epochMarks{marks: make([]uint32, n)}
+	}
+	p.cones.New = func() any { return new(dag.ConeScratch) }
 	return p
 }
 
 // Rows resolves one configuration against the duration matrix, filling any
 // missing (task, type) rows: row[it] is the task's sampled duration in world
 // it, drawn from an rng seeded by crnSeed(base, task*nTypes+type) and
-// consumed in iteration order. The returned per-task slices are shared and
-// immutable once filled; callers must not modify them.
+// consumed in iteration order. A fully warm configuration takes no locks.
+// The returned per-task slices are shared and immutable once filled; callers
+// must not modify them.
 func (p *Program) Rows(config []int) [][]float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make([][]float64, len(config))
+	missing := 0
 	for i, j := range config {
-		ri := i*p.nTypes + j
-		row := p.rows[ri]
-		if row == nil {
-			row = make([]float64, p.iters)
-			rng := rand.New(rand.NewSource(crnSeed(p.base, ri)))
-			td := p.ft.Dist(i, j)
-			for it := range row {
-				row[it] = td.Sample(rng)
-			}
-			p.rows[ri] = row
+		if rp := p.rows[i*p.nTypes+j].Load(); rp != nil {
+			out[i] = *rp
+		} else {
+			missing++
 		}
+	}
+	if missing == 0 {
+		return out
+	}
+	p.fillMu.Lock()
+	defer p.fillMu.Unlock()
+	for i, j := range config {
+		if out[i] != nil {
+			continue
+		}
+		ri := i*p.nTypes + j
+		if rp := p.rows[ri].Load(); rp != nil { // filled while we waited
+			out[i] = *rp
+			continue
+		}
+		row := make([]float64, p.iters)
+		rng := rand.New(rand.NewSource(crnSeed(p.base, ri)))
+		td := p.ft.Dist(i, j)
+		for it := range row {
+			row[it] = td.Sample(rng)
+		}
+		p.rows[ri].Store(&row)
 		out[i] = row
 	}
 	return out
@@ -113,25 +163,41 @@ func (p *Program) Rows(config []int) [][]float64 {
 // successive searches (e.g. runtime replans) over the same Native.
 const maxPrograms = 8
 
+// progEntry is one cached Program plus its last-use tick for LRU eviction.
+type progEntry struct {
+	p    *Program
+	tick uint64
+}
+
 // program returns the compiled Program for the given CRN base, building and
-// caching it on first use.
+// caching it on first use. When the cache is full the least-recently-used
+// base is evicted — deterministically, and never the base just touched, so
+// a running search's duration matrix is only rebuilt if maxPrograms other
+// searches have since used this Native.
 func (n *Native) program(base int64) *Program {
 	n.progMu.Lock()
 	defer n.progMu.Unlock()
-	if p, ok := n.progs[base]; ok {
-		return p
+	n.progTick++
+	if e, ok := n.progs[base]; ok {
+		e.tick = n.progTick
+		return e.p
 	}
 	if n.progs == nil {
-		n.progs = make(map[int64]*Program)
+		n.progs = make(map[int64]*progEntry)
 	}
 	if len(n.progs) >= maxPrograms {
-		for k := range n.progs {
-			delete(n.progs, k)
-			break
+		var victim int64
+		oldest := uint64(math.MaxUint64)
+		for k, e := range n.progs {
+			if e.tick < oldest {
+				oldest = e.tick
+				victim = k
+			}
 		}
+		delete(n.progs, victim)
 	}
 	p := newProgram(n.flat, n.ftab, base, n.Iters)
-	n.progs[base] = p
+	n.progs[base] = &progEntry{p: p, tick: n.progTick}
 	return p
 }
 

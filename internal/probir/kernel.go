@@ -115,13 +115,34 @@ type nativeKernel struct {
 	indIdx   []int // per constraint: indicator figure, or -1
 	needMS   bool
 	needCost bool
+
+	// capture, when non-nil, receives every world's finish-time row,
+	// makespan, and argmax task as Sample runs — the parent-side half of
+	// delta evaluation (delta.go). parent/cone/dirtyMask, when set, switch
+	// Sample's makespan pass to the incremental dirty-cone recurrence that
+	// starts from the parent snapshot instead of the full topological DP.
+	capture   *Snapshot
+	parent    *Snapshot
+	cone      []int32 // dirty-cone positions into flat.Order, ascending
+	dirtyMask []bool  // per task: duration row differs from the parent's
+	lastDirty int     // index into cone of the last dirty task
 }
 
 // CRNKernel implements CRNEvaluator: it builds the per-world kernel of one
 // configuration against the shared duration matrix of the given base seed.
-// Row filling happens here (serially, under the program's lock), so Sample
-// is read-only and a device may run worlds concurrently.
+// Row filling happens here (serially, under the program's fill lock), so
+// Sample is read-only and a device may run worlds concurrently.
 func (n *Native) CRNKernel(config []int, base int64) (WorldKernel, error) {
+	k, err := n.newCRNKernel(config, base)
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// newCRNKernel is the concrete-typed CRNKernel build, shared with the
+// snapshot-capturing and delta variants in delta.go.
+func (n *Native) newCRNKernel(config []int, base int64) (*nativeKernel, error) {
 	if err := n.checkConfig(config); err != nil {
 		return nil, err
 	}
@@ -181,31 +202,19 @@ func (k *nativeKernel) Worlds() int {
 func (k *nativeKernel) Width() int { return k.width }
 
 // Sample implements WorldKernel: read world it's task durations from the CRN
-// matrix, run the longest-path DP for the makespan over pooled scratch and
-// sum the realized cost, then score the probabilistic constraints. The rng
-// is ignored (may be nil): all randomness was drawn at row-fill time.
+// matrix, compute the makespan — by the full longest-path DP over pooled
+// scratch, or by the incremental dirty-cone recurrence when a parent
+// snapshot is attached — and sum the realized cost, then score the
+// probabilistic constraints. The rng is ignored (may be nil): all randomness
+// was drawn at row-fill time.
 func (k *nativeKernel) Sample(it int, _ *rand.Rand, out []float64) error {
 	var ms, cost float64
 	if k.needMS {
-		f := k.n.flat
-		sp := k.prog.scratch.Get().(*[]float64)
-		finish := *sp
-		// No zeroing needed: topological order writes finish[ti] before any
-		// child reads it, and every task is written each world.
-		for ki, ti := range f.Order {
-			start := 0.0
-			for _, p := range f.Parents[f.ParentStart[ki]:f.ParentStart[ki+1]] {
-				if fp := finish[p]; fp > start {
-					start = fp
-				}
-			}
-			end := start + k.rows[ti][it]
-			finish[ti] = end
-			if end > ms {
-				ms = end
-			}
+		if k.parent != nil {
+			ms = k.sampleDeltaMS(it)
+		} else {
+			ms = k.sampleFullMS(it)
 		}
-		k.prog.scratch.Put(sp)
 		out[k.msIdx] = ms
 	}
 	if k.needCost {
@@ -231,6 +240,57 @@ func (k *nativeKernel) Sample(it int, _ *rand.Rand, out []float64) error {
 		}
 	}
 	return nil
+}
+
+// sampleFullMS runs the full longest-path DP for world it. Without a capture
+// snapshot the finish times live in pooled scratch exactly as before delta
+// evaluation existed; with one they are written into the snapshot's world
+// row, along with the world's makespan and argmax task, so children of this
+// state can later be evaluated incrementally.
+func (k *nativeKernel) sampleFullMS(it int) float64 {
+	f := k.n.flat
+	ms := 0.0
+	if k.capture == nil {
+		sp := k.prog.scratch.Get().(*[]float64)
+		finish := *sp
+		// No zeroing needed: topological order writes finish[ti] before any
+		// child reads it, and every task is written each world.
+		for ki, ti := range f.Order {
+			start := 0.0
+			for _, p := range f.Parents[f.ParentStart[ki]:f.ParentStart[ki+1]] {
+				if fp := finish[p]; fp > start {
+					start = fp
+				}
+			}
+			end := start + k.rows[ti][it]
+			finish[ti] = end
+			if end > ms {
+				ms = end
+			}
+		}
+		k.prog.scratch.Put(sp)
+		return ms
+	}
+	n0 := f.Len()
+	finish := k.capture.finish[it*n0 : (it+1)*n0]
+	amax := int32(-1)
+	for ki, ti := range f.Order {
+		start := 0.0
+		for _, p := range f.Parents[f.ParentStart[ki]:f.ParentStart[ki+1]] {
+			if fp := finish[p]; fp > start {
+				start = fp
+			}
+		}
+		end := start + k.rows[ti][it]
+		finish[ti] = end
+		if end > ms {
+			ms = end
+			amax = ti
+		}
+	}
+	k.capture.ms[it] = ms
+	k.capture.amax[it] = amax
+	return ms
 }
 
 // Reduce implements WorldKernel: the same aggregation Algorithm 1 performs,

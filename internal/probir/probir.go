@@ -86,9 +86,14 @@ type Native struct {
 	flat *dag.Flat
 	ftab *estimate.FlatTable
 
-	// progs caches compiled CRN Programs by base seed (see flat.go).
-	progMu sync.Mutex
-	progs  map[int64]*Program
+	// progs caches compiled CRN Programs by base seed with LRU eviction
+	// (see flat.go).
+	progMu   sync.Mutex
+	progs    map[int64]*progEntry
+	progTick uint64
+
+	// snaps pools finish-time Snapshots for delta evaluation (see delta.go).
+	snaps sync.Pool
 
 	fpOnce sync.Once
 	fp     string

@@ -37,7 +37,7 @@ totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
 }
 
 // fixture builds a diamond workflow, catalog prices, and an estimate table.
-func fixture(t *testing.T, cpuOnly bool) (*dag.Workflow, *estimate.Table, []float64) {
+func fixture(t testing.TB, cpuOnly bool) (*dag.Workflow, *estimate.Table, []float64) {
 	t.Helper()
 	w := dag.New("diamond")
 	mb := 200.0
