@@ -410,6 +410,34 @@ type row struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
+// adaptiveRow compares fixed-precision against adaptive-precision
+// Monte-Carlo inference (sequential stopping + racing) on two levels. Plan
+// quality: complete solver searches, fixed and adaptive, must land on the
+// same objective value and feasibility — benchsolver aborts otherwise, so
+// the row only ever reports a speedup at unchanged quality. Throughput: the
+// measured operation is the solver's hot loop, one warm frontier expansion
+// over the deadline-probing batch every search from the paper's all-cheapest
+// start evaluates first, where the exact worst-case stopping rule decides
+// sharply infeasible children within the first world chunks.
+type adaptiveRow struct {
+	Benchmark         string  `json:"benchmark"`
+	FixedObjective    float64 `json:"fixed_objective"`
+	AdaptiveObjective float64 `json:"adaptive_objective"`
+	Feasible          bool    `json:"feasible"`
+	// SearchStates / SearchWorlds* describe the adaptive full search backing
+	// the plan-quality assertion.
+	SearchStates      int   `json:"search_states"`
+	SearchWorldsRun   int64 `json:"search_worlds_run"`
+	SearchWorldsSaved int64 `json:"search_worlds_saved"`
+	// BatchStates is the size of the measured frontier-expansion batch.
+	BatchStates          int     `json:"batch_states"`
+	Fixed                row     `json:"fixed_expansion"`
+	Adaptive             row     `json:"adaptive_expansion"`
+	FixedStatesPerSec    float64 `json:"fixed_states_per_sec"`
+	AdaptiveStatesPerSec float64 `json:"adaptive_states_per_sec"`
+	SpeedupStatesPerSec  float64 `json:"speedup_states_per_sec"`
+}
+
 // useCaseRow is one ported use case's fallback-vs-compiled comparison.
 type useCaseRow struct {
 	Benchmark   string  `json:"benchmark"`
@@ -430,21 +458,24 @@ func (u *useCaseRow) ratios() {
 }
 
 type report struct {
-	Benchmark   string      `json:"benchmark"`
-	Tasks       int         `json:"tasks"`
-	States      int         `json:"states"`
-	Worlds      int         `json:"worlds"`
-	Old         row         `json:"old_map_path"`
-	New         row         `json:"new_flat_crn_path"`
-	SpeedupNs   float64     `json:"speedup_ns"`
-	AllocsRatio float64     `json:"allocs_ratio"`
+	Benchmark   string  `json:"benchmark"`
+	Tasks       int     `json:"tasks"`
+	States      int     `json:"states"`
+	Worlds      int     `json:"worlds"`
+	Old         row     `json:"old_map_path"`
+	New         row     `json:"new_flat_crn_path"`
+	SpeedupNs   float64 `json:"speedup_ns"`
+	AllocsRatio float64 `json:"allocs_ratio"`
 	// SchedulingDelta compares one full frontier expansion against the same
 	// expansion with incremental (dirty-cone) evaluation: old = every child
 	// re-runs the full per-world DP, new = children reuse the parent's
 	// finish-time snapshot. Same states, same worlds, bit-identical results.
 	SchedulingDelta *useCaseRow `json:"scheduling_delta"`
-	Ensemble        *useCaseRow `json:"ensemble"`
-	FTC             *useCaseRow `json:"ftc"`
+	// SchedulingAdaptive compares full solver searches — fixed-precision
+	// against adaptive-precision — over the same space; see adaptiveRow.
+	SchedulingAdaptive *adaptiveRow `json:"scheduling_adaptive"`
+	Ensemble           *useCaseRow  `json:"ensemble"`
+	FTC                *useCaseRow  `json:"ftc"`
 }
 
 func measure(f func(base int64) error) (row, error) {
@@ -566,6 +597,118 @@ func main() {
 	delta.ratios()
 	rep.SchedulingDelta = delta
 
+	// Adaptive precision. The space reproduces the paper's Figure 5b search:
+	// start from the all-cheapest plan and promote, under a deadline at the
+	// uniform-medium mean makespan with a 0.96-percentile constraint — tight
+	// enough that the start and most early promotions are sharply infeasible,
+	// reachable enough that the search converges to a feasible plan. Two
+	// contracts are checked, on the live evaluation paths (no eval cache):
+	//
+	// Plan quality: complete fixed and adaptive searches must land on the
+	// same objective value and feasibility (benchsolver aborts otherwise).
+	//
+	// Throughput: the measured op is one warm frontier expansion of the
+	// all-cheapest parent — the deadline-probing batch every search from
+	// that start evaluates first, and the regime sequential stopping
+	// accelerates: sharply infeasible children are decided within the first
+	// world chunks by the exact worst-case rule, while boundary and feasible
+	// states still run their full budget (a feasible verdict at the 0.96
+	// percentile needs at least 96 of 100 worlds by construction).
+	tightMeans, err := p.tbl.MeanDurations(uniformConfig(p.w, p.tbl, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tightDeadline, _, err := p.w.Makespan(tightMeans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tightCons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: tightDeadline}}
+	tightNative, err := probir.NewNative(p.w, p.tbl, p.prices, probir.GoalCost, tightCons, p.worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adSpace := opt.NewScheduleSpace(p.w, tightNative)
+	adSpace.Groups = opt.GroupPerTask(p.w)
+	adSpace.Init = make(opt.State, p.w.Len()) // Figure 5b: all-cheapest start
+	searchOpts := opt.Options{
+		Device: device.Sequential{}, Seed: 11,
+		MaxStates: 500, BeamWidth: 6, Patience: 20,
+		Worlds: *worlds, MinWorlds: 8,
+	}
+	adaptOpts := searchOpts
+	adaptOpts.Adaptive = true
+	runSearch := func(o opt.Options) (*opt.Result, opt.SampleStats, error) {
+		prob, err := opt.Compile(adSpace, o)
+		if err != nil {
+			return nil, opt.SampleStats{}, err
+		}
+		res, err := prob.Search()
+		return res, prob.SampleStats(), err
+	}
+	fixedRes, _, err := runSearch(searchOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptRes, adaptStats, err := runSearch(adaptOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !adaptStats.Adaptive || adaptStats.StatesAdaptive == 0 {
+		log.Fatalf("adaptive search never engaged the adaptive path: %+v", adaptStats)
+	}
+	if fixedRes.BestEval.Value != adaptRes.BestEval.Value || fixedRes.Feasible != adaptRes.Feasible {
+		log.Fatalf("adaptive plan quality diverged: fixed %v (feasible %v) vs adaptive %v (feasible %v)",
+			fixedRes.BestEval.Value, fixedRes.Feasible, adaptRes.BestEval.Value, adaptRes.Feasible)
+	}
+	adapt := &adaptiveRow{
+		Benchmark:         "frontier expansion at the all-cheapest start (deadline-probing batch), Montage scheduling space; fixed worlds per state vs adaptive sequential stopping, equal full-search objective asserted",
+		FixedObjective:    fixedRes.BestEval.Value,
+		AdaptiveObjective: adaptRes.BestEval.Value,
+		Feasible:          adaptRes.Feasible,
+		SearchStates:      adaptRes.Evaluated,
+		SearchWorldsRun:   adaptStats.WorldsRun,
+		SearchWorldsSaved: adaptStats.WorldsSaved(),
+	}
+	fixedProb, err := opt.Compile(adSpace, searchOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptProb, err := opt.Compile(adSpace, adaptOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adParent := fixedProb.Starts()[0]
+	if _, _, _, err := fixedProb.EvaluateExpansion(adParent); err != nil { // warm
+		log.Fatal(err)
+	}
+	if _, kids, _, err := adaptProb.EvaluateExpansion(adParent); err != nil { // warm
+		log.Fatal(err)
+	} else {
+		adapt.BatchStates = 1 + len(kids)
+	}
+	if adapt.Fixed, err = measure(func(int64) error {
+		_, _, _, err := fixedProb.EvaluateExpansion(adParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if adapt.Adaptive, err = measure(func(int64) error {
+		_, _, _, err := adaptProb.EvaluateExpansion(adParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if adapt.Fixed.NsPerOp > 0 {
+		adapt.FixedStatesPerSec = float64(adapt.BatchStates) / (float64(adapt.Fixed.NsPerOp) / 1e9)
+	}
+	if adapt.Adaptive.NsPerOp > 0 {
+		adapt.AdaptiveStatesPerSec = float64(adapt.BatchStates) / (float64(adapt.Adaptive.NsPerOp) / 1e9)
+	}
+	if adapt.FixedStatesPerSec > 0 {
+		adapt.SpeedupStatesPerSec = adapt.AdaptiveStatesPerSec / adapt.FixedStatesPerSec
+	}
+	rep.SchedulingAdaptive = adapt
+
 	// Ensemble admission: the fallback re-evaluates every expansion; the
 	// compiled problem binds the eval cache once, so the steady state of
 	// repeated expansions over one planned space is answered from it.
@@ -631,6 +774,10 @@ func main() {
 	fmt.Printf("sched-delta: full %d ns/op %d allocs/op | delta %d ns/op %d allocs/op | speedup %.1fx\n",
 		delta.Old.NsPerOp, delta.Old.AllocsPerOp, delta.New.NsPerOp, delta.New.AllocsPerOp,
 		delta.SpeedupNs)
+	fmt.Printf("sched-adapt: fixed %d ns/op | adaptive %d ns/op (%d-state batch) | states/sec speedup %.1fx | search %d states, %d/%d worlds, objective %.4f on both\n",
+		adapt.Fixed.NsPerOp, adapt.Adaptive.NsPerOp, adapt.BatchStates, adapt.SpeedupStatesPerSec,
+		adapt.SearchStates, adapt.SearchWorldsRun, adapt.SearchWorldsRun+adapt.SearchWorldsSaved,
+		adapt.AdaptiveObjective)
 	fmt.Printf("ensemble:   old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
 		ens.Old.NsPerOp, ens.Old.AllocsPerOp, ens.New.NsPerOp, ens.New.AllocsPerOp,
 		ens.SpeedupNs, ens.AllocsRatio)

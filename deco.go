@@ -127,6 +127,20 @@ func WithEvalCacheScope(scope string) Option {
 	return func(e *Engine) { e.search.CacheScope = scope }
 }
 
+// WithAdaptive toggles adaptive-precision Monte-Carlo inference: state
+// evaluations run their worlds in chunks and stop as soon as the feasibility
+// verdict is decided, and racing prunes frontier states that provably cannot
+// rank. Plan feasibility and quality match the fixed-precision engine (the
+// returned plan is always backed by a complete evaluation); the wall-clock
+// saving is reported by Plan.WorldsSaved. Off (the default) is bit-identical
+// to all prior behavior.
+func WithAdaptive(on bool) Option { return func(e *Engine) { e.search.Adaptive = on } }
+
+// WithConfidence sets the anytime-valid confidence level of the adaptive
+// stopping and racing rules, in [0.5, 1); 0 keeps the default (0.999). The
+// exact worst-case stopping rule carries no error at any setting.
+func WithConfidence(c float64) Option { return func(e *Engine) { e.search.Confidence = c } }
+
 // NewEngine builds an engine with the paper's defaults: the EC2 m1 catalog,
 // metadata discretized from the calibrated Table 2 distributions, the
 // two-level (block per state, thread per Monte-Carlo iteration) device, and
@@ -234,6 +248,13 @@ type Plan struct {
 	Constraints []wlog.Constraint
 	// StatesEvaluated counts solver evaluations.
 	StatesEvaluated int
+	// WorldsEvaluated / WorldsSaved report the adaptive-precision sampling
+	// economy of the solve: Monte-Carlo worlds actually run on the adaptive
+	// path and worlds avoided relative to the fixed per-state budget. Both
+	// are zero when the engine ran fixed-precision (WithAdaptive off or the
+	// problem not adaptive-capable).
+	WorldsEvaluated int64
+	WorldsSaved     int64
 
 	engine *Engine
 }
@@ -364,7 +385,11 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 	search := e.search
 	search.AStar = astar
 	search.Ctx = ctx
-	res, err := opt.Search(space, search)
+	problem, err := opt.Compile(space, search)
+	if err != nil {
+		return nil, err
+	}
+	res, err := problem.Search()
 	if err != nil {
 		return nil, err
 	}
@@ -372,6 +397,7 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 	if err != nil {
 		return nil, err
 	}
+	sstats := problem.SampleStats()
 	return &Plan{
 		Workflow:        w,
 		Config:          res.Best,
@@ -382,6 +408,8 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 		ConsProb:        res.BestEval.ConsProb,
 		Constraints:     cons,
 		StatesEvaluated: res.Evaluated,
+		WorldsEvaluated: sstats.WorldsRun,
+		WorldsSaved:     sstats.WorldsSaved(),
 		engine:          e,
 	}, nil
 }

@@ -286,6 +286,55 @@ func ReduceBlocks(d BlockDevice, nBlocks, threads, width int, kernel func(block,
 	return sums, errs
 }
 
+// ReduceBlocksRange is ReduceBlocks restricted to the thread range [lo, hi):
+// it runs kernel(b, t, out) for every block b and thread t in the range and
+// folds each block's slots into the caller's running sums — sums[b*width+w],
+// len nBlocks*width — one thread at a time in ascending thread order.
+// Because the fold appends world by world to whatever the sums already hold,
+// chaining ranges [0,a), [a,b), ... yields sums bit-identical to a single
+// [0, n) ReduceBlocks: float accumulation happens in the same order either
+// way. This is the execution primitive of adaptive (chunked) evaluation,
+// where a batch of states advances through world chunks and states leave the
+// batch as their verdicts are decided.
+//
+// errs[b] is block b's first error in thread order within this range, or nil;
+// a block with an error still has its remaining threads run, and its sums are
+// left untouched (not folded). The returned slots slice holds the range's raw
+// per-thread figures, laid out slots[(b*(hi-lo)+(t-lo))*width+w], for callers
+// that need per-world figures beyond the sums (racing's paired differences);
+// it is freshly allocated each call and owned by the caller.
+func ReduceBlocksRange(d BlockDevice, nBlocks, lo, hi, width int, sums []float64, kernel func(block, thread int, out []float64) error) (slots []float64, errs []error) {
+	errs = make([]error, nBlocks)
+	if nBlocks <= 0 || hi <= lo || width <= 0 {
+		return nil, errs
+	}
+	span := hi - lo
+	slots = make([]float64, nBlocks*span*width)
+	slotErrs := make([]error, nBlocks*span)
+	d.MapBlocks(nBlocks, span, func(b, t int) {
+		off := (b*span + t) * width
+		slotErrs[b*span+t] = kernel(b, lo+t, slots[off:off+width:off+width])
+	})
+	for b := 0; b < nBlocks; b++ {
+		for t := 0; t < span; t++ {
+			if err := slotErrs[b*span+t]; err != nil {
+				errs[b] = err
+				break
+			}
+		}
+		if errs[b] != nil {
+			continue
+		}
+		for t := 0; t < span; t++ {
+			off := (b*span + t) * width
+			for w := 0; w < width; w++ {
+				sums[b*width+w] += slots[off+w]
+			}
+		}
+	}
+	return slots, errs
+}
+
 // Reduce runs fn(i) for every i in [0, n) on the device and sums the results
 // in index order — a single-block ReduceBlocks.
 func Reduce(d BlockDevice, n int, fn func(i int) float64) float64 {

@@ -216,3 +216,81 @@ func TestReduceBlocksErrorAttribution(t *testing.T) {
 type errBoom struct{ t int }
 
 func (e errBoom) Error() string { return "boom" }
+
+// TestReduceBlocksRangeChainsBitIdentical verifies the chunked-fold contract:
+// accumulating ranges [0,a), [a,b), ... into running sums is bit-identical to
+// one full ReduceBlocks, on every device, and the returned slots carry the
+// raw per-thread figures of the range.
+func TestReduceBlocksRangeChainsBitIdentical(t *testing.T) {
+	const nb, th, width = 5, 97, 2
+	kernel := func(b, tt int, out []float64) error {
+		x := float64(b+1) * float64(tt+1)
+		out[0] = x * 1e-17
+		out[1] = 1 / x
+		return nil
+	}
+	ref, _ := ReduceBlocks(Sequential{}, nb, th, width, kernel)
+	for _, d := range []BlockDevice{Sequential{}, Parallel{NumBlocks: 4}, TwoLevel{NumWorkers: 5}} {
+		for _, bounds := range [][]int{{th}, {16, 48, th}, {1, 2, 3, 50, th}} {
+			sums := make([]float64, nb*width)
+			lo := 0
+			for _, hi := range bounds {
+				slots, errs := ReduceBlocksRange(d, nb, lo, hi, width, sums, kernel)
+				for _, err := range errs {
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Spot-check slots layout against the kernel directly.
+				span := hi - lo
+				for b := 0; b < nb; b++ {
+					tt := lo + span/2
+					var want [width]float64
+					_ = kernel(b, tt, want[:])
+					off := (b*span + (tt - lo)) * width
+					for w := 0; w < width; w++ {
+						if slots[off+w] != want[w] {
+							t.Fatalf("%s: slots[b=%d t=%d w=%d] = %v, want %v",
+								d.Name(), b, tt, w, slots[off+w], want[w])
+						}
+					}
+				}
+				lo = hi
+			}
+			for i := range ref {
+				if sums[i] != ref[i] {
+					t.Fatalf("%s bounds %v: sums[%d] = %v, want %v", d.Name(), bounds, i, sums[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceBlocksRangeErrorSkipsFold: an errored block's sums stay
+// untouched for the range, and the first-in-thread-order error is reported.
+func TestReduceBlocksRangeErrorSkipsFold(t *testing.T) {
+	kernel := func(b, tt int, out []float64) error {
+		if b == 1 && tt >= 10 {
+			return errBoom{tt}
+		}
+		out[0] = 1
+		return nil
+	}
+	sums := make([]float64, 3)
+	_, errs := ReduceBlocksRange(TwoLevel{NumWorkers: 3}, 3, 0, 8, 1, sums, kernel)
+	for b, err := range errs {
+		if err != nil {
+			t.Fatalf("unexpected error in clean range, block %d: %v", b, err)
+		}
+	}
+	_, errs = ReduceBlocksRange(TwoLevel{NumWorkers: 3}, 3, 8, 20, 1, sums, kernel)
+	if e, ok := errs[1].(errBoom); !ok || e.t != 10 {
+		t.Fatalf("block 1: want first error at t=10, got %v", errs[1])
+	}
+	if sums[0] != 20 || sums[2] != 20 {
+		t.Fatalf("healthy block sums %v, want 20", sums)
+	}
+	if sums[1] != 8 {
+		t.Fatalf("errored block folded anyway: sum %v, want 8 (first range only)", sums[1])
+	}
+}

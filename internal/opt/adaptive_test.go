@@ -1,0 +1,280 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"deco/internal/device"
+	"deco/internal/probir"
+)
+
+// mapOnlySpace has no kernel decomposition at all: evaluation only via the
+// generic map path. Used to pin the Worlds-assertion error.
+type mapOnlySpace struct{}
+
+func (mapOnlySpace) Initial() State            { return State{0} }
+func (mapOnlySpace) Neighbors(s State) []State { return nil }
+func (mapOnlySpace) Evaluate(s State, rng *rand.Rand) (*probir.Evaluation, error) {
+	return &probir.Evaluation{Value: 1, Feasible: true}, nil
+}
+
+// TestCompileAdaptiveOptionValidation pins the Compile-time validation of the
+// adaptive-sampling knobs: bad values fail with errors naming the option, and
+// a Worlds assertion is checked against the compiled kernel.
+func TestCompileAdaptiveOptionValidation(t *testing.T) {
+	w := cpuChain(t, 4, 300)
+	ne, _ := buildEval(t, w, 1300, 0.9, 20)
+	space := NewScheduleSpace(w, ne)
+
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"negative worlds", Options{Device: device.Sequential{}, Worlds: -1}, "Options.Worlds"},
+		{"negative min worlds", Options{Device: device.Sequential{}, MinWorlds: -5}, "Options.MinWorlds"},
+		{"low confidence", Options{Device: device.Sequential{}, Confidence: 0.3}, "Options.Confidence"},
+		{"negative confidence", Options{Device: device.Sequential{}, Confidence: -0.1}, "Options.Confidence"},
+		{"unit confidence", Options{Device: device.Sequential{}, Confidence: 1.0}, "Options.Confidence"},
+		{"worlds mismatch", Options{Device: device.Sequential{}, Worlds: 21}, "samples 20 worlds"},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(space, tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Compile error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// Valid settings compile; a correct Worlds assertion passes.
+	p, err := Compile(space, Options{Device: device.Sequential{}, Worlds: 20, MinWorlds: 8, Confidence: 0.99})
+	if err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	if p.Adaptive() {
+		t.Fatal("Adaptive off must compile the fixed path")
+	}
+	// Asserting Worlds against a space with no kernel decomposition fails.
+	if _, err := Compile(mapOnlySpace{}, Options{Device: device.Sequential{}, Worlds: 5}); err == nil ||
+		!strings.Contains(err.Error(), "no per-world kernel decomposition") {
+		t.Errorf("kernel-less Worlds assertion: error = %v", err)
+	}
+}
+
+// adaptiveFixture compiles the same scheduling space twice — fixed and
+// adaptive — sharing one evaluator so both see identical CRN realizations.
+// The deadline is tight enough that demoted configurations are sharply
+// infeasible, which is what adaptive stopping exploits.
+func adaptiveFixture(t *testing.T, d device.Device, cache *EvalCache) (*Problem, *Problem) {
+	t.Helper()
+	w := cpuChain(t, 6, 400)
+	ne, _ := buildEval(t, w, 1400, 0.95, 100)
+	space := NewScheduleSpace(w, ne)
+	base := Options{Device: d, Seed: 7, MaxStates: 2000, BeamWidth: 6, Patience: 10, Cache: cache}
+	fixed, err := Compile(space, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := base
+	ad.Adaptive = true
+	adaptive, err := Compile(space, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Adaptive() {
+		t.Fatal("adaptive problem did not compile onto the adaptive path")
+	}
+	if fixed.Adaptive() {
+		t.Fatal("fixed problem compiled adaptive")
+	}
+	return fixed, adaptive
+}
+
+// TestAdaptiveSearchMatchesFixed is the plan-quality contract: the adaptive
+// search must land on a plan with the same objective value and feasibility as
+// the fixed search, while actually saving worlds.
+func TestAdaptiveSearchMatchesFixed(t *testing.T) {
+	for _, astar := range []bool{false, true} {
+		fixed, adaptive := adaptiveFixture(t, device.Sequential{}, nil)
+		fixed.opts.AStar, adaptive.opts.AStar = astar, astar
+		rf, err := fixed.Search()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := adaptive.Search()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rf.Feasible || !ra.Feasible {
+			t.Fatalf("astar=%v: fixture should find feasible plans (fixed %v adaptive %v)", astar, rf.Feasible, ra.Feasible)
+		}
+		if rf.BestEval.Value != ra.BestEval.Value {
+			t.Fatalf("astar=%v: objective diverged: fixed %v (%v) adaptive %v (%v)",
+				astar, rf.BestEval.Value, rf.Best, ra.BestEval.Value, ra.Best)
+		}
+		// The returned best is backed by a complete evaluation: identical
+		// constraint probabilities to a fixed evaluation of the same state.
+		full, err := fixed.EvaluateStates([]State{ra.Best})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full[0].Value != ra.BestEval.Value || full[0].Feasible != ra.BestEval.Feasible ||
+			full[0].ConsProb[0] != ra.BestEval.ConsProb[0] {
+			t.Fatalf("astar=%v: returned best not backed by a full evaluation: %+v vs %+v", astar, ra.BestEval, full[0])
+		}
+		st := adaptive.SampleStats()
+		if !st.Adaptive || st.StatesAdaptive == 0 {
+			t.Fatalf("astar=%v: adaptive path never ran: %+v", astar, st)
+		}
+		if st.WorldsSaved() <= 0 {
+			t.Fatalf("astar=%v: adaptive saved no worlds: %+v", astar, st)
+		}
+		if fs := fixed.SampleStats(); fs.StatesAdaptive != 0 || fs.Adaptive {
+			t.Fatalf("astar=%v: fixed problem recorded adaptive stats: %+v", astar, fs)
+		}
+	}
+}
+
+// TestAdaptiveDeviceInvariance pins determinism of the adaptive path across
+// devices: stopping and racing decisions are functions of the running sums,
+// which chunked folding keeps bit-identical everywhere.
+func TestAdaptiveDeviceInvariance(t *testing.T) {
+	devices := []device.Device{
+		device.Sequential{},
+		device.Parallel{NumBlocks: 3},
+		device.TwoLevel{NumWorkers: 4},
+	}
+	var refBest float64
+	var refStats SampleStats
+	for i, d := range devices {
+		_, adaptive := adaptiveFixture(t, d, nil)
+		ra, err := adaptive.Search()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := adaptive.SampleStats()
+		if i == 0 {
+			refBest, refStats = ra.BestEval.Value, st
+			continue
+		}
+		if ra.BestEval.Value != refBest {
+			t.Fatalf("device %T: best %v != sequential %v", d, ra.BestEval.Value, refBest)
+		}
+		if st != refStats {
+			t.Fatalf("device %T: stats %+v != sequential %+v", d, st, refStats)
+		}
+	}
+}
+
+// TestAdaptivePartialNotCached pins the cache-completeness gate: states the
+// adaptive evaluator stopped early must not enter the evaluation cache, while
+// fully evaluated states must.
+func TestAdaptivePartialNotCached(t *testing.T) {
+	cache := NewEvalCache(1 << 20)
+	_, adaptive := adaptiveFixture(t, device.Sequential{}, cache)
+
+	// A frontier-like batch: the all-cheapest state and its global promotions.
+	// The slow configurations are sharply infeasible and stop early.
+	var cands []candidate
+	for j := 0; j < 4; j++ {
+		st := State{j, j, j, j, j, j}
+		cands = append(cands, candidate{state: st, key: st.Key()})
+	}
+	out := adaptive.evaluateCandidates(cands)
+	var partial, complete int
+	for _, s := range out {
+		if s.err != nil {
+			t.Fatal(s.err)
+		}
+		_, hit := adaptive.cache.Get(s.key)
+		if s.worlds > 0 && s.worlds < adaptive.worlds {
+			partial++
+			if hit {
+				t.Fatalf("partial evaluation (%d/%d worlds) of %v entered the cache", s.worlds, adaptive.worlds, s.state)
+			}
+		} else {
+			complete++
+			if !hit {
+				t.Fatalf("complete evaluation of %v missing from the cache", s.state)
+			}
+		}
+	}
+	if partial == 0 || complete == 0 {
+		t.Fatalf("fixture needs both partial (%d) and complete (%d) evaluations to pin the gate", partial, complete)
+	}
+}
+
+// TestAdaptiveConcurrentSearches is the race smoke for the chunked evaluator:
+// several adaptive searches over one shared evaluator and cache run
+// concurrently on the two-level device, and all must agree. Run with -race.
+func TestAdaptiveConcurrentSearches(t *testing.T) {
+	cache := NewEvalCache(1 << 20)
+	w := cpuChain(t, 6, 400)
+	ne, _ := buildEval(t, w, 1400, 0.95, 100)
+	space := NewScheduleSpace(w, ne)
+
+	const n = 4
+	results := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := Compile(space, Options{
+				Device: device.TwoLevel{NumWorkers: 4},
+				Seed:   7, MaxStates: 2000, BeamWidth: 6, Patience: 10,
+				Adaptive: true, Cache: cache,
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			r, err := p.Search()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g] = r.BestEval.Value
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < n; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if results[g] != results[0] {
+			t.Fatalf("concurrent search %d: best %v != %v", g, results[g], results[0])
+		}
+	}
+}
+
+// TestSnapStoreOverwriteAccounting is the regression test for byte accounting
+// on key overwrite: replacing a stored snapshot must charge the delta, not
+// double-count, and must release exactly the replaced snapshot.
+func TestSnapStoreOverwriteAccounting(t *testing.T) {
+	w := cpuChain(t, 6, 300)
+	ne, _ := buildEval(t, w, 1300, 0.9, 20)
+	var released []*probir.Snapshot
+	s := newSnapStore(1<<20, func(sn *probir.Snapshot) { released = append(released, sn) })
+
+	a, b := ne.NewSnapshot(), ne.NewSnapshot()
+	s.put("k", a)
+	_, bytesA, _ := s.stats()
+	if bytesA != a.Bytes() || bytesA == 0 {
+		t.Fatalf("after first put: %d bytes, want %d", bytesA, a.Bytes())
+	}
+	s.put("k", b)
+	entries, bytesB, _ := s.stats()
+	if entries != 1 {
+		t.Fatalf("overwrite left %d entries", entries)
+	}
+	if bytesB != b.Bytes() {
+		t.Fatalf("after overwrite: %d bytes, want %d (double-counted?)", bytesB, b.Bytes())
+	}
+	if len(released) != 1 || released[0] != a {
+		t.Fatalf("overwrite released %d snapshots, want exactly the replaced one", len(released))
+	}
+	if got, ok := s.get("k"); !ok || got != b {
+		t.Fatalf("get after overwrite: %v %v", got, ok)
+	}
+}

@@ -135,6 +135,33 @@ type Options struct {
 	// Delta evaluation is bit-identical to full evaluation, so the budget
 	// trades memory against wall clock only — never results.
 	SnapshotBudget int64
+	// Adaptive enables adaptive-precision Monte-Carlo evaluation: worlds run
+	// in chunks, sequential stopping rules decide each state's feasibility
+	// verdict as soon as it is certain (or statistically decided at the
+	// configured Confidence), and racing eliminates frontier states that
+	// provably cannot rank. Feasibility verdicts and feasible states' scores
+	// match the fixed-worlds path; partially evaluated states carry
+	// pessimistic violation estimates, so the search trajectory may differ
+	// while plan quality is preserved (the final best is always confirmed by
+	// a full evaluation). Off (the default) is the deterministic mode: bit
+	// identical to all prior behavior. Adaptive engages only when the space
+	// compiles onto the kernel path with indicator-backed constraints; it is
+	// silently inert otherwise (see Problem.SampleStats).
+	Adaptive bool
+	// Worlds, when positive, asserts the per-state Monte-Carlo world count
+	// the compiled kernel must have; Compile fails with a clear error on a
+	// mismatch (instead of a confusing kernel-shape error mid-search). 0
+	// takes the kernel's own count.
+	Worlds int
+	// MinWorlds is the first chunk size of adaptive evaluation — the minimum
+	// number of worlds every state runs before any stop decision. 0 defaults
+	// to 16.
+	MinWorlds int
+	// Confidence is the anytime-valid confidence level of the statistical
+	// stopping and racing rules, in [0.5, 1); 0 defaults to 0.999. The exact
+	// worst-case stopping rule is always applied first and carries no error;
+	// Confidence only governs the supplementary large-world-count rules.
+	Confidence float64
 }
 
 // DefaultOptions returns a reasonable configuration on the given device.
@@ -160,12 +187,18 @@ type Result struct {
 	Feasible bool
 }
 
-// scored pairs a state with its evaluation.
+// scored pairs a state with its evaluation. worlds is the number of
+// Monte-Carlo worlds the evaluation actually ran: 0 on the fixed paths
+// (always complete), the stop point on the adaptive path. A partial count
+// below the compiled world cap marks a pessimistic verdict that must not
+// enter the evaluation cache and that the search confirms fully before
+// returning the state as its result.
 type scored struct {
-	state State
-	key   string
-	eval  *probir.Evaluation
-	err   error
+	state  State
+	key    string
+	eval   *probir.Evaluation
+	err    error
+	worlds int
 }
 
 // candidate is a state queued for evaluation together with its provenance:
@@ -324,6 +357,12 @@ func fillDefaults(opt *Options) {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	if opt.MinWorlds == 0 {
+		opt.MinWorlds = 16
+	}
+	if opt.Confidence == 0 {
+		opt.Confidence = 0.999
+	}
 }
 
 // MultiStartSpace is an optional extension: a space offering several start
@@ -467,6 +506,11 @@ func (p *Problem) genericSearch() (*Result, error) {
 		}
 	}
 
+	// Adaptive evaluations may have stopped the best state early; the
+	// returned result is always backed by a full evaluation.
+	if err := p.confirmBest(best); err != nil {
+		return nil, err
+	}
 	res.Best = best.state
 	res.BestEval = best.eval
 	res.Feasible = best.eval.Feasible
@@ -595,6 +639,9 @@ func (p *Problem) astarSearch() (*Result, error) {
 	}
 	if chosen == nil {
 		return nil, fmt.Errorf("opt: no states evaluated")
+	}
+	if err := p.confirmBest(chosen); err != nil {
+		return nil, err
 	}
 	res.Best = chosen.state
 	res.BestEval = chosen.eval

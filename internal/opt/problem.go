@@ -48,6 +48,20 @@ type Problem struct {
 	tspace TransformSpace
 	snaps  *snapStore
 	stats  DeltaStats
+
+	// adaptive, when set, routes kernel-path evaluation through the chunked
+	// sequential-stopping evaluator (adaptive.go): states stop as soon as
+	// their feasibility verdict is decided against the compiled indicator
+	// targets, and racing prunes provably-worse frontier states. Resolved at
+	// Compile from Options.Adaptive and the probe kernel's PartialKernel
+	// capability; indIdx/indTargets are the indicator figures and their
+	// percentile targets, valueFig the sampled goal figure (-1 when the goal
+	// value is deterministic).
+	adaptive   bool
+	indIdx     []int
+	indTargets []float64
+	valueFig   int
+	sstats     SampleStats
 }
 
 // DeltaStats reports how the compiled problem's evaluations were routed, for
@@ -90,7 +104,19 @@ func (p *Problem) DeltaStats() DeltaStats {
 // construction would fail for the search's first batch anyway.
 func Compile(sp Space, o Options) (*Problem, error) {
 	fillDefaults(&o)
-	p := &Problem{space: sp, opts: o}
+	// Adaptive-sampling knobs are validated here, at compile time, so a bad
+	// configuration fails with a clear error instead of silently running a
+	// fixed-precision (or subtly wrong) search.
+	if o.Worlds < 0 {
+		return nil, fmt.Errorf("opt: Options.Worlds must be >= 0, got %d", o.Worlds)
+	}
+	if o.MinWorlds < 0 {
+		return nil, fmt.Errorf("opt: Options.MinWorlds must be >= 0 (0 selects the default first chunk), got %d", o.MinWorlds)
+	}
+	if o.Confidence < 0.5 || o.Confidence >= 1 {
+		return nil, fmt.Errorf("opt: Options.Confidence must be in [0.5, 1) (0 selects the default), got %v", o.Confidence)
+	}
+	p := &Problem{space: sp, opts: o, valueFig: -1}
 
 	if fs, ok := sp.(FingerprintSpace); ok {
 		p.fingerprint = fs.Fingerprint()
@@ -108,6 +134,7 @@ func Compile(sp Space, o Options) (*Problem, error) {
 	}
 
 	probe := p.starts[0]
+	var probeKernel probir.WorldKernel
 	if cs, ok := sp.(CRNSpace); ok {
 		k, err := cs.CRNKernel(probe, p.opts.Seed)
 		if err != nil {
@@ -118,6 +145,7 @@ func Compile(sp Space, o Options) (*Problem, error) {
 			p.kernel = func(st State) (probir.WorldKernel, error) { return cs.CRNKernel(st, seed) }
 			p.crn = true
 			p.worlds, p.width = k.Worlds(), k.Width()
+			probeKernel = k
 		}
 	}
 	if p.kernel == nil {
@@ -130,10 +158,37 @@ func Compile(sp Space, o Options) (*Problem, error) {
 				if usableKernel(k) {
 					p.kernel = ks.Kernel
 					p.worlds, p.width = k.Worlds(), k.Width()
+					probeKernel = k
 				}
 			}
 		}
 	}
+	if o.Worlds > 0 {
+		if p.kernel == nil {
+			return nil, fmt.Errorf("opt: Options.Worlds=%d asserted, but the space has no per-world kernel decomposition", o.Worlds)
+		}
+		if p.worlds != o.Worlds {
+			return nil, fmt.Errorf("opt: Options.Worlds=%d, but the compiled kernel samples %d worlds per state", o.Worlds, p.worlds)
+		}
+	}
+	// Adaptive precision engages only when everything it rests on is present:
+	// a kernel that can finalize from a world prefix, indicator figures that
+	// fully determine feasibility, a block device to chunk on, and a world
+	// budget the first chunk does not already cover. Otherwise the flag is
+	// inert and the problem runs the fixed path (Problem.Adaptive reports
+	// which).
+	if o.Adaptive && probeKernel != nil {
+		if _, block := o.Device.(device.BlockDevice); block && p.worlds > o.MinWorlds {
+			if pk, ok := probeKernel.(probir.PartialKernel); ok {
+				if idx, targets, okInd := pk.Indicators(); okInd && len(idx) > 0 {
+					p.adaptive = true
+					p.indIdx, p.indTargets = idx, targets
+					p.valueFig = pk.ValueFigure()
+				}
+			}
+		}
+	}
+	p.sstats.Adaptive = p.adaptive
 	// Delta evaluation needs the CRN contract (parent finish times are only
 	// reusable when every state shares one duration matrix), transform
 	// metadata to know what changed, and an evaluation that actually has
@@ -173,6 +228,11 @@ func (p *Problem) Starts() []State { return p.starts }
 // Kerneled reports whether state evaluations run on the per-world kernel
 // path, and whether that path follows the common-random-number contract.
 func (p *Problem) Kerneled() (kernel, crn bool) { return p.kernel != nil, p.crn }
+
+// Adaptive reports whether state evaluations run on the adaptive-precision
+// (sequential stopping + racing) path. False either because Options.Adaptive
+// was off or because the space/device cannot support it.
+func (p *Problem) Adaptive() bool { return p.adaptive }
 
 // Search runs the compiled problem to completion: A* when Options.AStar is
 // set, otherwise the generic search of Algorithm 2.
@@ -283,7 +343,11 @@ func (p *Problem) evaluateCandidates(cands []candidate) []scored {
 	if len(miss) > 0 {
 		for mi, s := range p.evaluateLive(miss) {
 			out[missIdx[mi]] = s
-			if s.err == nil && s.eval != nil {
+			// Only complete evaluations enter the cache: an adaptive early
+			// stop (0 < s.worlds < p.worlds) is a pessimistic verdict over a
+			// world prefix, and caching it would freeze that pessimism into
+			// later searches that share the binding.
+			if s.err == nil && s.eval != nil && (s.worlds == 0 || s.worlds >= p.worlds) {
 				p.cache.Put(s.key, s.eval)
 			}
 		}
@@ -300,6 +364,23 @@ func (p *Problem) evaluateCandidates(cands []candidate) []scored {
 // orders because every world's figures depend only on (kernel, base,
 // iteration) and reductions fold in iteration order.
 func (p *Problem) evaluateLive(cands []candidate) []scored {
+	if p.adaptive {
+		out, ok := p.evaluateAdaptive(cands)
+		if ok {
+			return out
+		}
+		// A state's kernel drifted from the compiled shape or lost the
+		// partial-kernel capability mid-search: the batch falls back to the
+		// generic path with recorded errors preserved, same as below.
+		return p.evaluateMapMerge(cands, out)
+	}
+	return p.evaluateFixed(cands)
+}
+
+// evaluateFixed is the fixed-precision path: every state runs its full world
+// budget. It is the pre-adaptive evaluateLive, kept as the routing target for
+// non-adaptive problems and for confirmBest's full re-evaluation.
+func (p *Problem) evaluateFixed(cands []candidate) []scored {
 	if p.kernel != nil {
 		out, ok := p.evaluateKernel(cands)
 		if ok {

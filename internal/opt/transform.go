@@ -372,6 +372,38 @@ func (k *costFnKernel) Reduce(sums []float64) (*probir.Evaluation, error) {
 	return ev, nil
 }
 
+// Indicators forwards the inner kernel's partial-evaluation capability: the
+// CostFn changes the goal value only, never the constraint indicators.
+func (k *costFnKernel) Indicators() (idx []int, targets []float64, ok bool) {
+	if pk, isPartial := k.WorldKernel.(probir.PartialKernel); isPartial {
+		return pk.Indicators()
+	}
+	return nil, nil, false
+}
+
+// ValueFigure reports a deterministic goal value: the CostFn replaces the
+// reduced value with a world-free plan cost, exact under any world prefix.
+func (k *costFnKernel) ValueFigure() int { return -1 }
+
+// ReducePartial applies the CostFn over the inner partial reduction, exactly
+// as Reduce applies it over the full one.
+func (k *costFnKernel) ReducePartial(sums []float64, seen int) (*probir.Evaluation, error) {
+	pk, isPartial := k.WorldKernel.(probir.PartialKernel)
+	if !isPartial {
+		return nil, fmt.Errorf("opt: inner kernel does not support partial reduction")
+	}
+	ev, err := pk.ReducePartial(sums, seen)
+	if err != nil {
+		return nil, err
+	}
+	v, err := k.fn(k.st)
+	if err != nil {
+		return nil, err
+	}
+	ev.Value = v
+	return ev, nil
+}
+
 // NewPackedScheduleSpace builds the scheduling space with the hour-billed
 // packed cost objective — the full transformation-aware optimization the
 // engine uses by default.

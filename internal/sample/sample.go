@@ -1,0 +1,224 @@
+// Package sample implements the statistical machinery of adaptive-precision
+// Monte-Carlo inference: chunked world schedules, sequential stopping rules
+// for the solver's probabilistic feasibility checks, and paired-difference
+// racing trackers for successive elimination across a frontier batch.
+//
+// The solver's feasibility question (§4.2 of the paper) is "is
+// P(constraint satisfied) >= percentile?", answered by averaging 0/1
+// indicator figures over a fixed number of Monte-Carlo worlds. Two stopping
+// rules decide that question from a prefix of the worlds:
+//
+//   - The exact worst-case rule: after seeing s successes in t of N worlds,
+//     the final success probability lies in [s/N, (s+N-t)/N] no matter how
+//     the remaining worlds come out. When that whole interval falls on one
+//     side of the target the verdict is certain — not statistically likely,
+//     certain — so a verdict reached this way is always bit-identical to the
+//     full evaluation's. A clearly infeasible state is decided after
+//     floor((1-pct)*N)+1 failures (a handful of worlds at pct=0.96), and at
+//     t=N the interval collapses to the exact final probability, so the rule
+//     always terminates with the exact verdict.
+//
+//   - Anytime-valid confidence sequences (Hoeffding or empirical-Bernstein
+//     radii with a telescoping error allocation over checks) decide states
+//     whose empirical mean is far from the target long before the worst-case
+//     interval closes. These fire only at large world counts — at N=100 the
+//     exact rule always wins — and carry a total error probability bounded by
+//     the configured delta.
+//
+// Racing is driven by common random numbers (the CRN contract of the
+// evaluation core): every state sees the same world realizations, so
+// per-world differences between two states are paired samples whose variance
+// is far below the variance of either state's figures alone. The Paired
+// tracker accumulates Welford moments of those differences and reports an
+// empirical-Bernstein lower confidence bound on the mean difference;
+// successive elimination drops a state once it is provably (to the
+// configured confidence) worse than the racing reference.
+package sample
+
+import "math"
+
+// Verdict is the outcome of a sequential feasibility check.
+type Verdict int
+
+const (
+	// Undecided means the prefix cannot yet settle the check.
+	Undecided Verdict = iota
+	// DecidedFeasible means the constraint probability provably reaches the
+	// target.
+	DecidedFeasible
+	// DecidedInfeasible means the constraint probability provably misses the
+	// target.
+	DecidedInfeasible
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case DecidedFeasible:
+		return "feasible"
+	case DecidedInfeasible:
+		return "infeasible"
+	case Undecided:
+		return "undecided"
+	}
+	return "verdict(?)"
+}
+
+// Chunks returns the cumulative world counts at which a sequential evaluation
+// checks its stopping rules: min worlds first, then geometrically doubling
+// chunk sizes, ending exactly at total. Geometric growth keeps the number of
+// checks (and therefore the union-bound error allocation and the per-chunk
+// scheduling overhead) logarithmic in total.
+func Chunks(min, total int) []int {
+	if total <= 0 {
+		return nil
+	}
+	if min < 1 {
+		min = 1
+	}
+	var ends []int
+	end, size := 0, min
+	for end < total {
+		end += size
+		if end > total {
+			end = total
+		}
+		ends = append(ends, end)
+		size *= 2
+	}
+	return ends
+}
+
+// DeltaAt allocates the per-check error budget of the k-th stopping check
+// (1-based) from a total budget delta: delta/(k*(k+1)), which telescopes to
+// at most delta over any number of checks.
+func DeltaAt(check int, delta float64) float64 {
+	if check < 1 {
+		check = 1
+	}
+	return delta / (float64(check) * float64(check+1))
+}
+
+// HoeffdingRadius is the two-sided Hoeffding confidence radius for the mean
+// of n i.i.d. [0,1]-bounded samples at error probability delta:
+// sqrt(ln(2/delta) / (2n)).
+func HoeffdingRadius(n int, delta float64) float64 {
+	if n <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}
+
+// BernsteinRadius is the empirical-Bernstein confidence radius for the mean
+// of n i.i.d. samples with range width rang and sample variance v, at error
+// probability delta: sqrt(2 v ln(3/delta) / n) + 3 rang ln(3/delta) / n.
+// It beats Hoeffding when the sample variance is small relative to the
+// range — the common case for CRN-paired differences.
+func BernsteinRadius(n int, v, rang, delta float64) float64 {
+	if n <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	l := math.Log(3 / delta)
+	fn := float64(n)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(2*v*l/fn) + 3*rang*l/fn
+}
+
+// Bernoulli tracks the running success count of one probabilistic constraint
+// over a prefix of Monte-Carlo worlds. Succ is kept as a float64 because it
+// is folded from indicator figure sums exactly as the full reduction folds
+// them — at Seen == total, Succ/total is bit-identical to the probability
+// the full evaluation reports.
+type Bernoulli struct {
+	Succ float64
+	Seen int
+}
+
+// Add folds a chunk's indicator sum over worlds more worlds into the tracker.
+func (b *Bernoulli) Add(succ float64, worlds int) {
+	b.Succ += succ
+	b.Seen += worlds
+}
+
+// Range returns the worst-case interval of the final success probability over
+// total worlds: every unseen world failing (lo) or succeeding (hi). Both
+// bounds are exact — division by total is monotone in the numerator.
+func (b Bernoulli) Range(total int) (lo, hi float64) {
+	ft := float64(total)
+	lo = b.Succ / ft
+	hi = (b.Succ + float64(total-b.Seen)) / ft
+	return lo, hi
+}
+
+// Check decides the constraint "final success probability >= target" from the
+// prefix. The exact worst-case rule is consulted first (its verdicts are
+// certain and bit-identical to the full evaluation); the anytime-valid
+// Hoeffding confidence sequence supplements it with error budget
+// DeltaAt(check, delta) when delta > 0 and worlds remain. check is the
+// 1-based index of this stopping check.
+func (b Bernoulli) Check(total int, target, delta float64, check int) Verdict {
+	lo, hi := b.Range(total)
+	if lo >= target {
+		return DecidedFeasible
+	}
+	if hi < target {
+		return DecidedInfeasible
+	}
+	if b.Seen < total && b.Seen > 0 && delta > 0 {
+		r := HoeffdingRadius(b.Seen, DeltaAt(check, delta))
+		p := b.Succ / float64(b.Seen)
+		if p-r >= target {
+			return DecidedFeasible
+		}
+		if p+r < target {
+			return DecidedInfeasible
+		}
+	}
+	return Undecided
+}
+
+// Paired accumulates Welford moments of CRN-paired per-world differences
+// (this state's figure minus the racing reference's, same world index on both
+// sides) plus the largest absolute difference seen, which stands in for the
+// unknown range in the empirical-Bernstein radius.
+type Paired struct {
+	N      int
+	Mean   float64
+	m2     float64
+	AbsMax float64
+}
+
+// Add folds one paired difference.
+func (p *Paired) Add(d float64) {
+	p.N++
+	delta := d - p.Mean
+	p.Mean += delta / float64(p.N)
+	p.m2 += delta * (d - p.Mean)
+	if a := math.Abs(d); a > p.AbsMax {
+		p.AbsMax = a
+	}
+}
+
+// Var returns the sample variance of the differences.
+func (p Paired) Var() float64 {
+	if p.N < 2 {
+		return math.Inf(1)
+	}
+	return p.m2 / float64(p.N-1)
+}
+
+// LowerBound returns an empirical-Bernstein lower confidence bound on the
+// mean difference at error probability DeltaAt(check, delta). A positive
+// bound means this state's figure provably exceeds the reference's on
+// average — for a minimized figure, grounds for elimination. The observed
+// absolute maximum stands in for the range, so the bound is a strong
+// heuristic rather than a finite-sample certainty; racing callers carry the
+// residual risk in their configured delta.
+func (p Paired) LowerBound(delta float64, check int) float64 {
+	if p.N < 2 {
+		return math.Inf(-1)
+	}
+	return p.Mean - BernsteinRadius(p.N, p.Var(), 2*p.AbsMax, DeltaAt(check, delta))
+}

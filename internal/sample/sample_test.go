@@ -1,0 +1,208 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		min, total int
+		want       []int
+	}{
+		{16, 100, []int{16, 48, 100}},
+		{16, 16, []int{16}},
+		{16, 10, []int{10}},
+		{1, 7, []int{1, 3, 7}},
+		{4, 64, []int{4, 12, 28, 60, 64}},
+		{16, 0, nil},
+		{0, 5, []int{1, 3, 5}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.min, c.total)
+		if len(got) != len(c.want) {
+			t.Fatalf("Chunks(%d, %d) = %v, want %v", c.min, c.total, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Chunks(%d, %d) = %v, want %v", c.min, c.total, got, c.want)
+			}
+		}
+	}
+	// The last chunk must always land exactly on total.
+	for min := 1; min < 40; min++ {
+		for total := 1; total < 200; total += 7 {
+			ends := Chunks(min, total)
+			if ends[len(ends)-1] != total {
+				t.Fatalf("Chunks(%d, %d) ends at %d", min, total, ends[len(ends)-1])
+			}
+			prev := 0
+			for _, e := range ends {
+				if e <= prev {
+					t.Fatalf("Chunks(%d, %d): non-increasing end %d after %d", min, total, e, prev)
+				}
+				prev = e
+			}
+		}
+	}
+}
+
+func TestDeltaAtTelescopes(t *testing.T) {
+	const delta = 0.01
+	sum := 0.0
+	for k := 1; k <= 10000; k++ {
+		sum += DeltaAt(k, delta)
+	}
+	if sum > delta {
+		t.Fatalf("sum of per-check budgets %g exceeds total %g", sum, delta)
+	}
+	if sum < 0.99*delta {
+		t.Fatalf("allocation wastes too much budget: %g of %g", sum, delta)
+	}
+}
+
+func TestRadiiShrink(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		r := HoeffdingRadius(n, 0.01)
+		if r >= prev {
+			t.Fatalf("Hoeffding radius not shrinking at n=%d: %g >= %g", n, r, prev)
+		}
+		prev = r
+	}
+	if r := HoeffdingRadius(0, 0.01); !math.IsInf(r, 1) {
+		t.Fatalf("HoeffdingRadius(0) = %g, want +Inf", r)
+	}
+	// Bernstein beats Hoeffding when the variance is small.
+	if b, h := BernsteinRadius(1000, 0.001, 1, 0.01), HoeffdingRadius(1000, 0.01); b >= h {
+		t.Fatalf("low-variance Bernstein %g not below Hoeffding %g", b, h)
+	}
+}
+
+// TestBernoulliExactNeverWrong drives random Bernoulli world sequences
+// through the exact rule (delta=0) and asserts that any early verdict matches
+// the verdict computed from the full sequence — the property that makes
+// adaptive feasibility bit-identical to fixed evaluation.
+func TestBernoulliExactNeverWrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const total = 100
+	for trial := 0; trial < 2000; trial++ {
+		p := rng.Float64()
+		target := 0.5 + rng.Float64()/2
+		outcomes := make([]float64, total)
+		full := 0.0
+		for i := range outcomes {
+			if rng.Float64() < p {
+				outcomes[i] = 1
+				full++
+			}
+		}
+		finalFeasible := full/float64(total) >= target
+		var b Bernoulli
+		decided := Undecided
+		decidedAt := 0
+		check := 0
+		prev := 0
+		for _, end := range Chunks(8, total) {
+			chunk := 0.0
+			for i := prev; i < end; i++ {
+				chunk += outcomes[i]
+			}
+			b.Add(chunk, end-prev)
+			prev = end
+			check++
+			if v := b.Check(total, target, 0, check); v != Undecided {
+				decided, decidedAt = v, end
+				break
+			}
+		}
+		if decided == Undecided {
+			t.Fatalf("trial %d: undecided at t=N (the exact rule must close)", trial)
+		}
+		if (decided == DecidedFeasible) != finalFeasible {
+			t.Fatalf("trial %d: early verdict %v at t=%d contradicts final feasible=%v",
+				trial, decided, decidedAt, finalFeasible)
+		}
+	}
+}
+
+// TestBernoulliDecidesInfeasibleEarly checks the savings claim: a clearly
+// infeasible state at pct=0.96 is decided after a handful of worlds.
+func TestBernoulliDecidesInfeasibleEarly(t *testing.T) {
+	const total = 100
+	var b Bernoulli
+	// Alternate success/failure: p ~ 0.5, far below 0.96.
+	decidedAt := 0
+	for it := 0; it < total; it++ {
+		if it%2 == 0 {
+			b.Add(1, 1)
+		} else {
+			b.Add(0, 1)
+		}
+		if b.Check(total, 0.96, 0, 1) == DecidedInfeasible {
+			decidedAt = it + 1
+			break
+		}
+	}
+	if decidedAt == 0 || decidedAt > 12 {
+		t.Fatalf("clearly infeasible state decided at t=%d, want <= 12", decidedAt)
+	}
+}
+
+// TestBernoulliConfidenceStops checks that the Hoeffding supplement fires at
+// large world counts where the worst-case interval is still open.
+func TestBernoulliConfidenceStops(t *testing.T) {
+	const total = 100000
+	b := Bernoulli{Succ: 4000, Seen: 4000} // perfect record so far
+	if v := b.Check(total, 0.96, 0, 1); v != Undecided {
+		t.Fatalf("exact rule alone decided %v with %d/%d worlds", v, b.Seen, total)
+	}
+	if v := b.Check(total, 0.96, 1e-3, 3); v != DecidedFeasible {
+		t.Fatalf("confidence sequence verdict %v, want feasible", v)
+	}
+	// And the mirror: a terrible record decides infeasible.
+	b = Bernoulli{Succ: 1000, Seen: 2000}
+	if v := b.Check(total, 0.96, 1e-3, 3); v != DecidedInfeasible {
+		t.Fatalf("confidence sequence verdict %v, want infeasible", v)
+	}
+}
+
+func TestPairedWelford(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var p Paired
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1.5
+		p.Add(xs[i])
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs) - 1)
+	if math.Abs(p.Mean-mean) > 1e-9 || math.Abs(p.Var()-v) > 1e-9 {
+		t.Fatalf("Welford mean/var (%g, %g) != direct (%g, %g)", p.Mean, p.Var(), mean, v)
+	}
+	// A clearly positive mean difference yields a positive lower bound; a
+	// zero-mean one does not.
+	var pos, zero Paired
+	for i := 0; i < 400; i++ {
+		pos.Add(5 + rng.NormFloat64()*0.1)
+		zero.Add(rng.NormFloat64() * 0.1)
+	}
+	if lb := pos.LowerBound(1e-3, 1); lb <= 0 {
+		t.Fatalf("positive-mean lower bound %g, want > 0", lb)
+	}
+	if lb := zero.LowerBound(1e-3, 1); lb > 0 {
+		t.Fatalf("zero-mean lower bound %g, want <= 0", lb)
+	}
+	if lb := (Paired{}).LowerBound(1e-3, 1); !math.IsInf(lb, -1) {
+		t.Fatalf("empty tracker lower bound %g, want -Inf", lb)
+	}
+}

@@ -88,6 +88,12 @@ type SubmitRequest struct {
 	// server default; 1 restricts the solver to state-level parallelism.
 	// The produced plan is identical for every setting.
 	Threads int `json:"threads,omitempty"`
+	// Adaptive toggles adaptive-precision Monte-Carlo inference (sequential
+	// stopping + racing) for this job's solve; absent takes the server
+	// default (decod -adaptive). Plan feasibility and quality match the
+	// fixed-precision solve; worlds_evaluated/worlds_saved in the result
+	// report the sampling economy.
+	Adaptive *bool `json:"adaptive,omitempty"`
 
 	// RequestID is transport metadata, not part of the request body: it is
 	// taken from the X-Request-Id header (or generated) and propagated
@@ -112,6 +118,10 @@ type PlanResult struct {
 	Objective       float64      `json:"objective"`
 	ConstraintProbs []float64    `json:"constraint_probs,omitempty"`
 	StatesEvaluated int          `json:"states_evaluated"`
+	// WorldsEvaluated / WorldsSaved report the adaptive-precision sampling
+	// economy of this job's solve (zero for fixed-precision solves).
+	WorldsEvaluated int64        `json:"worlds_evaluated,omitempty"`
+	WorldsSaved     int64        `json:"worlds_saved,omitempty"`
 	Assignments     []Assignment `json:"assignments"`
 }
 
@@ -131,6 +141,8 @@ func PlanResultOf(p *deco.Plan) PlanResult {
 		Objective:       p.Objective,
 		ConstraintProbs: p.ConsProb,
 		StatesEvaluated: p.StatesEvaluated,
+		WorldsEvaluated: p.WorldsEvaluated,
+		WorldsSaved:     p.WorldsSaved,
 		Assignments:     make([]Assignment, 0, len(ids)),
 	}
 	for _, id := range ids {
@@ -344,6 +356,10 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, string, error) {
 	if req.Threads < 0 {
 		return nil, "", fmt.Errorf("threads must be >= 0")
 	}
+	if req.Adaptive == nil {
+		v := m.cfg.DefaultAdaptive
+		req.Adaptive = &v
+	}
 	req.Tenant = strings.TrimSpace(req.Tenant)
 	if req.Tenant == "" {
 		req.Tenant = DefaultTenant
@@ -421,6 +437,12 @@ func (m *Manager) normalize(req *SubmitRequest) (*dag.Workflow, string, error) {
 func (m *Manager) jobKey(req *SubmitRequest, w *dag.Workflow) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "v1|cat=%s|seed=%d|iters=%d|budget=%d|goal=%s|", m.catHash, req.Seed, req.Iters, req.SearchBudget, req.Goal)
+	// Adaptive solves preserve plan quality but may land on a different
+	// equal-objective plan, so they get their own cache/ring key. The flag is
+	// appended only when set, keeping every fixed-precision key unchanged.
+	if req.Adaptive != nil && *req.Adaptive {
+		io.WriteString(h, "adaptive|")
+	}
 	if req.Deadline != nil {
 		fmt.Fprintf(h, "deadline=%s@%s|", floatKey(req.Deadline.Value), floatKey(req.Deadline.Percentile))
 	}
@@ -718,11 +740,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	type engineCfg struct {
-		seed    int64
-		iters   int
-		budget  int
-		threads int
-		scope   string
+		seed     int64
+		iters    int
+		budget   int
+		threads  int
+		adaptive bool
+		scope    string
 	}
 	engines := make(map[engineCfg]*deco.Engine)
 	for {
@@ -747,11 +770,15 @@ func (m *Manager) worker() {
 		// evaluations; the cache itself stays one shared table.
 		cfg := engineCfg{seed: j.req.Seed, iters: j.req.Iters, budget: j.req.SearchBudget,
 			threads: j.req.Threads, scope: j.kind}
+		if j.req.Adaptive != nil {
+			cfg.adaptive = *j.req.Adaptive
+		}
 		eng, ok := engines[cfg]
 		var err error
 		if !ok {
 			opts := []deco.Option{deco.WithSeed(cfg.seed), deco.WithIters(cfg.iters),
-				deco.WithSearchBudget(cfg.budget), deco.WithThreads(cfg.threads)}
+				deco.WithSearchBudget(cfg.budget), deco.WithThreads(cfg.threads),
+				deco.WithAdaptive(cfg.adaptive)}
 			if m.evalCache != nil {
 				opts = append(opts, deco.WithEvalCache(m.evalCache), deco.WithEvalCacheScope(cfg.scope))
 			}
@@ -933,6 +960,8 @@ func (m *Manager) solveLocal(j *job, eng *deco.Engine) (solveOut, error) {
 	} else {
 		var plan *deco.Plan
 		if plan, err = solve(j.ctx, eng, j); err == nil {
+			m.metrics.WorldsEvaluatedTotal.Add(plan.WorldsEvaluated)
+			m.metrics.WorldsSavedTotal.Add(plan.WorldsSaved)
 			doc, err = json.Marshal(PlanResultOf(plan))
 		}
 	}

@@ -40,6 +40,13 @@ type Metrics struct {
 	PeerJobs        atomic.Int64 // jobs received from peers via the solve endpoint
 	QuotaRejected   atomic.Int64 // submissions refused by per-tenant admission
 
+	// Adaptive-precision sampling economy across all local solves:
+	// Monte-Carlo worlds actually evaluated on the adaptive path, and worlds
+	// avoided relative to the fixed per-state budget. Both stay zero while no
+	// adaptive solve has run.
+	WorldsEvaluatedTotal atomic.Int64
+	WorldsSavedTotal     atomic.Int64
+
 	mu     sync.Mutex
 	solve  reservoir
 	rng    *rand.Rand
@@ -200,6 +207,10 @@ type Snapshot struct {
 	PeerJobs        int64 `json:"peer_jobs"`
 	QuotaRejected   int64 `json:"quota_rejected"`
 
+	// Adaptive-precision sampling counters (zero unless adaptive solves ran).
+	WorldsEvaluatedTotal int64 `json:"worlds_evaluated_total"`
+	WorldsSavedTotal     int64 `json:"worlds_saved_total"`
+
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
@@ -244,6 +255,9 @@ func (m *Metrics) Snapshot(c *Cache, ec *deco.EvalCache) Snapshot {
 		CrossShardHits:  m.CrossShardHits.Load(),
 		PeerJobs:        m.PeerJobs.Load(),
 		QuotaRejected:   m.QuotaRejected.Load(),
+
+		WorldsEvaluatedTotal: m.WorldsEvaluatedTotal.Load(),
+		WorldsSavedTotal:     m.WorldsSavedTotal.Load(),
 	}
 	if c != nil {
 		s.CacheHits, s.CacheMisses = c.Stats()

@@ -97,6 +97,9 @@ type Config struct {
 	// freely, 1 restricts it to state-level parallelism. Plans do not depend
 	// on this knob.
 	DefaultThreads int
+	// DefaultAdaptive enables adaptive-precision Monte-Carlo inference for
+	// requests that do not set "adaptive" themselves (decod -adaptive).
+	DefaultAdaptive bool
 	// DefaultRisk is the replan threshold applied to managed runs that leave
 	// risk zero (default 0.1).
 	DefaultRisk float64

@@ -562,3 +562,64 @@ C in totalcost(C) satisfies budget(mean, 40).
 		t.Fatalf("run submission of ensemble program: status %d, want 400; body: %s", resp.StatusCode, body)
 	}
 }
+
+// TestAdaptiveJobStatsAndMetrics covers the adaptive-precision wiring end to
+// end: an adaptive job solves to the same plan quality as the fixed job, its
+// result carries per-job world counters, the two share no cache entry (the
+// job key includes the flag), and /metrics exports the cumulative
+// worlds_evaluated_total / worlds_saved_total counters.
+func TestAdaptiveJobStatsAndMetrics(t *testing.T) {
+	// The evaluation cache is disabled so the adaptive solve evaluates live:
+	// complete cached evaluations are shared between fixed and adaptive
+	// engines (they are bit-identical), which would leave the adaptive path
+	// nothing to run.
+	cfg := quickCfg()
+	cfg.EvalCacheCapacity = -1
+	_, ts := newTestServer(t, cfg)
+
+	req := SubmitRequest{
+		Workflow: "pipeline",
+		Deadline: &PctBound{Percentile: 0.9, Value: 40000},
+	}
+	fixed := waitForState(t, ts, submit(t, ts, req, http.StatusAccepted).ID, JobDone, 30*time.Second)
+	var fixedRes PlanResult
+	if err := json.Unmarshal(fixed.Result, &fixedRes); err != nil {
+		t.Fatal(err)
+	}
+	if fixedRes.WorldsEvaluated != 0 || fixedRes.WorldsSaved != 0 {
+		t.Fatalf("fixed-precision solve reported adaptive stats: %+v", fixedRes)
+	}
+
+	on := true
+	req.Adaptive = &on
+	adaptive := waitForState(t, ts, submit(t, ts, req, http.StatusAccepted).ID, JobDone, 30*time.Second)
+	if adaptive.Cached {
+		t.Fatal("adaptive job hit the fixed job's cache entry: the key must include the flag")
+	}
+	var adRes PlanResult
+	if err := json.Unmarshal(adaptive.Result, &adRes); err != nil {
+		t.Fatal(err)
+	}
+	if adRes.WorldsEvaluated <= 0 {
+		t.Fatalf("adaptive solve ran no worlds on the adaptive path: %+v", adRes)
+	}
+	if adRes.WorldsSaved < 0 {
+		t.Fatalf("negative worlds saved: %+v", adRes)
+	}
+	if adRes.Feasible != fixedRes.Feasible || adRes.Objective != fixedRes.Objective {
+		t.Fatalf("adaptive plan quality diverged: fixed (feasible=%v, obj=%v) adaptive (feasible=%v, obj=%v)",
+			fixedRes.Feasible, fixedRes.Objective, adRes.Feasible, adRes.Objective)
+	}
+
+	var m struct {
+		WorldsEvaluatedTotal int64 `json:"worlds_evaluated_total"`
+		WorldsSavedTotal     int64 `json:"worlds_saved_total"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.WorldsEvaluatedTotal != adRes.WorldsEvaluated || m.WorldsSavedTotal != adRes.WorldsSaved {
+		t.Fatalf("metrics totals (%d, %d) != job stats (%d, %d)",
+			m.WorldsEvaluatedTotal, m.WorldsSavedTotal, adRes.WorldsEvaluated, adRes.WorldsSaved)
+	}
+}
