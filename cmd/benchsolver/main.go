@@ -110,6 +110,46 @@ func uniformConfig(w *dag.Workflow, tbl *estimate.Table, j int) map[string]int {
 	return m
 }
 
+// boundaryDeadline binary-searches a deadline bound whose all-cheapest CRN
+// satisfaction probability lands in [lo, hi] — the tail regime, where states
+// are infeasible at a high percentile but violate in only a small fraction of
+// worlds, so a fixed world order spreads the violations thin.
+func boundaryDeadline(p *problem, worlds int, pct, lo, hi float64) (float64, error) {
+	probOf := func(bound float64) (float64, error) {
+		cons := []wlog.Constraint{{Kind: "deadline", Percentile: pct, Bound: bound}}
+		n, err := probir.NewNative(p.w, p.tbl, p.prices, probir.GoalCost, cons, worlds)
+		if err != nil {
+			return 0, err
+		}
+		k, err := n.CRNKernel(make([]int, p.w.Len()), 1)
+		if err != nil {
+			return 0, err
+		}
+		ev, err := probir.RunCRNKernel(k)
+		if err != nil {
+			return 0, err
+		}
+		return ev.ConsProb[0], nil
+	}
+	a, b := p.deadline/2, p.deadline*4
+	for i := 0; i < 64; i++ {
+		mid := (a + b) / 2
+		pr, err := probOf(mid)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case pr < lo:
+			a = mid
+		case pr > hi:
+			b = mid
+		default:
+			return mid, nil
+		}
+	}
+	return 0, fmt.Errorf("no deadline with all-cheapest P(met) in [%g, %g]", lo, hi)
+}
+
 // legacyEval reproduces the pre-flat-core evaluation of one state: worlds
 // sampled into a map keyed by task ID, a map-keyed longest-path DP per
 // world, and a per-state rng — so sibling states resample everything.
@@ -438,6 +478,52 @@ type adaptiveRow struct {
 	SpeedupStatesPerSec  float64 `json:"speedup_states_per_sec"`
 }
 
+// orderedRow compares the plain adaptive path (PR: sequential stopping, fixed
+// world order) against the same path with decisive-world-first ordering — and,
+// for the groups row, group-cone delta evaluation — on a tail-regime instance:
+// a 0.96-percentile deadline calibrated so the probed states violate in only a
+// small fraction of worlds. Fixed world order spreads those violating worlds
+// uniformly, so the exact worst-case stopping rule needs a long prefix to
+// collect enough failures; severity ordering front-loads them, deciding the
+// same verdicts within the first chunks. Plan quality is asserted the same way
+// as adaptiveRow: complete fixed and ordered searches must land on the same
+// objective value and feasibility.
+type orderedRow struct {
+	Benchmark        string  `json:"benchmark"`
+	FixedObjective   float64 `json:"fixed_objective"`
+	OrderedObjective float64 `json:"ordered_objective"`
+	Feasible         bool    `json:"feasible"`
+	// SearchStates / SearchWorldsRun / SearchWorldsReordered describe the
+	// ordered adaptive full search backing the plan-quality assertion.
+	SearchStates          int   `json:"search_states"`
+	SearchWorldsRun       int64 `json:"search_worlds_run"`
+	SearchWorldsReordered int64 `json:"search_worlds_reordered"`
+	// BatchStates is the size of the measured frontier-expansion batch.
+	BatchStates          int     `json:"batch_states"`
+	Baseline             row     `json:"adaptive_unordered_expansion"`
+	Ordered              row     `json:"adaptive_ordered_expansion"`
+	BaselineStatesPerSec float64 `json:"baseline_states_per_sec"`
+	OrderedStatesPerSec  float64 `json:"ordered_states_per_sec"`
+	SpeedupStatesPerSec  float64 `json:"speedup_states_per_sec"`
+	// DeltaEvals / DeltaFallbacks / ConePlanHits report the group-cone routing
+	// of the ordered search (groups row only; the baseline disables delta).
+	DeltaEvals     int64 `json:"delta_evals,omitempty"`
+	DeltaFallbacks int64 `json:"delta_fallbacks,omitempty"`
+	ConePlanHits   int64 `json:"cone_plan_hits,omitempty"`
+}
+
+func (o *orderedRow) finish() {
+	if o.Baseline.NsPerOp > 0 {
+		o.BaselineStatesPerSec = float64(o.BatchStates) / (float64(o.Baseline.NsPerOp) / 1e9)
+	}
+	if o.Ordered.NsPerOp > 0 {
+		o.OrderedStatesPerSec = float64(o.BatchStates) / (float64(o.Ordered.NsPerOp) / 1e9)
+	}
+	if o.BaselineStatesPerSec > 0 {
+		o.SpeedupStatesPerSec = o.OrderedStatesPerSec / o.BaselineStatesPerSec
+	}
+}
+
 // useCaseRow is one ported use case's fallback-vs-compiled comparison.
 type useCaseRow struct {
 	Benchmark   string  `json:"benchmark"`
@@ -474,8 +560,17 @@ type report struct {
 	// SchedulingAdaptive compares full solver searches — fixed-precision
 	// against adaptive-precision — over the same space; see adaptiveRow.
 	SchedulingAdaptive *adaptiveRow `json:"scheduling_adaptive"`
-	Ensemble           *useCaseRow  `json:"ensemble"`
-	FTC                *useCaseRow  `json:"ftc"`
+	// SchedulingTail compares the adaptive path with and without
+	// decisive-world-first ordering on a tail-regime deadline (states violate
+	// in a small fraction of worlds); see orderedRow.
+	SchedulingTail *orderedRow `json:"scheduling_tail"`
+	// SchedulingGroups runs the same comparison on the per-executable
+	// grouping, where promotions dirty Montage-scale cones: the ordered row
+	// compounds world ordering with group-cone delta evaluation, the baseline
+	// is the plain adaptive path with delta disabled.
+	SchedulingGroups *orderedRow  `json:"scheduling_groups"`
+	Ensemble         *useCaseRow  `json:"ensemble"`
+	FTC              *useCaseRow  `json:"ftc"`
 }
 
 func measure(f func(base int64) error) (row, error) {
@@ -709,6 +804,205 @@ func main() {
 	}
 	rep.SchedulingAdaptive = adapt
 
+	// Tail-regime ordering. The deadline is calibrated so the all-cheapest
+	// start meets it in ~90% of worlds: every early state is infeasible at the
+	// 0.96 percentile, but its violating worlds are rare, so the plain
+	// adaptive path must scan a long uniformly-ordered prefix to collect the
+	// failures the exact worst-case rule needs. Severity ordering front-loads
+	// exactly those worlds, deciding the same verdicts within the first
+	// chunks. The baseline is this PR's predecessor path: adaptive sequential
+	// stopping with ordering disabled.
+	// Both ordered rows run 256 worlds per state: rare tail violations need a
+	// deeper sample, and the larger budget keeps the per-world savings from
+	// dominating rather than the per-state kernel-build cost that both paths
+	// pay identically.
+	const tailWorlds = 256
+	tailBound, err := boundaryDeadline(p, tailWorlds, 0.96, 0.88, 0.92)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tailCons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: tailBound}}
+	tailNative, err := probir.NewNative(p.w, p.tbl, p.prices, probir.GoalCost, tailCons, tailWorlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	searchOn := func(sp opt.Space, o opt.Options) (*opt.Result, *opt.Problem, error) {
+		prob, err := opt.Compile(sp, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := prob.Search()
+		return res, prob, err
+	}
+	tailSpace := opt.NewScheduleSpace(p.w, tailNative)
+	tailSpace.Groups = opt.GroupPerTask(p.w)
+	tailSpace.Init = make(opt.State, p.w.Len())
+	tailFixedOpts := opt.Options{
+		Device: device.Sequential{}, Seed: 13,
+		MaxStates: 500, BeamWidth: 6, Patience: 20,
+		Worlds: tailWorlds, MinWorlds: 8,
+	}
+	tailBaseOpts := tailFixedOpts
+	tailBaseOpts.Adaptive = true
+	tailBaseOpts.DisableWorldOrder = true
+	tailOrdOpts := tailFixedOpts
+	tailOrdOpts.Adaptive = true
+	tailFixedRes, _, err := searchOn(tailSpace, tailFixedOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tailOrdRes, tailOrdProb, err := searchOn(tailSpace, tailOrdOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tailStats := tailOrdProb.SampleStats()
+	if !tailStats.Adaptive || !tailStats.Ordered || tailStats.WorldsReordered == 0 {
+		log.Fatalf("ordered search never engaged world ordering: %+v", tailStats)
+	}
+	if tailFixedRes.BestEval.Value != tailOrdRes.BestEval.Value || tailFixedRes.Feasible != tailOrdRes.Feasible {
+		log.Fatalf("ordered plan quality diverged: fixed %v (feasible %v) vs ordered %v (feasible %v)",
+			tailFixedRes.BestEval.Value, tailFixedRes.Feasible, tailOrdRes.BestEval.Value, tailOrdRes.Feasible)
+	}
+	tail := &orderedRow{
+		Benchmark:             "frontier expansion at the all-cheapest start, tail-regime deadline (all-cheapest meets it in ~90% of worlds, 0.96 percentile required); adaptive sequential stopping with fixed world order vs decisive-world-first ordering, equal full-search objective asserted",
+		FixedObjective:        tailFixedRes.BestEval.Value,
+		OrderedObjective:      tailOrdRes.BestEval.Value,
+		Feasible:              tailOrdRes.Feasible,
+		SearchStates:          tailOrdRes.Evaluated,
+		SearchWorldsRun:       tailStats.WorldsRun,
+		SearchWorldsReordered: tailStats.WorldsReordered,
+	}
+	tailBaseProb, err := opt.Compile(tailSpace, tailBaseOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tailOrdMeasProb, err := opt.Compile(tailSpace, tailOrdOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tailParent := tailBaseProb.Starts()[0]
+	if _, _, _, err := tailBaseProb.EvaluateExpansion(tailParent); err != nil { // warm
+		log.Fatal(err)
+	}
+	if _, kids, _, err := tailOrdMeasProb.EvaluateExpansion(tailParent); err != nil { // warm
+		log.Fatal(err)
+	} else {
+		tail.BatchStates = 1 + len(kids)
+	}
+	if tail.Baseline, err = measure(func(int64) error {
+		_, _, _, err := tailBaseProb.EvaluateExpansion(tailParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if tail.Ordered, err = measure(func(int64) error {
+		_, _, _, err := tailOrdMeasProb.EvaluateExpansion(tailParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tail.finish()
+	rep.SchedulingTail = tail
+
+	// Executable groups: the same tail-regime instance on the per-executable
+	// grouping NewScheduleSpace picks for Montage at scale, where one
+	// promotion dirties a cone covering half the DAG. The ordered row
+	// compounds decisive-world-first ordering with group-cone delta
+	// evaluation (the work-estimate model keeps these cones on the delta
+	// path); the baseline is the plain adaptive predecessor with delta
+	// disabled. The measured expansion grows from the all-cheapest start: its
+	// own evaluation stops early, so the compound path pays one on-demand
+	// parent completion and then evaluates the sibling batch incrementally
+	// with early stops, while the baseline runs every child in full.
+	// The group deadline is calibrated lower ([0.78, 0.85] at all-cheapest) so
+	// that promoting a single executable group is not enough to reach the 0.96
+	// percentile: every child of the start stays infeasible, ordering decides
+	// each one within the first chunks, and the delta path makes the surviving
+	// worlds cheap.
+	grpBound, err := boundaryDeadline(p, tailWorlds, 0.96, 0.78, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grpCons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.96, Bound: grpBound}}
+	grpNative, err := probir.NewNative(p.w, p.tbl, p.prices, probir.GoalCost, grpCons, tailWorlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grpSpace := opt.NewScheduleSpace(p.w, grpNative)
+	grpSpace.Groups = opt.GroupByExecutable(p.w)
+	grpSpace.Init = make(opt.State, p.w.Len())
+	grpFixedOpts := tailFixedOpts
+	grpFixedOpts.Seed = 17
+	grpBaseOpts := grpFixedOpts
+	grpBaseOpts.Adaptive = true
+	grpBaseOpts.DisableWorldOrder = true
+	grpBaseOpts.SnapshotBudget = -1
+	grpOrdOpts := grpFixedOpts
+	grpOrdOpts.Adaptive = true
+	grpFixedRes, _, err := searchOn(grpSpace, grpFixedOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grpOrdRes, grpOrdProb, err := searchOn(grpSpace, grpOrdOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grpStats := grpOrdProb.SampleStats()
+	grpDelta := grpOrdProb.DeltaStats()
+	if !grpStats.Adaptive || !grpStats.Ordered || grpStats.WorldsReordered == 0 {
+		log.Fatalf("group search never engaged world ordering: %+v", grpStats)
+	}
+	if grpDelta.DeltaEvals == 0 {
+		log.Fatalf("group search never engaged group-cone delta evaluation: %+v", grpDelta)
+	}
+	if grpFixedRes.BestEval.Value != grpOrdRes.BestEval.Value || grpFixedRes.Feasible != grpOrdRes.Feasible {
+		log.Fatalf("group plan quality diverged: fixed %v (feasible %v) vs ordered %v (feasible %v)",
+			grpFixedRes.BestEval.Value, grpFixedRes.Feasible, grpOrdRes.BestEval.Value, grpOrdRes.Feasible)
+	}
+	groups := &orderedRow{
+		Benchmark:             "frontier expansion at the all-cheapest start, per-executable groups, tail-regime deadline; plain adaptive with delta disabled vs world ordering compounded with group-cone delta evaluation, equal full-search objective asserted",
+		FixedObjective:        grpFixedRes.BestEval.Value,
+		OrderedObjective:      grpOrdRes.BestEval.Value,
+		Feasible:              grpOrdRes.Feasible,
+		SearchStates:          grpOrdRes.Evaluated,
+		SearchWorldsRun:       grpStats.WorldsRun,
+		SearchWorldsReordered: grpStats.WorldsReordered,
+		DeltaEvals:            grpDelta.DeltaEvals,
+		DeltaFallbacks:        grpDelta.Fallbacks,
+		ConePlanHits:          grpDelta.ConePlanHits,
+	}
+	grpBaseProb, err := opt.Compile(grpSpace, grpBaseOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grpOrdMeasProb, err := opt.Compile(grpSpace, grpOrdOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grpParent := grpBaseProb.Starts()[0]
+	if _, _, _, err := grpBaseProb.EvaluateExpansion(grpParent); err != nil { // warm
+		log.Fatal(err)
+	}
+	if _, kids, _, err := grpOrdMeasProb.EvaluateExpansion(grpParent); err != nil { // warm
+		log.Fatal(err)
+	} else {
+		groups.BatchStates = 1 + len(kids)
+	}
+	if groups.Baseline, err = measure(func(int64) error {
+		_, _, _, err := grpBaseProb.EvaluateExpansion(grpParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if groups.Ordered, err = measure(func(int64) error {
+		_, _, _, err := grpOrdMeasProb.EvaluateExpansion(grpParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	groups.finish()
+	rep.SchedulingGroups = groups
+
 	// Ensemble admission: the fallback re-evaluates every expansion; the
 	// compiled problem binds the eval cache once, so the steady state of
 	// repeated expansions over one planned space is answered from it.
@@ -778,6 +1072,12 @@ func main() {
 		adapt.Fixed.NsPerOp, adapt.Adaptive.NsPerOp, adapt.BatchStates, adapt.SpeedupStatesPerSec,
 		adapt.SearchStates, adapt.SearchWorldsRun, adapt.SearchWorldsRun+adapt.SearchWorldsSaved,
 		adapt.AdaptiveObjective)
+	fmt.Printf("sched-tail:  unordered %d ns/op | ordered %d ns/op (%d-state batch) | states/sec speedup %.1fx | search %d states, %d worlds run (%d reordered), objective %.4f on both\n",
+		tail.Baseline.NsPerOp, tail.Ordered.NsPerOp, tail.BatchStates, tail.SpeedupStatesPerSec,
+		tail.SearchStates, tail.SearchWorldsRun, tail.SearchWorldsReordered, tail.OrderedObjective)
+	fmt.Printf("sched-group: plain %d ns/op | compound %d ns/op (%d-state batch) | states/sec speedup %.1fx | %d delta evals, %d fallbacks, %d plan hits, objective %.4f on both\n",
+		groups.Baseline.NsPerOp, groups.Ordered.NsPerOp, groups.BatchStates, groups.SpeedupStatesPerSec,
+		groups.DeltaEvals, groups.DeltaFallbacks, groups.ConePlanHits, groups.OrderedObjective)
 	fmt.Printf("ensemble:   old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
 		ens.Old.NsPerOp, ens.Old.AllocsPerOp, ens.New.NsPerOp, ens.New.AllocsPerOp,
 		ens.SpeedupNs, ens.AllocsRatio)

@@ -255,6 +255,16 @@ type Plan struct {
 	// problem not adaptive-capable).
 	WorldsEvaluated int64
 	WorldsSaved     int64
+	// WorldsReordered counts worlds sampled under the decisive-world-first
+	// permutation (zero when ordering was unavailable or disabled).
+	WorldsReordered int64
+	// DeltaEvals / DeltaFallbacks report the incremental-evaluation routing
+	// of the solve: states evaluated from a parent snapshot vs states that
+	// carried transform provenance but evaluated fully. ConePlanHits counts
+	// sibling children that reused a cached dirty-cone extraction.
+	DeltaEvals     int64
+	DeltaFallbacks int64
+	ConePlanHits   int64
 
 	engine *Engine
 }
@@ -398,6 +408,7 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 		return nil, err
 	}
 	sstats := problem.SampleStats()
+	dstats := problem.DeltaStats()
 	return &Plan{
 		Workflow:        w,
 		Config:          res.Best,
@@ -410,6 +421,10 @@ func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probi
 		StatesEvaluated: res.Evaluated,
 		WorldsEvaluated: sstats.WorldsRun,
 		WorldsSaved:     sstats.WorldsSaved(),
+		WorldsReordered: sstats.WorldsReordered,
+		DeltaEvals:      dstats.DeltaEvals,
+		DeltaFallbacks:  dstats.Fallbacks,
+		ConePlanHits:    dstats.ConePlanHits,
 		engine:          e,
 	}, nil
 }

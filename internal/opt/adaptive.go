@@ -48,6 +48,12 @@ type SampleStats struct {
 	// through the adaptive path at all (Options.Adaptive requested it AND
 	// the space decomposes into an indicator-backed partial kernel).
 	Adaptive bool
+	// Ordered reports whether adaptive evaluation runs worlds under a
+	// decisive-world-first permutation (WorldOrderSpace resolved at Compile
+	// and not disabled); WorldsReordered counts the worlds actually sampled
+	// under that permutation.
+	Ordered         bool
+	WorldsReordered int64
 	// StatesAdaptive counts states evaluated on the adaptive path.
 	StatesAdaptive int64
 	// WorldsBudget is the worlds the fixed path would have run for those
@@ -133,46 +139,51 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 	kernels := make([]probir.PartialKernel, n)
 	var snaps []*probir.Snapshot
 	if p.delta {
-		snaps = make([]*probir.Snapshot, n)
-	}
-	releaseAll := func() {
-		for i, sn := range snaps {
-			if sn != nil {
-				p.dspace.ReleaseSnapshot(sn)
-				snaps[i] = nil
-			}
-		}
+		snaps = p.getSnapBuf(n)
+		defer p.putSnapBuf(snaps)
 	}
 	var bases []int64
 	if !p.crn {
 		bases = make([]int64, n)
 	}
-	for i, c := range cands {
-		out[i] = scored{state: c.state, key: c.key}
-		k, snap, err := p.buildKernel(c)
-		if err != nil {
-			out[i].err = err
-			continue
-		}
-		pk, okPartial := k.(probir.PartialKernel)
-		if k == nil || k.Worlds() != p.worlds || k.Width() != p.width || !okPartial {
-			if snap != nil {
-				p.dspace.ReleaseSnapshot(snap)
+	buildOK := true
+	p.labeled(phaseKernelBuild, func() {
+		for i, c := range cands {
+			out[i] = scored{state: c.state, key: c.key}
+			k, snap, err := p.buildKernel(c)
+			if err != nil {
+				out[i].err = err
+				continue
 			}
-			releaseAll()
-			return out, false
+			pk, okPartial := k.(probir.PartialKernel)
+			if k == nil || k.Worlds() != p.worlds || k.Width() != p.width || !okPartial {
+				if snap != nil {
+					p.dspace.ReleaseSnapshot(snap)
+				}
+				p.releaseSnaps(snaps)
+				buildOK = false
+				return
+			}
+			kernels[i] = pk
+			if snaps != nil {
+				snaps[i] = snap
+			}
+			if !p.crn {
+				bases[i] = stateRng(p.opts.Seed, c.key).Int63()
+			}
 		}
-		kernels[i] = pk
-		if snaps != nil {
-			snaps[i] = snap
-		}
-		if !p.crn {
-			bases[i] = stateRng(p.opts.Seed, c.key).Int63()
-		}
+	})
+	if !buildOK {
+		return out, false
 	}
 
 	sums := make([]float64, n*p.width)
 	seen := make([]int, n)
+	// pinned marks states whose feasible verdict is already certain but that
+	// keep running to completion so their capture snapshot survives; racing
+	// must not eliminate them (a pessimistic finalize would overwrite a
+	// decided-feasible verdict).
+	pinned := make([]bool, n)
 	var active []int
 	for i := range cands {
 		if out[i].err == nil && kernels[i] != nil {
@@ -182,7 +193,23 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 		}
 	}
 
+	// Ordered evaluation: worlds run permuted (position t samples world
+	// order[t]), the schedule gains the tail checkpoints where feasible
+	// verdicts first become decidable, and the value figures' per-world
+	// contributions are buffered so finalized rows can be refolded in
+	// ascending world order (indicator sums are exact integer adds, hence
+	// order-invariant bitwise; value sums are not).
 	ends := sample.Chunks(p.opts.MinWorlds, p.worlds)
+	var vals []float64
+	worldsRunBefore := p.sstats.WorldsRun
+	if p.order != nil {
+		ends = sample.TailChunks(p.opts.MinWorlds, p.worlds, p.indTargets)
+		need := n * p.worlds * len(p.valIdx)
+		if cap(p.valsScratch) < need {
+			p.valsScratch = make([]float64, need)
+		}
+		vals = p.valsScratch[:need]
+	}
 	delta := 1 - p.opts.Confidence
 	keep := p.opts.BeamWidth
 	if keep < 1 {
@@ -205,18 +232,29 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 		for b, i := range active {
 			copy(round[b*p.width:(b+1)*p.width], sums[i*p.width:(i+1)*p.width])
 		}
-		slots, errs := device.ReduceBlocksRange(bd, nb, lo, end, p.width, round, func(b, t int, slot []float64) error {
-			if kernels[active[b]] == nil {
-				return nil
-			}
-			if err := p.opts.Ctx.Err(); err != nil {
-				return fmt.Errorf("opt: search cancelled: %w", err)
-			}
-			var rng *rand.Rand
-			if !p.crn {
-				rng = probir.WorldRNG(bases[active[b]], t)
-			}
-			return kernels[active[b]].Sample(t, rng, slot)
+		var slots []float64
+		var errs []error
+		p.labeled(phaseChunkEval, func() {
+			slots, errs = device.ReduceBlocksRange(bd, nb, lo, end, p.width, round, func(b, t int, slot []float64) error {
+				if kernels[active[b]] == nil {
+					return nil
+				}
+				if err := p.opts.Ctx.Err(); err != nil {
+					return fmt.Errorf("opt: search cancelled: %w", err)
+				}
+				// Position t runs world order[t] under decisive-world-first
+				// ordering; the CRN contract makes world figures a function of
+				// the world index alone, so permuting positions permutes rows.
+				wt := t
+				if p.order != nil {
+					wt = int(p.order[t])
+				}
+				var rng *rand.Rand
+				if !p.crn {
+					rng = probir.WorldRNG(bases[active[b]], wt)
+				}
+				return kernels[active[b]].Sample(wt, rng, slot)
+			})
 		})
 		blockOf := make(map[int]int, nb)
 		var still []int
@@ -228,21 +266,44 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 				continue
 			}
 			copy(sums[i*p.width:(i+1)*p.width], round[b*p.width:(b+1)*p.width])
+			if vals != nil {
+				// Buffer this chunk's per-world value figures under their
+				// world index, for the canonical refold at finalize.
+				nv := len(p.valIdx)
+				for t := lo; t < end; t++ {
+					w := int(p.order[t])
+					src := slots[(b*span+(t-lo))*p.width:]
+					dst := vals[(i*p.worlds+w)*nv:]
+					for v, fi := range p.valIdx {
+						dst[v] = src[fi]
+					}
+				}
+			}
 			seen[i] = end
 			still = append(still, i)
 		}
 		active = still
 		check := ci + 1
 
-		// Sequential stopping: finalize every decided state.
+		// Sequential stopping: finalize every decided state. A feasible-decided
+		// state still holding a capture snapshot is pinned to completion
+		// instead: its verdict can only be confirmed by the remaining worlds (a
+		// feasible-certain prefix stays feasible), finishing costs at most the
+		// tail cushion, and only a complete evaluation may keep its snapshot —
+		// the parent material every delta child of this state needs.
 		var undecided []int
 		for _, i := range active {
 			v := p.stateVerdict(sums[i*p.width:(i+1)*p.width], end, check, delta)
-			if v == sample.Undecided && end < p.worlds {
+			if end < p.worlds && (v == sample.Undecided ||
+				(v == sample.DecidedFeasible && snaps != nil && snaps[i] != nil)) {
+				if v == sample.DecidedFeasible {
+					pinned[i] = true
+				}
 				undecided = append(undecided, i)
 				continue
 			}
 			row := sums[i*p.width : (i+1)*p.width]
+			p.canonRow(vals, row, i, end)
 			if end == p.worlds {
 				out[i].eval, out[i].err = kernels[i].Reduce(row)
 				p.sstats.FullRuns++
@@ -262,7 +323,9 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 		// Racing (minimized objectives only): eliminate states that provably
 		// cannot rank among the batch's best `keep` finalized scores.
 		if len(active) > 0 && end < p.worlds && !p.opts.Maximize {
-			active = p.race(cands, out, kernels, sums, seen, active, blockOf, slots, span, check, delta, keep, &pairRefKey, pairs)
+			p.labeled(phaseRacing, func() {
+				active = p.race(cands, out, kernels, sums, vals, seen, pinned, active, blockOf, slots, span, check, delta, keep, &pairRefKey, pairs)
+			})
 		}
 		lo = end
 	}
@@ -273,10 +336,14 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 			p.sstats.WorldsRun += int64(seen[i])
 		}
 	}
+	if p.order != nil {
+		p.sstats.WorldsReordered += p.sstats.WorldsRun - worldsRunBefore
+	}
 
 	// Only complete evaluations parent future deltas: a partial snapshot has
 	// unwritten worlds and must never enter the store.
 	if snaps != nil {
+		p.enterPhase(phaseSnapshotPut)
 		for i, sn := range snaps {
 			if sn == nil {
 				continue
@@ -287,8 +354,40 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 				p.dspace.ReleaseSnapshot(sn)
 			}
 		}
+		p.exitPhase()
 	}
 	return out, true
+}
+
+// canonRow refolds the value-figure entries of state i's running sums in
+// ascending world order over the worlds seen so far. Under decisive-world-
+// first ordering the sums accumulate in permuted order; since float addition
+// is not associative under reordering, a completed row must be refolded so
+// Reduce returns bits identical to the fixed path's (those evaluations enter
+// the cache and parent snapshots). Partial rows are refolded too, so an
+// early-stopped evaluation is a pure function of the seen world SET, not the
+// schedule. No-op when worlds ran unpermuted.
+func (p *Problem) canonRow(vals, row []float64, i, seenWorlds int) {
+	if p.order == nil || len(p.valIdx) == 0 || vals == nil {
+		return
+	}
+	nv := len(p.valIdx)
+	base := i * p.worlds
+	for v, fi := range p.valIdx {
+		acc := 0.0
+		if seenWorlds >= p.worlds {
+			for w := 0; w < p.worlds; w++ {
+				acc += vals[(base+w)*nv+v]
+			}
+		} else {
+			for w := 0; w < p.worlds; w++ {
+				if int(p.rank[w]) < seenWorlds {
+					acc += vals[(base+w)*nv+v]
+				}
+			}
+		}
+		row[fi] = acc
+	}
 }
 
 // race applies successive elimination to the undecided states of a batch and
@@ -308,12 +407,13 @@ func (p *Problem) evaluateAdaptive(cands []candidate) ([]scored, bool) {
 //
 // Eliminated states finalize pessimistically via finalizePartial (verdict
 // undecided ⇒ never feasible), so they cannot wrongly become the incumbent.
-func (p *Problem) race(cands []candidate, out []scored, kernels []probir.PartialKernel, sums []float64, seen []int,
-	active []int, blockOf map[int]int, slots []float64, span, check int, delta float64, keep int,
+func (p *Problem) race(cands []candidate, out []scored, kernels []probir.PartialKernel, sums, vals []float64, seen []int,
+	pinned []bool, active []int, blockOf map[int]int, slots []float64, span, check int, delta float64, keep int,
 	pairRefKey *string, pairs map[int]*sample.Paired) []int {
 
 	eliminate := func(i int) {
 		row := sums[i*p.width : (i+1)*p.width]
+		p.canonRow(vals, row, i, seen[i])
 		out[i].eval, out[i].err = p.finalizePartial(kernels[i], row, seen[i], sample.Undecided)
 		out[i].worlds = seen[i]
 		p.sstats.Raced++
@@ -334,6 +434,10 @@ func (p *Problem) race(cands []candidate, out []scored, kernels []probir.Partial
 	}
 	var survivors []int
 	for _, i := range active {
+		if pinned[i] {
+			survivors = append(survivors, i)
+			continue
+		}
 		var optimistic float64
 		if p.valueFig < 0 {
 			ev, err := kernels[i].ReducePartial(sums[i*p.width:(i+1)*p.width], seen[i])
@@ -385,7 +489,7 @@ func (p *Problem) race(cands []candidate, out []scored, kernels []probir.Partial
 	}
 	survivors = active[:0]
 	for _, i := range active {
-		if i == ref {
+		if i == ref || pinned[i] {
 			survivors = append(survivors, i)
 			continue
 		}

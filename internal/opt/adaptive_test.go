@@ -171,6 +171,12 @@ func TestAdaptiveDeviceInvariance(t *testing.T) {
 func TestAdaptivePartialNotCached(t *testing.T) {
 	cache := NewEvalCache(1 << 20)
 	_, adaptive := adaptiveFixture(t, device.Sequential{}, cache)
+	// Pin the gate on the unordered schedule: under decisive-world-first
+	// ordering every fixture state (including the feasible one) can settle
+	// before the world cap, leaving no complete evaluation to exercise the
+	// cache side of the gate.
+	adaptive.order, adaptive.rank = nil, nil
+	adaptive.sstats.Ordered = false
 
 	// A frontier-like batch: the all-cheapest state and its global promotions.
 	// The slow configurations are sharply infeasible and stop early.

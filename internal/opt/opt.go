@@ -148,6 +148,13 @@ type Options struct {
 	// compiles onto the kernel path with indicator-backed constraints; it is
 	// silently inert otherwise (see Problem.SampleStats).
 	Adaptive bool
+	// DisableWorldOrder keeps adaptive evaluation on the plain ascending
+	// world schedule even when the space offers a decisive-world-first
+	// permutation (WorldOrderSpace). Ordering changes which world prefix the
+	// sequential stopping rules see — never their soundness — so this switch
+	// trades wall clock only; it exists to reproduce the unordered adaptive
+	// baseline exactly (benchmarks, bisection).
+	DisableWorldOrder bool
 	// Worlds, when positive, asserts the per-state Monte-Carlo world count
 	// the compiled kernel must have; Compile fails with a clear error on a
 	// mismatch (instead of a confusing kernel-shape error mid-search). 0
@@ -210,7 +217,11 @@ type candidate struct {
 	state     State
 	key       string
 	parentKey string
-	dirty     []int32
+	// parent is the generating state itself (when known), so a missing parent
+	// snapshot can be regenerated on demand with one full evaluation instead
+	// of pushing the whole sibling batch off the delta path.
+	parent State
+	dirty  []int32
 }
 
 // score ranks states: any feasible state beats any infeasible one; feasible
@@ -301,6 +312,42 @@ type DeltaSpace interface {
 	// snap. Returns (nil, nil) when delta does not apply; the caller then
 	// evaluates fully.
 	CRNDeltaKernel(s State, base int64, dirty []int32, parent, snap *probir.Snapshot) (probir.WorldKernel, error)
+}
+
+// WorldOrderSpace is an optional extension of CRNSpace: a fixed
+// decisive-world-first permutation of the Monte-Carlo worlds (probir's
+// WorldOrderer lifted to spaces). When present, adaptive evaluation runs
+// worlds in this order so likely-violating worlds land in the first chunks:
+// the exact worst-case stopping interval is a bound over the fixed finite
+// world set and stays valid under any fixed permutation, so near-boundary
+// infeasible states refute after a handful of severe worlds and feasible
+// states confirm at the tail checkpoints instead of always running to the
+// cap. The permutation must be a pure function of (program content, base) —
+// never of device or state — so adaptive decisions stay device-identical.
+type WorldOrderSpace interface {
+	CRNSpace
+	// WorldOrder returns the permutation for the CRN base: position p holds
+	// the p-th world to run. The slice is shared and read-only; nil disables
+	// ordering.
+	WorldOrder(base int64) []int32
+}
+
+// PlannedDeltaSpace is an optional extension of DeltaSpace: delta kernel
+// construction with the dirty-cone extraction hoisted into a reusable plan
+// (probir's PlanCone / CRNDeltaKernelPlanned lifted to spaces). The solver
+// caches one plan per distinct dirty set, so sibling children that change the
+// same task group — the whole expansion under GroupByExecutable — share a
+// single cone extraction, and the plan's work-estimate model decides
+// delta-vs-full once per group instead of once per child.
+type PlannedDeltaSpace interface {
+	DeltaSpace
+	// PlanCone extracts the dirty cone of one changed-task set into an
+	// immutable, shareable plan.
+	PlanCone(dirty []int32) (*probir.ConePlan, error)
+	// CRNDeltaKernelPlanned is CRNDeltaKernel with the plan precomputed; the
+	// kernel borrows the plan's cone read-only. Returns (nil, nil) when delta
+	// does not apply (including a plan whose work model declined).
+	CRNDeltaKernelPlanned(s State, base int64, plan *probir.ConePlan, parent, snap *probir.Snapshot) (probir.WorldKernel, error)
 }
 
 // FingerprintSpace is an optional Space extension: a content hash of

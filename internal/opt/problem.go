@@ -1,8 +1,11 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
+	"sync"
 
 	"deco/internal/device"
 	"deco/internal/probir"
@@ -49,6 +52,17 @@ type Problem struct {
 	snaps  *snapStore
 	stats  DeltaStats
 
+	// pdspace, when set, routes delta construction through dirty-cone plans:
+	// planCache holds one immutable ConePlan per distinct dirty set (keyed by
+	// an FNV hash with exact-match buckets), so sibling children changing the
+	// same task group — the whole expansion under GroupByExecutable — share a
+	// single cone extraction and one delta-vs-full decision. Kernel
+	// construction runs only in the search goroutine, so the cache needs no
+	// lock; plans are read-only during concurrent sampling.
+	pdspace     PlannedDeltaSpace
+	planCache   map[uint64][]planEntry
+	planEntries int
+
 	// adaptive, when set, routes kernel-path evaluation through the chunked
 	// sequential-stopping evaluator (adaptive.go): states stop as soon as
 	// their feasibility verdict is decided against the compiled indicator
@@ -62,7 +76,93 @@ type Problem struct {
 	indTargets []float64
 	valueFig   int
 	sstats     SampleStats
+
+	// order, when non-nil, is the decisive-world-first permutation the
+	// adaptive path runs worlds in (position p holds the p-th world to run);
+	// rank is its inverse (rank[w] = position of world w). valIdx lists the
+	// figure columns that are NOT constraint indicators: indicator sums are
+	// exact integer-valued float adds and therefore order-invariant bitwise,
+	// but value sums (makespan, cost) depend on float fold order, so the
+	// ordered path buffers their per-world values and refolds them in
+	// ascending world order at finalize — complete evaluations stay
+	// bit-identical to the fixed path. valsScratch is the reused buffer.
+	order       []int32
+	rank        []int32
+	valIdx      []int
+	valsScratch []float64
+
+	// phaseCtx holds one context per profiling phase with its pprof label
+	// pre-attached, plus the base context to restore on exit. Entering a
+	// phase is then two SetGoroutineLabels calls and no allocation — pprof.Do
+	// would allocate a label set and a context per batch, and the delta path
+	// has one more phase (snapshot_put) than the full path, so per-call
+	// allocation would show up as a delta-only allocs/op regression.
+	phaseCtx [nPhases]context.Context
+
+	// snapBufs freelists the per-batch snapshot pointer buffers of the delta
+	// path, for the same reason: the buffer is delta-only bookkeeping, and
+	// allocating it per batch would cost the delta row allocations the full
+	// path never pays. Batches nest (completeParent evaluates the parent in
+	// the middle of building a child batch), hence a stack, not one field.
+	snapBufMu sync.Mutex
+	snapBufs  [][]*probir.Snapshot
 }
+
+// getSnapBuf returns a per-batch snapshot buffer of length n, reusing a
+// freelisted one when large enough.
+func (p *Problem) getSnapBuf(n int) []*probir.Snapshot {
+	p.snapBufMu.Lock()
+	for len(p.snapBufs) > 0 {
+		buf := p.snapBufs[len(p.snapBufs)-1]
+		p.snapBufs = p.snapBufs[:len(p.snapBufs)-1]
+		if cap(buf) >= n {
+			p.snapBufMu.Unlock()
+			return buf[:n]
+		}
+		// Undersized for this batch; drop it and keep looking.
+	}
+	p.snapBufMu.Unlock()
+	return make([]*probir.Snapshot, n)
+}
+
+// putSnapBuf recycles a batch buffer. Ownership of any snapshots it held has
+// already moved to the snapshot store or back to the evaluator's pool, so
+// entries are only cleared, never released.
+func (p *Problem) putSnapBuf(buf []*probir.Snapshot) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	p.snapBufMu.Lock()
+	if len(p.snapBufs) < 8 {
+		p.snapBufs = append(p.snapBufs, buf)
+	}
+	p.snapBufMu.Unlock()
+}
+
+// Profiling phases: CPU profiles attribute hot-path time to the solver phase
+// that spent it via the deco_phase pprof label.
+const (
+	phaseKernelBuild = iota
+	phaseChunkEval
+	phaseRacing
+	phaseSnapshotPut
+	nPhases
+)
+
+// phaseNames holds the deco_phase label values, indexed by phase constant.
+var phaseNames = [nPhases]string{"kernel_build", "chunk_eval", "racing", "snapshot_put"}
+
+// planEntry is one cached dirty-cone plan; dirty is the exact set the plan
+// was built for (hash buckets resolve collisions by comparing it).
+type planEntry struct {
+	dirty []int32
+	plan  *probir.ConePlan
+}
+
+// maxConePlans bounds the plan cache. Transform spaces generate a fixed set
+// of dirty groups per search (one per (group, direction) plus the global
+// shifts), so the cap exists only as a backstop for pathological spaces.
+const maxConePlans = 1024
 
 // DeltaStats reports how the compiled problem's evaluations were routed, for
 // observability and benchmark gating. Counters cover kernel-path live
@@ -82,6 +182,15 @@ type DeltaStats struct {
 	Snapshots     int
 	SnapshotBytes int64
 	Evictions     int64
+	// ConePlans counts dirty-cone plan extractions; ConePlanHits counts warm
+	// plan-cache hits — every hit is a sibling child that reused another
+	// child's cone extraction instead of re-walking the DAG.
+	ConePlans    int64
+	ConePlanHits int64
+	// ParentCompletions counts expansion parents re-evaluated in full to
+	// regenerate a snapshot their own (early-stopped) evaluation never
+	// captured, unlocking delta evaluation for their sibling batches.
+	ParentCompletions int64
 }
 
 // DeltaStats returns the problem's evaluation-routing counters. It is only
@@ -184,11 +293,41 @@ func Compile(sp Space, o Options) (*Problem, error) {
 					p.adaptive = true
 					p.indIdx, p.indTargets = idx, targets
 					p.valueFig = pk.ValueFigure()
+					// Non-indicator columns need canonical (ascending world
+					// order) refolds when worlds run permuted.
+					isInd := make([]bool, p.width)
+					for _, fi := range idx {
+						if fi >= 0 && fi < p.width {
+							isInd[fi] = true
+						}
+					}
+					for w := 0; w < p.width; w++ {
+						if !isInd[w] {
+							p.valIdx = append(p.valIdx, w)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Decisive-world-first ordering engages on the adaptive CRN path only:
+	// under CRN the permutation is a pure function of (program content, seed)
+	// shared by every state, so adaptive decisions stay bit-identical across
+	// devices. A slice that is not a permutation of [0, worlds) is rejected
+	// rather than trusted — a corrupt order would silently skip worlds.
+	if p.adaptive && p.crn && !o.DisableWorldOrder {
+		if ws, ok := sp.(WorldOrderSpace); ok {
+			if ord := ws.WorldOrder(p.opts.Seed); isPermutation(ord, p.worlds) {
+				p.order = ord
+				p.rank = make([]int32, p.worlds)
+				for pos, w := range ord {
+					p.rank[w] = int32(pos)
 				}
 			}
 		}
 	}
 	p.sstats.Adaptive = p.adaptive
+	p.sstats.Ordered = p.order != nil
 	// Delta evaluation needs the CRN contract (parent finish times are only
 	// reusable when every state shares one duration matrix), transform
 	// metadata to know what changed, and an evaluation that actually has
@@ -205,10 +344,32 @@ func Compile(sp Space, o Options) (*Problem, error) {
 				}
 				p.delta, p.dspace, p.tspace = true, ds, ts
 				p.snaps = newSnapStore(budget, ds.ReleaseSnapshot)
+				if pds, okP := sp.(PlannedDeltaSpace); okP {
+					p.pdspace = pds
+					p.planCache = map[uint64][]planEntry{}
+				}
 			}
 		}
 	}
+	for ph, name := range phaseNames {
+		p.phaseCtx[ph] = pprof.WithLabels(p.opts.Ctx, pprof.Labels("deco_phase", name))
+	}
 	return p, nil
+}
+
+// isPermutation reports whether ord is a permutation of [0, n).
+func isPermutation(ord []int32, n int) bool {
+	if len(ord) != n || n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, w := range ord {
+		if w < 0 || int(w) >= n || seen[w] {
+			return false
+		}
+		seen[w] = true
+	}
+	return true
 }
 
 // usableKernel reports whether a probed kernel can drive the two-level path:
@@ -308,7 +469,7 @@ func (p *Problem) childCandidates(parent State, parentKey string) []candidate {
 		trs := p.tspace.TransformNeighbors(parent)
 		out := make([]candidate, len(trs))
 		for i, tr := range trs {
-			out[i] = candidate{state: tr.Child, key: tr.Child.Key(), parentKey: parentKey, dirty: tr.Tasks}
+			out[i] = candidate{state: tr.Child, key: tr.Child.Key(), parentKey: parentKey, parent: parent, dirty: tr.Tasks}
 		}
 		return out
 	}
@@ -409,8 +570,18 @@ func (p *Problem) buildKernel(c candidate) (probir.WorldKernel, *probir.Snapshot
 	}
 	snap := p.dspace.NewSnapshot()
 	if snap != nil && c.parentKey != "" && len(c.dirty) > 0 {
-		if parent, ok := p.snaps.get(c.parentKey); ok {
-			k, err := p.dspace.CRNDeltaKernel(c.state, p.opts.Seed, c.dirty, parent, snap)
+		parent, ok := p.snaps.get(c.parentKey)
+		if !ok && c.parent != nil && p.worthDelta(c.dirty) {
+			// The parent's own evaluation stopped early (adaptive partial
+			// verdicts never capture), or its snapshot was evicted. One full
+			// evaluation regenerates it and buys incremental evaluation for the
+			// whole sibling batch — this is what lets sequential stopping and
+			// delta evaluation compound instead of starving each other.
+			p.completeParent(c.parent, c.parentKey)
+			parent, ok = p.snaps.get(c.parentKey)
+		}
+		if ok {
+			k, err := p.deltaKernel(c, parent, snap)
 			if err != nil {
 				p.dspace.ReleaseSnapshot(snap)
 				return nil, nil, err
@@ -431,6 +602,130 @@ func (p *Problem) buildKernel(c candidate) (probir.WorldKernel, *probir.Snapshot
 	return k, snap, nil
 }
 
+// deltaKernel builds the incremental kernel of one candidate: through the
+// planned path when the space supports it (one shared cone extraction per
+// distinct dirty set, cached on the problem), through per-child extraction
+// otherwise. Returns (nil, nil) when delta does not apply and the caller
+// must evaluate fully.
+func (p *Problem) deltaKernel(c candidate, parent, snap *probir.Snapshot) (probir.WorldKernel, error) {
+	if p.pdspace != nil {
+		plan, err := p.planFor(c.dirty)
+		if err != nil {
+			return nil, err
+		}
+		if plan != nil {
+			if !plan.Delta() {
+				return nil, nil
+			}
+			return p.pdspace.CRNDeltaKernelPlanned(c.state, p.opts.Seed, plan, parent, snap)
+		}
+		// A nil plan means the underlying evaluator has no planned capability
+		// (the space's delegation found nothing); fall through to the legacy
+		// per-child path.
+	}
+	return p.dspace.CRNDeltaKernel(c.state, p.opts.Seed, c.dirty, parent, snap)
+}
+
+// worthDelta reports whether a child dirtying this task set would actually
+// evaluate incrementally — the gate on regenerating a missing parent snapshot,
+// so a batch whose cones the work model rejects anyway never pays the extra
+// full evaluation. Without the planned capability the legacy per-child path
+// decides late; assume it is worth it.
+func (p *Problem) worthDelta(dirty []int32) bool {
+	if p.pdspace == nil {
+		return true
+	}
+	plan, err := p.planFor(dirty)
+	if err != nil {
+		return false
+	}
+	return plan == nil || plan.Delta()
+}
+
+// completeParent re-evaluates an expansion parent on the fixed path to
+// regenerate its finish-time snapshot. Errors are deliberately swallowed: the
+// caller falls back to full child evaluations, which surface any real failure
+// themselves under the same kernels.
+func (p *Problem) completeParent(parent State, parentKey string) {
+	batch := p.evaluateFixed([]candidate{{state: parent, key: parentKey}})
+	p.stats.ParentCompletions++
+	if s := batch[0]; s.err == nil && s.eval != nil && p.cache != nil {
+		p.cache.Put(s.key, s.eval)
+	}
+}
+
+// planFor returns the (possibly cached) cone plan of one dirty set. The
+// cache key is an FNV-1a hash of the set with exact-match buckets, so two
+// children dirtying the same task group — every sibling pair under
+// GroupByExecutable — share one plan, one cone walk, and one delta-vs-full
+// decision. Only the search goroutine calls this (kernel construction is
+// serial), so no lock is needed.
+func (p *Problem) planFor(dirty []int32) (*probir.ConePlan, error) {
+	h := uint64(1469598103934665603)
+	for _, d := range dirty {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(d >> s))
+			h *= 1099511628211
+		}
+	}
+	for _, e := range p.planCache[h] {
+		if equalDirty(e.dirty, dirty) {
+			p.stats.ConePlanHits++
+			return e.plan, nil
+		}
+	}
+	plan, err := p.pdspace.PlanCone(dirty)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.ConePlans++
+	if p.planEntries < maxConePlans {
+		p.planCache[h] = append(p.planCache[h], planEntry{dirty: dirty, plan: plan})
+		p.planEntries++
+	}
+	return plan, nil
+}
+
+func equalDirty(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labeled runs f under a pprof label so CPU profiles attribute hot-path time
+// to the solver phase that spent it. Labels propagate into goroutines
+// spawned inside f, so device workers inherit the phase. The labeled
+// contexts are precomputed at Compile (see phaseCtx); a nested phase
+// restores the unlabeled base context on exit, not its enclosing phase.
+// Delta-only regions use enterPhase/exitPhase directly — the closure this
+// form takes would itself be a per-batch allocation the full path never pays.
+func (p *Problem) labeled(phase int, f func()) {
+	p.enterPhase(phase)
+	defer p.exitPhase()
+	f()
+}
+
+func (p *Problem) enterPhase(phase int) { pprof.SetGoroutineLabels(p.phaseCtx[phase]) }
+
+func (p *Problem) exitPhase() { pprof.SetGoroutineLabels(p.opts.Ctx) }
+
+// releaseSnaps recycles every snapshot still held in a batch buffer back to
+// the evaluator's pool (used when a batch is abandoned mid-build).
+func (p *Problem) releaseSnaps(snaps []*probir.Snapshot) {
+	for i, sn := range snaps {
+		if sn != nil {
+			p.dspace.ReleaseSnapshot(sn)
+			snaps[i] = nil
+		}
+	}
+}
+
 // evaluateKernel is the per-world kernel path. It reports ok=false when a
 // state's kernel drifts from the compiled shape (or vanishes), in which case
 // the whole batch falls back to the generic path — the compiled shape is a
@@ -445,95 +740,99 @@ func (p *Problem) evaluateKernel(cands []candidate) ([]scored, bool) {
 	kernels := make([]probir.WorldKernel, len(cands))
 	var snaps []*probir.Snapshot
 	if p.delta {
-		snaps = make([]*probir.Snapshot, len(cands))
-	}
-	releaseAll := func() {
-		for i, sn := range snaps {
-			if sn != nil {
-				p.dspace.ReleaseSnapshot(sn)
-				snaps[i] = nil
-			}
-		}
+		snaps = p.getSnapBuf(len(cands))
+		defer p.putSnapBuf(snaps)
 	}
 	var bases []int64
 	if !p.crn {
 		bases = make([]int64, len(cands))
 	}
-	for i, c := range cands {
-		out[i] = scored{state: c.state, key: c.key}
-		k, snap, err := p.buildKernel(c)
-		if err != nil {
-			out[i].err = err
-			continue
-		}
-		if k == nil || k.Worlds() != p.worlds || k.Width() != p.width {
-			// Shape drifted from the compiled probe. Snapshots captured for
-			// this abandoned batch are recycled; recorded errors survive in
-			// out for the fallback path to preserve.
-			if snap != nil {
-				p.dspace.ReleaseSnapshot(snap)
+	buildOK := true
+	p.labeled(phaseKernelBuild, func() {
+		for i, c := range cands {
+			out[i] = scored{state: c.state, key: c.key}
+			k, snap, err := p.buildKernel(c)
+			if err != nil {
+				out[i].err = err
+				continue
 			}
-			releaseAll()
-			return out, false
-		}
-		kernels[i] = k
-		if snaps != nil {
-			snaps[i] = snap
-		}
-		if !p.crn {
-			// The same substream base Evaluate would derive from its state
-			// rng, so both paths are bit-identical.
-			bases[i] = stateRng(p.opts.Seed, c.key).Int63()
-		}
-	}
-	if bd, ok := p.opts.Device.(device.BlockDevice); ok {
-		sums, errs := device.ReduceBlocks(bd, len(cands), p.worlds, p.width, func(b, t int, slot []float64) error {
-			if kernels[b] == nil {
-				return nil // kernel construction already failed for this state
+			if k == nil || k.Worlds() != p.worlds || k.Width() != p.width {
+				// Shape drifted from the compiled probe. Snapshots captured
+				// for this abandoned batch are recycled; recorded errors
+				// survive in out for the fallback path to preserve.
+				if snap != nil {
+					p.dspace.ReleaseSnapshot(snap)
+				}
+				p.releaseSnaps(snaps)
+				buildOK = false
+				return
 			}
-			if err := p.opts.Ctx.Err(); err != nil {
-				return fmt.Errorf("opt: search cancelled: %w", err)
+			kernels[i] = k
+			if snaps != nil {
+				snaps[i] = snap
 			}
-			var rng *rand.Rand
 			if !p.crn {
-				rng = probir.WorldRNG(bases[b], t)
+				// The same substream base Evaluate would derive from its state
+				// rng, so both paths are bit-identical.
+				bases[i] = stateRng(p.opts.Seed, c.key).Int63()
 			}
-			return kernels[b].Sample(t, rng, slot)
-		})
-		// Reductions are independent per state; run them as blocks too
-		// (CostFn objectives such as the packed plan cost do real work here).
-		bd.Map(len(cands), func(i int) {
-			if out[i].err != nil {
-				return
-			}
-			if errs[i] != nil {
-				out[i].err = errs[i]
-				return
-			}
-			out[i].eval, out[i].err = kernels[i].Reduce(sums[i*p.width : (i+1)*p.width])
-		})
-	} else {
-		// Non-block device: only the CRN path compiles here (Compile gates
-		// the state-keyed kernel path on a BlockDevice). Each state's worlds
-		// fold sequentially in iteration order — identical sums, identical
-		// results.
-		p.opts.Device.Map(len(cands), func(i int) {
-			if out[i].err != nil || kernels[i] == nil {
-				return
-			}
-			if err := p.opts.Ctx.Err(); err != nil {
-				out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
-				return
-			}
-			out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
-		})
+		}
+	})
+	if !buildOK {
+		return out, false
 	}
+	p.labeled(phaseChunkEval, func() {
+		if bd, ok := p.opts.Device.(device.BlockDevice); ok {
+			sums, errs := device.ReduceBlocks(bd, len(cands), p.worlds, p.width, func(b, t int, slot []float64) error {
+				if kernels[b] == nil {
+					return nil // kernel construction already failed for this state
+				}
+				if err := p.opts.Ctx.Err(); err != nil {
+					return fmt.Errorf("opt: search cancelled: %w", err)
+				}
+				var rng *rand.Rand
+				if !p.crn {
+					rng = probir.WorldRNG(bases[b], t)
+				}
+				return kernels[b].Sample(t, rng, slot)
+			})
+			// Reductions are independent per state; run them as blocks too
+			// (CostFn objectives such as the packed plan cost do real work
+			// here).
+			bd.Map(len(cands), func(i int) {
+				if out[i].err != nil {
+					return
+				}
+				if errs[i] != nil {
+					out[i].err = errs[i]
+					return
+				}
+				out[i].eval, out[i].err = kernels[i].Reduce(sums[i*p.width : (i+1)*p.width])
+			})
+		} else {
+			// Non-block device: only the CRN path compiles here (Compile gates
+			// the state-keyed kernel path on a BlockDevice). Each state's
+			// worlds fold sequentially in iteration order — identical sums,
+			// identical results.
+			p.opts.Device.Map(len(cands), func(i int) {
+				if out[i].err != nil || kernels[i] == nil {
+					return
+				}
+				if err := p.opts.Ctx.Err(); err != nil {
+					out[i].err = fmt.Errorf("opt: search cancelled: %w", err)
+					return
+				}
+				out[i].eval, out[i].err = probir.RunCRNKernel(kernels[i])
+			})
+		}
+	})
 	// Sampling is complete: snapshots of successfully evaluated states enter
 	// the store (possibly evicting older generations back to the pool);
 	// failed states' snapshots are recycled directly. Storing strictly after
 	// the batch finishes is what makes eviction safe — no running kernel can
 	// hold a reference to an evicted snapshot.
 	if snaps != nil {
+		p.enterPhase(phaseSnapshotPut)
 		for i, sn := range snaps {
 			if sn == nil {
 				continue
@@ -544,6 +843,7 @@ func (p *Problem) evaluateKernel(cands []candidate) ([]scored, bool) {
 				p.dspace.ReleaseSnapshot(sn)
 			}
 		}
+		p.exitPhase()
 	}
 	return out, true
 }

@@ -72,17 +72,22 @@ func (s *snapStore) put(key string, snap *probir.Snapshot) {
 		s.release(snap)
 		return
 	}
-	var evicted []*probir.Snapshot
+	// The replace path (same key re-captured, the steady state of a warm
+	// search) must not allocate: the previous snapshot is released directly
+	// and the eviction slice is only built when the budget actually forces
+	// evictions.
+	var prev *probir.Snapshot
 	if el, ok := s.entries[key]; ok {
 		e := el.Value.(*snapEntry)
 		s.used += b - e.snap.Bytes()
-		evicted = append(evicted, e.snap)
+		prev = e.snap
 		e.snap = snap
 		s.ll.MoveToFront(el)
 	} else {
 		s.entries[key] = s.ll.PushFront(&snapEntry{key: key, snap: snap})
 		s.used += b
 	}
+	var evicted []*probir.Snapshot
 	for s.used > s.budget && s.ll.Len() > 1 {
 		back := s.ll.Back()
 		e := back.Value.(*snapEntry)
@@ -93,9 +98,21 @@ func (s *snapStore) put(key string, snap *probir.Snapshot) {
 		evicted = append(evicted, e.snap)
 	}
 	s.mu.Unlock()
+	if prev != nil {
+		s.release(prev)
+	}
 	for _, sn := range evicted {
 		s.release(sn)
 	}
+}
+
+// has reports whether a snapshot is already stored for a state key without
+// touching LRU order.
+func (s *snapStore) has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
 }
 
 // stats returns the live entry count, retained bytes, and eviction count.

@@ -329,6 +329,43 @@ func (s *ScheduleSpace) CRNDeltaKernel(st State, base int64, dirty []int32, pare
 	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
 }
 
+// WorldOrder implements WorldOrderSpace: the evaluator's decisive-world-first
+// permutation, when it has one. The CostFn never affects it — ordering is a
+// property of the Monte-Carlo worlds, and the CostFn only rewrites the
+// reduced goal value.
+func (s *ScheduleSpace) WorldOrder(base int64) []int32 {
+	if wo, ok := s.Eval.(probir.WorldOrderer); ok {
+		return wo.WorldOrder(base)
+	}
+	return nil
+}
+
+// PlanCone implements PlannedDeltaSpace.
+func (s *ScheduleSpace) PlanCone(dirty []int32) (*probir.ConePlan, error) {
+	de, ok := s.Eval.(probir.PlannedDeltaEvaluator)
+	if !ok {
+		return nil, nil
+	}
+	return de.PlanCone(dirty)
+}
+
+// CRNDeltaKernelPlanned implements PlannedDeltaSpace: the evaluator's planned
+// incremental kernel, with any CostFn objective applied at reduction time.
+func (s *ScheduleSpace) CRNDeltaKernelPlanned(st State, base int64, plan *probir.ConePlan, parent, snap *probir.Snapshot) (probir.WorldKernel, error) {
+	de, ok := s.Eval.(probir.PlannedDeltaEvaluator)
+	if !ok {
+		return nil, nil
+	}
+	k, err := de.CRNDeltaKernelPlanned(st, base, plan, parent, snap)
+	if err != nil || k == nil {
+		return k, err
+	}
+	if s.CostFn == nil {
+		return k, nil
+	}
+	return &costFnKernel{WorldKernel: k, fn: s.CostFn, st: st.Clone()}, nil
+}
+
 // Fingerprint implements FingerprintSpace: the evaluator's program
 // fingerprint composed with the objective tag. Empty (caching disabled) when
 // the evaluator cannot fingerprint itself or a CostFn has no CostTag.

@@ -23,12 +23,49 @@ import (
 // float summation order is observable. Delta is therefore a wall-clock
 // optimization only — never a semantics change.
 
-// deltaConeFraction is the structural fallback threshold: when the cone's
-// recomputation cost (tasks + parent edges) exceeds this fraction of the
-// full DP's cost, CRNDeltaKernel declines and the caller evaluates fully.
-// Past that point the copy + bookkeeping overhead outweighs the skipped
-// work.
-const deltaConeFraction = 0.75
+// The structural fallback is a work-estimate model, in DP work units (one
+// unit ≈ one task step of the longest-path recurrence: an edge scan plus a
+// duration-row gather). Per world, delta evaluation pays a finish-row copy of
+// the whole DAG (deltaCopyUnit units per task — a contiguous memmove element
+// is far cheaper than a DP step) plus the cone's recomputation (cone tasks +
+// entering edges); full evaluation pays the whole DAG's DP (tasks + edges).
+// Delta is declined only when the estimated delta work reaches the full
+// work, so Montage-scale group cones (~58% of the DAG, where the old flat
+// 0.75 cone-fraction threshold was already borderline and per-executable
+// transforms mostly fell back) stay on the delta path as long as the copy
+// overhead leaves real savings.
+const deltaCopyUnit = 0.25
+
+// deltaWorthIt is the work-estimate model: true when evaluating a cone of
+// coneTasks tasks and coneEdges entering edges incrementally beats the full
+// DP over nTasks tasks and nEdges edges.
+func deltaWorthIt(nTasks, nEdges, coneTasks, coneEdges int) bool {
+	est := deltaCopyUnit*float64(nTasks) + float64(coneTasks+coneEdges)
+	return est < float64(nTasks+nEdges)
+}
+
+// ConePlan is one dirty set's cone extraction, hoisted out of kernel
+// construction so it can be shared: sibling children of one parent that
+// change the same task group (per-executable transforms) — and children of
+// later parents with the same dirty set — reuse one plan instead of
+// re-extracting and copying the cone per child. A plan is immutable after
+// PlanCone returns and safe for concurrent kernels to read.
+type ConePlan struct {
+	n         int
+	cone      []int32 // cone positions into flat.Order, ascending
+	edges     int     // parent edges entering cone members
+	dirtyMask []bool  // per task: assignment differs from the parent's
+	lastDirty int     // index into cone of the last dirty task
+	delta     bool    // work model: delta evaluation beats the full DP
+}
+
+// Delta reports whether the work-estimate model chose delta evaluation for
+// this cone; false means callers should evaluate fully (the plan is still a
+// valid description of the cone).
+func (cp *ConePlan) Delta() bool { return cp.delta }
+
+// ConeSize returns the number of tasks in the dirty cone.
+func (cp *ConePlan) ConeSize() int { return len(cp.cone) }
 
 // Snapshot holds one state's per-world finish times — finish[it*n+task] —
 // plus each world's makespan and argmax task. A snapshot is written by a
@@ -77,6 +114,19 @@ type DeltaEvaluator interface {
 	CRNDeltaKernel(config []int, base int64, dirty []int32, parent, snap *Snapshot) (WorldKernel, error)
 }
 
+// PlannedDeltaEvaluator is a DeltaEvaluator whose dirty-cone extraction can
+// be hoisted into a reusable ConePlan: callers that expand many children off
+// one parent plan each distinct dirty set once and build every sibling's
+// kernel from the shared plan.
+type PlannedDeltaEvaluator interface {
+	DeltaEvaluator
+	// PlanCone extracts one dirty set's cone into an immutable plan.
+	PlanCone(dirty []int32) (*ConePlan, error)
+	// CRNDeltaKernelPlanned is CRNDeltaKernel with the plan precomputed; the
+	// kernel borrows the plan's cone and dirty mask read-only.
+	CRNDeltaKernelPlanned(config []int, base int64, plan *ConePlan, parent, snap *Snapshot) (WorldKernel, error)
+}
+
 // needsMSSampling reports whether evaluation samples per-world makespans —
 // the precondition for finish-time snapshots to exist at all.
 func (n *Native) needsMSSampling() bool {
@@ -99,13 +149,17 @@ func (n *Native) NewSnapshot() *Snapshot {
 		return nil
 	}
 	nt := n.W.Len()
-	if v := n.snaps.Get(); v != nil {
-		s := v.(*Snapshot)
+	n.snapMu.Lock()
+	for len(n.snapFree) > 0 {
+		s := n.snapFree[len(n.snapFree)-1]
+		n.snapFree = n.snapFree[:len(n.snapFree)-1]
 		if s.n == nt && s.worlds == n.Iters {
+			n.snapMu.Unlock()
 			return s
 		}
 		// Sized for a different shape (shouldn't happen per Native); drop it.
 	}
+	n.snapMu.Unlock()
 	return &Snapshot{
 		n:      nt,
 		worlds: n.Iters,
@@ -115,11 +169,21 @@ func (n *Native) NewSnapshot() *Snapshot {
 	}
 }
 
+// snapFreeCap bounds the snapshot freelist; at most this many released
+// snapshots are retained for reuse (roughly one frontier batch's worth),
+// anything beyond goes to the GC.
+const snapFreeCap = 256
+
 // ReleaseSnapshot implements DeltaEvaluator.
 func (n *Native) ReleaseSnapshot(s *Snapshot) {
-	if s != nil {
-		n.snaps.Put(s)
+	if s == nil {
+		return
 	}
+	n.snapMu.Lock()
+	if len(n.snapFree) < snapFreeCap {
+		n.snapFree = append(n.snapFree, s)
+	}
+	n.snapMu.Unlock()
 }
 
 // CRNKernelSnap implements DeltaEvaluator.
@@ -139,45 +203,70 @@ func (n *Native) CRNKernelSnap(config []int, base int64, snap *Snapshot) (WorldK
 	return k, nil
 }
 
-// CRNDeltaKernel implements DeltaEvaluator.
-func (n *Native) CRNDeltaKernel(config []int, base int64, dirty []int32, parent, snap *Snapshot) (WorldKernel, error) {
-	if parent == nil || snap == nil || !n.needsMSSampling() {
-		return nil, nil
-	}
+// PlanCone extracts the dirty cone of one changed-task set into a shareable,
+// immutable ConePlan: the cone positions, the per-task dirty mask, the last
+// dirty cone index, and the work-estimate verdict. The caller owns sharing:
+// one plan per distinct dirty set serves every child kernel that changes
+// exactly those tasks, across siblings and across parents (the cone depends
+// on the DAG and the dirty set only, never on the configurations).
+func (n *Native) PlanCone(dirty []int32) (*ConePlan, error) {
 	nt := n.W.Len()
-	if parent.base != base || parent.n != nt || parent.worlds != n.Iters {
-		return nil, nil
-	}
 	if len(dirty) == 0 {
-		// An identical configuration is not a delta; let the caller's eval
-		// cache or full path handle it.
-		return nil, nil
+		return nil, fmt.Errorf("probir: empty dirty set")
 	}
 	for _, d := range dirty {
 		if d < 0 || int(d) >= nt {
 			return nil, fmt.Errorf("probir: dirty task %d out of range", d)
 		}
 	}
+	f := n.flat
+	sc := new(dag.ConeScratch)
+	cone, edges := f.Cone(dirty, sc)
+	cp := &ConePlan{
+		n:         nt,
+		cone:      append([]int32(nil), cone...),
+		edges:     edges,
+		dirtyMask: make([]bool, nt),
+		delta:     deltaWorthIt(nt, len(f.Parents), len(cone), edges),
+	}
+	for _, d := range dirty {
+		cp.dirtyMask[d] = true
+	}
+	for ci, kpos := range cp.cone {
+		if cp.dirtyMask[f.Order[kpos]] {
+			cp.lastDirty = ci
+		}
+	}
+	return cp, nil
+}
+
+// CRNDeltaKernelPlanned is CRNDeltaKernel with the cone extraction hoisted
+// out: the kernel borrows the plan's cone and dirty mask (read-only) instead
+// of extracting and owning copies, so building a sibling's kernel allocates
+// nothing cone-related. Returns (nil, nil) when delta does not apply — the
+// plan's work model declined, there is no parent snapshot, or the snapshot
+// shapes/base do not line up — and the caller must then evaluate fully. The
+// plan must come from PlanCone over exactly the tasks on which config and
+// the parent's configuration differ.
+func (n *Native) CRNDeltaKernelPlanned(config []int, base int64, plan *ConePlan, parent, snap *Snapshot) (WorldKernel, error) {
+	if plan == nil || !plan.delta || parent == nil || snap == nil || !n.needsMSSampling() {
+		return nil, nil
+	}
+	nt := n.W.Len()
+	if plan.n != nt {
+		return nil, fmt.Errorf("probir: cone plan for %d tasks, want %d", plan.n, nt)
+	}
+	if parent.base != base || parent.n != nt || parent.worlds != n.Iters {
+		return nil, nil
+	}
 	if snap.n != nt || snap.worlds != n.Iters {
 		return nil, fmt.Errorf("probir: snapshot shape (%d tasks, %d worlds), want (%d, %d)",
 			snap.n, snap.worlds, nt, n.Iters)
 	}
-	f := n.flat
-	prog := n.program(base)
-	sc := prog.cones.Get().(*dag.ConeScratch)
-	cone, edges := f.Cone(dirty, sc)
-	full := nt + len(f.Parents)
-	if float64(len(cone)+edges) > deltaConeFraction*float64(full) {
-		prog.cones.Put(sc)
-		return nil, nil
-	}
 	k, err := n.newCRNKernel(config, base)
 	if err != nil {
-		prog.cones.Put(sc)
 		return nil, err
 	}
-	k.cone = append(k.cone, cone...) // own the cone; scratch goes back now
-	prog.cones.Put(sc)
 	if !k.needMS {
 		// Nothing to delta (no makespan figures); run it as a plain kernel.
 		return k, nil
@@ -185,16 +274,33 @@ func (n *Native) CRNDeltaKernel(config []int, base int64, dirty []int32, parent,
 	snap.base = base
 	k.capture = snap
 	k.parent = parent
-	k.dirtyMask = make([]bool, nt)
-	for _, d := range dirty {
-		k.dirtyMask[d] = true
-	}
-	for ci, kpos := range k.cone {
-		if k.dirtyMask[f.Order[kpos]] {
-			k.lastDirty = ci
-		}
-	}
+	k.cone = plan.cone
+	k.dirtyMask = plan.dirtyMask
+	k.lastDirty = plan.lastDirty
 	return k, nil
+}
+
+// CRNDeltaKernel implements DeltaEvaluator: PlanCone + CRNDeltaKernelPlanned
+// for callers without a plan cache. Each call re-extracts the cone; the
+// solver's compiled pipeline uses the planned form with a shared plan per
+// dirty set instead.
+func (n *Native) CRNDeltaKernel(config []int, base int64, dirty []int32, parent, snap *Snapshot) (WorldKernel, error) {
+	if parent == nil || snap == nil || !n.needsMSSampling() {
+		return nil, nil
+	}
+	if len(dirty) == 0 {
+		// An identical configuration is not a delta; let the caller's eval
+		// cache or full path handle it.
+		return nil, nil
+	}
+	plan, err := n.PlanCone(dirty)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.delta {
+		return nil, nil
+	}
+	return n.CRNDeltaKernelPlanned(config, base, plan, parent, snap)
 }
 
 // sampleDeltaMS computes world it's makespan incrementally: copy the

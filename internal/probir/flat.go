@@ -67,6 +67,11 @@ type Program struct {
 	fillMu sync.Mutex
 	rows   []atomic.Pointer[[]float64] // rows[task*nTypes+type][iteration], lazily filled
 
+	// orderOnce/order cache the decisive-world-first permutation (order.go):
+	// a pure function of (program content, base), immutable once built.
+	orderOnce sync.Once
+	order     []int32
+
 	scratch sync.Pool // *[]float64 of len flat.Len(): per-world finish times
 	flags   sync.Pool // *epochMarks of len flat.Len(): per-world delta recompute marks
 	cones   sync.Pool // *dag.ConeScratch: per-kernel-build cone computation

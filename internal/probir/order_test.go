@@ -1,0 +1,118 @@
+package probir
+
+import (
+	"testing"
+
+	"deco/internal/wlog"
+)
+
+// TestWorldOrderPermutation checks the decisive-world-first ordering
+// contract: the result is a valid permutation of [0, Iters), identical on
+// repeated calls (cached), and bit-identical across independently built
+// evaluators over the same program content and base seed — the property the
+// adaptive search relies on for device invariance.
+func TestWorldOrderPermutation(t *testing.T) {
+	w, tbl, prices := fixture(t, false)
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.95, Bound: 2000}}
+	const iters = 128
+	n1, err := NewNative(w, tbl, prices, GoalCost, cons, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 42
+	order := n1.WorldOrder(base)
+	if order == nil {
+		t.Fatal("WorldOrder returned nil for a sampled-deadline program")
+	}
+	if len(order) != iters {
+		t.Fatalf("WorldOrder length %d, want %d", len(order), iters)
+	}
+	seen := make([]bool, iters)
+	for _, wi := range order {
+		if wi < 0 || int(wi) >= iters {
+			t.Fatalf("world index %d out of range [0, %d)", wi, iters)
+		}
+		if seen[wi] {
+			t.Fatalf("world index %d appears twice", wi)
+		}
+		seen[wi] = true
+	}
+
+	// Repeated calls return the same cached permutation.
+	again := n1.WorldOrder(base)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("repeated WorldOrder differs at %d: %d vs %d", i, order[i], again[i])
+		}
+	}
+
+	// An independently built evaluator over the same inputs orders worlds
+	// identically: the signal depends only on program content and base seed.
+	n2, err := NewNative(w, tbl, prices, GoalCost, cons, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := n2.WorldOrder(base)
+	if len(other) != len(order) {
+		t.Fatalf("fresh evaluator order length %d, want %d", len(other), len(order))
+	}
+	for i := range order {
+		if order[i] != other[i] {
+			t.Fatalf("fresh evaluator order differs at %d: %d vs %d", i, order[i], other[i])
+		}
+	}
+
+	// Severity must actually be descending: replay the documented signal
+	// (critical-path sum over uniform configurations) and check sortedness
+	// with the ascending-index tie-break.
+	sev := make([]float64, iters)
+	nTasks := n1.NumTasks()
+	cfg := make([]int, nTasks)
+	for j := 0; j < n1.NumTypes(); j++ {
+		for i := range cfg {
+			cfg[i] = j
+		}
+		rows := n1.program(base).Rows(cfg)
+		f := n1.flat
+		finish := make([]float64, f.Len())
+		for it := 0; it < iters; it++ {
+			ms := 0.0
+			for k, ti := range f.Order {
+				start := 0.0
+				for _, pa := range f.Parents[f.ParentStart[k]:f.ParentStart[k+1]] {
+					if fp := finish[pa]; fp > start {
+						start = fp
+					}
+				}
+				end := start + rows[ti][it]
+				finish[ti] = end
+				if end > ms {
+					ms = end
+				}
+			}
+			sev[it] += ms
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if sev[a] < sev[b] || (sev[a] == sev[b] && a > b) {
+			t.Fatalf("order not severity-descending at %d: world %d (sev %g) before world %d (sev %g)",
+				i, a, sev[a], b, sev[b])
+		}
+	}
+}
+
+// TestWorldOrderNilWithoutSampling checks that a program whose evaluation
+// runs no Monte-Carlo worlds (cost goal, mean-notion constraints only)
+// reports no useful ordering.
+func TestWorldOrderNilWithoutSampling(t *testing.T) {
+	w, tbl, prices := fixture(t, false)
+	cons := []wlog.Constraint{{Kind: "budget", Percentile: -1, Bound: 100}}
+	n, err := NewNative(w, tbl, prices, GoalCost, cons, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order := n.WorldOrder(7); order != nil {
+		t.Fatalf("WorldOrder = %v for a world-free program, want nil", order)
+	}
+}

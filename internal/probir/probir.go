@@ -92,8 +92,13 @@ type Native struct {
 	progs    map[int64]*progEntry
 	progTick uint64
 
-	// snaps pools finish-time Snapshots for delta evaluation (see delta.go).
-	snaps sync.Pool
+	// snapFree freelists finish-time Snapshots for delta evaluation (see
+	// delta.go). A bounded freelist rather than a sync.Pool: snapshots are
+	// large (n·worlds floats) and cycle through every warm expansion, so
+	// letting the GC clear the pool between batches would re-allocate whole
+	// arenas mid-search.
+	snapMu   sync.Mutex
+	snapFree []*Snapshot
 
 	fpOnce sync.Once
 	fp     string

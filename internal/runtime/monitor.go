@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"deco/internal/dag"
+	"deco/internal/device"
 	"deco/internal/estimate"
+	"deco/internal/probir"
 	"deco/internal/sim"
 	"deco/internal/wlog"
 )
@@ -35,6 +37,8 @@ type Monitor struct {
 	sinceReplan         int
 	replans             int
 	riskMax             float64
+	riskWorldsRun       int64
+	riskWorldsBudget    int64
 	events              []StreamEvent
 	err                 error
 	done                bool
@@ -204,17 +208,35 @@ func (m *Monitor) Revise() map[string]sim.Placement {
 	}
 	base := mixSeed(m.opt.Seed, m.decisions)
 	m.decisions++
-	ev, err := evalKernel(k, base, m.opt.Device)
+	var ev *probir.Evaluation
+	var risk float64
+	m.riskWorldsBudget += int64(k.Worlds())
+	bd, isBlock := m.opt.Device.(device.BlockDevice)
+	if m.opt.Adaptive && isBlock && k.chunkable() && k.Worlds() > riskMinWorlds {
+		// Chunked sequential stopping: a nil evaluation means the replan
+		// predicate was decided early from a world prefix, with risk the
+		// pessimistic bound; a replan-triggering evaluation always completes
+		// (canReplan), so the replan search below sees exact numbers.
+		canReplan := m.replans < m.opt.MaxReplans && m.sinceReplan >= m.opt.Cooldown
+		var run int
+		ev, risk, run, err = chunkedRisk(k, base, bd, m.opt.Risk, canReplan)
+		m.riskWorldsRun += int64(run)
+	} else {
+		ev, err = evalKernel(k, base, m.opt.Device)
+		m.riskWorldsRun += int64(k.Worlds())
+		if err == nil {
+			risk = violationProb(ev)
+		}
+	}
 	if err != nil {
 		m.fail(err)
 		return nil
 	}
-	risk := violationProb(ev)
 	if risk > m.riskMax {
 		m.riskMax = risk
 	}
 	m.emit(StreamEvent{Time: m.res.now, Kind: "risk", Risk: risk, Drift: m.res.drift})
-	if risk <= m.opt.Risk || m.replans >= m.opt.MaxReplans || m.sinceReplan < m.opt.Cooldown {
+	if risk <= m.opt.Risk || m.replans >= m.opt.MaxReplans || m.sinceReplan < m.opt.Cooldown || ev == nil {
 		return nil
 	}
 	searchSeed := mixSeed(m.opt.Seed, m.decisions)
@@ -278,12 +300,14 @@ func (m *Monitor) Err() error { return m.err }
 // Report summarizes the monitored execution.
 func (m *Monitor) Report() *Report {
 	rep := &Report{
-		Replans:         m.replans,
-		RiskMax:         m.riskMax,
-		Drift:           m.res.drift,
-		FinalConfig:     make(map[string]string, len(m.config)),
-		Events:          m.events,
-		DeadlineSeconds: m.deadline(),
+		Replans:          m.replans,
+		RiskMax:          m.riskMax,
+		Drift:            m.res.drift,
+		FinalConfig:      make(map[string]string, len(m.config)),
+		Events:           m.events,
+		DeadlineSeconds:  m.deadline(),
+		RiskWorldsRun:    m.riskWorldsRun,
+		RiskWorldsBudget: m.riskWorldsBudget,
 	}
 	for i, t := range m.w.Tasks {
 		rep.FinalConfig[t.ID] = m.tbl.Types[m.config[i]]

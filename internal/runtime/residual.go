@@ -7,6 +7,7 @@ import (
 	"deco/internal/device"
 	"deco/internal/estimate"
 	"deco/internal/probir"
+	"deco/internal/sample"
 	"deco/internal/wlog"
 )
 
@@ -260,6 +261,117 @@ func violationProb(ev *probir.Evaluation) float64 {
 		}
 	}
 	return risk
+}
+
+// riskMinWorlds is the first chunk of a chunked risk re-evaluation — the
+// minimum worlds sampled before any stop decision, mirroring the solver's
+// adaptive default.
+const riskMinWorlds = 16
+
+// chunkable reports whether the kernel's replan predicate can be decided
+// from a world prefix: every sampled constraint carries a satisfaction
+// indicator, and no mean-based deadline is present (its verdict needs the
+// full makespan sum; a mean-based budget is known exactly before any world
+// runs, from the deterministic mean cost).
+func (k *residualKernel) chunkable() bool {
+	hasInd := false
+	for ci, c := range k.r.cons {
+		if k.indIdx[ci] >= 0 {
+			hasInd = true
+			continue
+		}
+		if c.Kind == "deadline" {
+			return false
+		}
+	}
+	return hasInd
+}
+
+// chunkedRisk runs the kernel's worlds in chunks with the exact worst-case
+// stopping rule of package sample, deciding the monitor's replan predicate
+// ("violation risk > threshold") from a world prefix when it is certain:
+//
+//   - Certainly no replan — every indicator's worst-case lower probability
+//     bound already clears 1-threshold — stops immediately and returns the
+//     pessimistic risk bound (≤ threshold) with a nil evaluation.
+//   - Certainly replan: if the caller can act on it (needFull), the
+//     remaining worlds run so the returned evaluation is complete (the
+//     replan search compares candidate plans against it, and the emitted
+//     risk is exact); otherwise the evaluation stops with the bound.
+//
+// The chunk schedule includes the tail checkpoints of the no-replan target,
+// so a healthy execution confirms "risk ≤ threshold" as soon as enough
+// worlds have succeeded instead of always running the full budget. Either
+// way the decision is identical to the fixed path's: stops happen only on
+// certain verdicts. A returned non-nil evaluation ran every world and is
+// bit-identical to evalKernel's (chunked folds accumulate in ascending world
+// order).
+func chunkedRisk(k *residualKernel, base int64, bd device.BlockDevice, threshold float64, needFull bool) (*probir.Evaluation, float64, int, error) {
+	worlds, width := k.Worlds(), k.Width()
+	// A mean-based budget's verdict is known before any world runs.
+	detViolated := false
+	for ci, c := range k.r.cons {
+		if k.indIdx[ci] < 0 && k.mean > c.Bound {
+			detViolated = true
+		}
+	}
+	sums := make([]float64, width)
+	kernel := func(_, t int, out []float64) error {
+		return k.Sample(t, probir.WorldRNG(base, t), out)
+	}
+	ends := sample.TailChunks(riskMinWorlds, worlds, []float64{1 - threshold})
+	lo := 0
+	for _, end := range ends {
+		if _, errs := device.ReduceBlocksRange(bd, 1, lo, end, width, sums, kernel); errs[0] != nil {
+			return nil, 0, lo, errs[0]
+		}
+		lo = end
+		if end == worlds {
+			break
+		}
+		// Worst-case bounds per indicator over the fixed world set: the
+		// final satisfaction probability of constraint ci lies in
+		// [Succ/N, (Succ+N-Seen)/N] no matter how the unseen worlds come out.
+		replanCertain := detViolated
+		noReplanCertain := !detViolated
+		riskHi := 0.0
+		if detViolated {
+			riskHi = 1
+		}
+		for ci := range k.r.cons {
+			fi := k.indIdx[ci]
+			if fi < 0 {
+				continue
+			}
+			blo, bhi := sample.Bernoulli{Succ: sums[fi], Seen: end}.Range(worlds)
+			if bhi < 1-threshold {
+				replanCertain = true
+			}
+			if blo < 1-threshold {
+				noReplanCertain = false
+			}
+			if r := 1 - blo; r > riskHi {
+				riskHi = r
+			}
+		}
+		if noReplanCertain || (replanCertain && !needFull) {
+			return nil, riskHi, end, nil
+		}
+		if replanCertain {
+			// The replan search needs the complete evaluation; finish the
+			// remaining worlds in one sweep.
+			if _, errs := device.ReduceBlocksRange(bd, 1, end, worlds, width, sums, kernel); errs[0] != nil {
+				return nil, 0, end, errs[0]
+			}
+			lo = worlds
+			break
+		}
+	}
+	ev, err := k.Reduce(sums)
+	if err != nil {
+		return nil, 0, lo, err
+	}
+	return ev, violationProb(ev), lo, nil
 }
 
 // evalKernel runs a kernel's worlds on the device (one block, a thread per

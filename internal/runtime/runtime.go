@@ -44,6 +44,17 @@ type Options struct {
 	// Seed makes monitoring decisions reproducible: risk evaluations and
 	// replan searches derive per-decision rng substreams from it.
 	Seed int64
+	// Adaptive enables chunked risk re-evaluation with sequential stopping:
+	// the monitor decides its replan predicate (risk > Risk) from a world
+	// prefix when the exact worst-case interval settles it, instead of always
+	// running every world. Replan decisions are identical to the fixed path —
+	// an early stop happens only when the verdict is certain, and a
+	// replan-triggering evaluation always completes its full budget (the
+	// replan search compares candidates against it) — but early-stopped risk
+	// events report a pessimistic upper bound rather than the exact
+	// probability. Requires a BlockDevice and indicator-backed constraints;
+	// silently inert otherwise (see Report.RiskWorldsRun).
+	Adaptive bool
 	// Device runs Monte-Carlo worlds (default device.Parallel{}).
 	Device device.Device
 	// Ctx cancels replan searches; nil means context.Background().
@@ -135,6 +146,11 @@ type Report struct {
 	FinalConfig map[string]string `json:"final_config"`
 	// Events is the full monitor log.
 	Events []StreamEvent `json:"events"`
+	// RiskWorldsRun / RiskWorldsBudget are the Monte-Carlo worlds the
+	// monitor's risk re-evaluations actually sampled vs the fixed budget
+	// (decisions × Iters). They differ only under Options.Adaptive.
+	RiskWorldsRun    int64 `json:"risk_worlds_run,omitempty"`
+	RiskWorldsBudget int64 `json:"risk_worlds_budget,omitempty"`
 
 	Makespan        float64 `json:"makespan,omitempty"`
 	TotalCost       float64 `json:"total_cost,omitempty"`

@@ -222,3 +222,71 @@ func TestAdaptiveRunsAreDeterministic(t *testing.T) {
 		t.Fatal("determinism scenario produced no replan; tighten it")
 	}
 }
+
+// TestMonitorAdaptiveRiskMatchesFixed pins the monitor-side sequential
+// stopping contract: chunked risk evaluation may stop early only when the
+// replan predicate is already certain, so the replan decisions — and with
+// them the final plan and makespan — must be identical to the fixed path,
+// while the adaptive run provably spends fewer Monte-Carlo worlds. This is
+// also the race smoke for the chunked risk path (run with -race).
+func TestMonitorAdaptiveRiskMatchesFixed(t *testing.T) {
+	s := newScenario(t)
+	const factor = 0.5
+	sawSavings := false
+	for i := 0; i < 3; i++ {
+		seed := int64(100 + i)
+		of := &Options{Seed: seed, Iters: 150, ReplanBudget: 200}
+		resF, repF := s.runOnce(t, factor, seed, of)
+		oa := &Options{Seed: seed, Iters: 150, ReplanBudget: 200, Adaptive: true}
+		resA, repA := s.runOnce(t, factor, seed, oa)
+
+		if resA.Makespan != resF.Makespan {
+			t.Fatalf("seed %d: adaptive makespan %v != fixed %v", seed, resA.Makespan, resF.Makespan)
+		}
+		if !reflect.DeepEqual(resA.Plan.Place, resF.Plan.Place) {
+			t.Fatalf("seed %d: final plans differ:\n%v\n---\n%v", seed, resA.Plan.Place, resF.Plan.Place)
+		}
+		if !reflect.DeepEqual(repA.FinalConfig, repF.FinalConfig) {
+			t.Fatalf("seed %d: final configs differ: %v vs %v", seed, repA.FinalConfig, repF.FinalConfig)
+		}
+		if repA.Replans != repF.Replans {
+			t.Fatalf("seed %d: adaptive made %d replans, fixed %d", seed, repA.Replans, repF.Replans)
+		}
+		// The replan decision stream must match event for event. Risk events
+		// may report pessimistic bounds under early stops, so only the
+		// decisions (and their triggering risk, which always completes its
+		// full budget) are compared.
+		replansOf := func(rep *Report) []StreamEvent {
+			var out []StreamEvent
+			for _, e := range rep.Events {
+				if e.Kind == "replan" {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+		ra, rf := replansOf(repA), replansOf(repF)
+		if !reflect.DeepEqual(ra, rf) {
+			t.Fatalf("seed %d: replan events differ:\n%+v\n---\n%+v", seed, ra, rf)
+		}
+
+		if repF.RiskWorldsRun != repF.RiskWorldsBudget {
+			t.Fatalf("seed %d: fixed path must run its full budget: %d of %d",
+				seed, repF.RiskWorldsRun, repF.RiskWorldsBudget)
+		}
+		if repA.RiskWorldsBudget != repF.RiskWorldsBudget {
+			t.Fatalf("seed %d: budgets differ: adaptive %d fixed %d",
+				seed, repA.RiskWorldsBudget, repF.RiskWorldsBudget)
+		}
+		if repA.RiskWorldsRun > repA.RiskWorldsBudget {
+			t.Fatalf("seed %d: adaptive ran more worlds than its budget: %d of %d",
+				seed, repA.RiskWorldsRun, repA.RiskWorldsBudget)
+		}
+		if repA.RiskWorldsRun < repA.RiskWorldsBudget {
+			sawSavings = true
+		}
+	}
+	if !sawSavings {
+		t.Fatal("adaptive risk evaluation never stopped early across seeds; scenario too weak")
+	}
+}

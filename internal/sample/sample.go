@@ -35,7 +35,10 @@
 // configured confidence) worse than the racing reference.
 package sample
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Verdict is the outcome of a sequential feasibility check.
 type Verdict int
@@ -86,6 +89,54 @@ func Chunks(min, total int) []int {
 		ends = append(ends, end)
 		size *= 2
 	}
+	return ends
+}
+
+// TailChunks is Chunks with additional checkpoints where tail verdicts first
+// become decidable. Under the exact worst-case rule a feasible verdict for a
+// constraint at percentile target needs at least ceil(target*total) successes,
+// so the earliest possible feasible stop is at ceil(target*total) seen worlds —
+// world 96 of 100 at pct=0.96, which plain geometric chunks jump straight past
+// to the full run. For every target this inserts checkpoints at
+// ceil(target*total) + {0, 1, 2, 4, 8, ...}: a state whose few violating
+// worlds were already seen (decisive-world-first ordering front-loads them)
+// confirms feasible within a geometric cushion of its failure count instead of
+// always running to total. The result is sorted, deduplicated, and still ends
+// exactly at total, so it composes with the same stopping rules as Chunks.
+func TailChunks(min, total int, targets []float64) []int {
+	ends := Chunks(min, total)
+	if total <= 0 || len(targets) == 0 {
+		return ends
+	}
+	seen := make(map[int]bool, len(ends)+8*len(targets))
+	for _, e := range ends {
+		seen[e] = true
+	}
+	for _, tg := range targets {
+		if tg <= 0 || tg > 1 {
+			continue
+		}
+		first := int(math.Ceil(tg * float64(total)))
+		if first < 1 {
+			first = 1
+		}
+		for step := 0; ; {
+			cp := first + step
+			if cp >= total {
+				break
+			}
+			if !seen[cp] {
+				seen[cp] = true
+				ends = append(ends, cp)
+			}
+			if step == 0 {
+				step = 1
+			} else {
+				step *= 2
+			}
+		}
+	}
+	sort.Ints(ends)
 	return ends
 }
 

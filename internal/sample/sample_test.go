@@ -206,3 +206,100 @@ func TestPairedWelford(t *testing.T) {
 		t.Fatalf("empty tracker lower bound %g, want -Inf", lb)
 	}
 }
+
+func TestTailChunks(t *testing.T) {
+	// With no (or out-of-range) targets TailChunks degenerates to Chunks.
+	for _, targets := range [][]float64{nil, {}, {-0.5, 0, 1.5}} {
+		got := TailChunks(16, 100, targets)
+		want := Chunks(16, 100)
+		if len(got) != len(want) {
+			t.Fatalf("TailChunks(16, 100, %v) = %v, want %v", targets, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("TailChunks(16, 100, %v) = %v, want %v", targets, got, want)
+			}
+		}
+	}
+	if got := TailChunks(16, 0, []float64{0.96}); got != nil {
+		t.Fatalf("TailChunks(16, 0) = %v, want nil", got)
+	}
+
+	// General properties: strictly increasing, ends at total, superset of
+	// Chunks, and contains every tail checkpoint ceil(target*total)+2^k that
+	// lies below total.
+	for _, tc := range []struct {
+		min, total int
+		targets    []float64
+	}{
+		{8, 100, []float64{0.96}},
+		{8, 256, []float64{0.96}},
+		{16, 256, []float64{0.9, 0.96}},
+		{1, 50, []float64{0.5}},
+		{8, 100, []float64{0.999}},
+		{8, 100, []float64{0.01}},
+	} {
+		got := TailChunks(tc.min, tc.total, tc.targets)
+		if got[len(got)-1] != tc.total {
+			t.Fatalf("TailChunks(%d, %d, %v) ends at %d", tc.min, tc.total, tc.targets, got[len(got)-1])
+		}
+		seen := make(map[int]bool, len(got))
+		prev := 0
+		for _, e := range got {
+			if e <= prev {
+				t.Fatalf("TailChunks(%d, %d, %v): non-increasing end %d after %d",
+					tc.min, tc.total, tc.targets, e, prev)
+			}
+			prev = e
+			seen[e] = true
+		}
+		for _, e := range Chunks(tc.min, tc.total) {
+			if !seen[e] {
+				t.Fatalf("TailChunks(%d, %d, %v) = %v missing Chunks end %d",
+					tc.min, tc.total, tc.targets, got, e)
+			}
+		}
+		for _, tg := range tc.targets {
+			if tg <= 0 || tg > 1 {
+				continue
+			}
+			first := int(math.Ceil(tg * float64(tc.total)))
+			if first < 1 {
+				first = 1
+			}
+			for step := 0; ; {
+				cp := first + step
+				if cp >= tc.total {
+					break
+				}
+				if !seen[cp] {
+					t.Fatalf("TailChunks(%d, %d, %v) = %v missing tail checkpoint %d",
+						tc.min, tc.total, tc.targets, got, cp)
+				}
+				if step == 0 {
+					step = 1
+				} else {
+					step *= 2
+				}
+			}
+		}
+	}
+
+	// The pct=0.96/total=100 case of the bench rows: the earliest feasible
+	// stop (96 successes seen) must be a checkpoint, which plain Chunks skips.
+	got := TailChunks(8, 100, []float64{0.96})
+	has96 := false
+	for _, e := range got {
+		if e == 96 {
+			has96 = true
+		}
+	}
+	if !has96 {
+		t.Fatalf("TailChunks(8, 100, [0.96]) = %v missing checkpoint 96", got)
+	}
+	for _, e := range Chunks(8, 100) {
+		if e == 96 {
+			t.Fatalf("Chunks(8, 100) unexpectedly contains 96; tail test is vacuous")
+		}
+	}
+}
