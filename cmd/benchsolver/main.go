@@ -524,6 +524,57 @@ func (o *orderedRow) finish() {
 	}
 }
 
+// spotRow compares complete cost-minimizing searches over the same Montage
+// instance with and without the spot-market layer: the on-demand search sees
+// only the catalog's fixed hourly prices, the market search sees one
+// preemptible column per type priced by the clearing-price process with
+// Poisson revocation rework folded into every world. Three contracts back
+// the row: both searches must converge to a feasible plan, the market
+// objective (expected cost under revocation) must land strictly below the
+// on-demand objective, and the market search must produce a bit-identical
+// objective on the sequential and parallel devices — the CRN determinism
+// contract extended over the spot virtual columns. The throughput halves
+// measure one warm frontier expansion each — the on-demand batch from the
+// all-cheapest state, the market batch from the all-cheapest-spot state —
+// so the per-state overhead of revocation sampling is visible rather than
+// averaged away.
+type spotRow struct {
+	Benchmark         string  `json:"benchmark"`
+	OnDemandObjective float64 `json:"ondemand_objective"`
+	SpotObjective     float64 `json:"spot_objective"`
+	// SpotObjectiveParallel is the market search's objective on the parallel
+	// device; CI asserts bit-equality with SpotObjective.
+	SpotObjectiveParallel float64 `json:"spot_objective_parallel"`
+	Feasible              bool    `json:"feasible"`
+	// SavingsFrac is 1 - spot/on-demand: the fraction of the bill the market
+	// plan saves net of priced-in revocation rework.
+	SavingsFrac float64 `json:"savings_frac"`
+	// SpotAssignments counts tasks the market plan places on spot columns.
+	SpotAssignments      int     `json:"spot_assignments"`
+	OnDemandBatchStates  int     `json:"ondemand_batch_states"`
+	MarketBatchStates    int     `json:"market_batch_states"`
+	OnDemand             row     `json:"ondemand_expansion"`
+	Market               row     `json:"market_expansion"`
+	OnDemandStatesPerSec float64 `json:"ondemand_states_per_sec"`
+	MarketStatesPerSec   float64 `json:"market_states_per_sec"`
+	// MarketOverheadRatio is market ns-per-state over on-demand ns-per-state:
+	// what one evaluated state costs extra once every world also samples
+	// clearing prices and revocation times.
+	MarketOverheadRatio float64 `json:"market_overhead_ratio"`
+}
+
+func (s *spotRow) finish() {
+	if s.OnDemand.NsPerOp > 0 {
+		s.OnDemandStatesPerSec = float64(s.OnDemandBatchStates) / (float64(s.OnDemand.NsPerOp) / 1e9)
+	}
+	if s.Market.NsPerOp > 0 {
+		s.MarketStatesPerSec = float64(s.MarketBatchStates) / (float64(s.Market.NsPerOp) / 1e9)
+	}
+	if s.OnDemandStatesPerSec > 0 && s.MarketStatesPerSec > 0 {
+		s.MarketOverheadRatio = s.OnDemandStatesPerSec / s.MarketStatesPerSec
+	}
+}
+
 // useCaseRow is one ported use case's fallback-vs-compiled comparison.
 type useCaseRow struct {
 	Benchmark   string  `json:"benchmark"`
@@ -568,9 +619,13 @@ type report struct {
 	// grouping, where promotions dirty Montage-scale cones: the ordered row
 	// compounds world ordering with group-cone delta evaluation, the baseline
 	// is the plain adaptive path with delta disabled.
-	SchedulingGroups *orderedRow  `json:"scheduling_groups"`
-	Ensemble         *useCaseRow  `json:"ensemble"`
-	FTC              *useCaseRow  `json:"ftc"`
+	SchedulingGroups *orderedRow `json:"scheduling_groups"`
+	// SchedulingSpot compares market-aware search (spot columns, sampled
+	// clearing prices, revocation rework) against the on-demand-only search
+	// on the same instance; see spotRow.
+	SchedulingSpot *spotRow    `json:"scheduling_spot"`
+	Ensemble       *useCaseRow `json:"ensemble"`
+	FTC            *useCaseRow `json:"ftc"`
 }
 
 func measure(f func(base int64) error) (row, error) {
@@ -1003,6 +1058,154 @@ func main() {
 	groups.finish()
 	rep.SchedulingGroups = groups
 
+	// Spot markets: the same instance with one preemptible column per
+	// on-demand type, priced from the default catalog's us-east market
+	// models, under a deadline loose enough (2x the all-cheapest mean
+	// makespan at the 0.9 percentile) that cost, not feasibility, decides
+	// the plan. The on-demand search can only pick fixed-price columns; the
+	// market search may also bid on spot, paying the clearing-price process
+	// and the expected revocation rework in every world. Multi-start is left
+	// on — the homogeneous all-spot starts are how the production engine
+	// reaches the market shelf — and the market search runs twice, on the
+	// sequential and parallel devices, to pin the CRN bit-equality contract
+	// over the spot columns.
+	spotCat := cloud.DefaultCatalog()
+	spotTbl, err := p.tbl.ExpandSpot(p.tbl.Types)
+	if err != nil {
+		log.Fatal(err)
+	}
+	usReg, err := spotCat.Region(cloud.USEast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	marketPrices := make([]float64, len(spotTbl.Types))
+	copy(marketPrices, p.prices)
+	markets := make([]probir.MarketSpec, len(spotTbl.Types))
+	for j := len(p.prices); j < len(spotTbl.Types); j++ {
+		sm, err := spotCat.Spot(cloud.USEast, spotTbl.Types[j])
+		if err != nil {
+			log.Fatal(err)
+		}
+		od, ok := usReg.PricePerHour[cloud.BaseType(spotTbl.Types[j])]
+		if !ok {
+			log.Fatalf("us-east does not price %s", cloud.BaseType(spotTbl.Types[j]))
+		}
+		markets[j] = probir.MarketSpec{
+			Spot:               true,
+			PriceMean:          sm.PricePerHourMean,
+			PriceSigma:         sm.PriceSigma,
+			RevocationsPerHour: sm.RevocationsPerHour,
+			OnDemandUSD:        od,
+		}
+		marketPrices[j] = sm.PricePerHourMean
+	}
+	spotCons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.9, Bound: p.deadline * 2}}
+	odNative, err := probir.NewNative(p.w, p.tbl, p.prices, probir.GoalCost, spotCons, p.worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkNative, err := probir.NewNativeMarkets(p.w, spotTbl, marketPrices, markets, probir.GoalCost, spotCons, p.worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	odSpace := opt.NewScheduleSpace(p.w, odNative)
+	mkSpace := opt.NewScheduleSpace(p.w, mkNative)
+	spotOpts := opt.Options{
+		Device: device.Sequential{}, Seed: 23,
+		MaxStates: 500, BeamWidth: 6, Patience: 20,
+		Worlds: p.worlds, MinWorlds: 8,
+	}
+	spotParOpts := spotOpts
+	spotParOpts.Device = device.Parallel{}
+	odRes, _, err := searchOn(odSpace, spotOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkRes, _, err := searchOn(mkSpace, spotOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkResPar, _, err := searchOn(mkSpace, spotParOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !odRes.Feasible || !mkRes.Feasible {
+		log.Fatalf("spot searches infeasible: ondemand %v, market %v", odRes.Feasible, mkRes.Feasible)
+	}
+	if mkRes.BestEval.Value != mkResPar.BestEval.Value || mkRes.Feasible != mkResPar.Feasible {
+		log.Fatalf("market objective device-dependent: sequential %v (feasible %v) vs parallel %v (feasible %v)",
+			mkRes.BestEval.Value, mkRes.Feasible, mkResPar.BestEval.Value, mkResPar.Feasible)
+	}
+	if mkRes.BestEval.Value >= odRes.BestEval.Value {
+		log.Fatalf("market plan not cheaper: spot %v vs on-demand %v", mkRes.BestEval.Value, odRes.BestEval.Value)
+	}
+	spotAssigned := 0
+	for _, j := range mkRes.Best {
+		if j >= len(p.prices) {
+			spotAssigned++
+		}
+	}
+	if spotAssigned == 0 {
+		log.Fatal("market plan cheaper than on-demand but placed nothing on spot")
+	}
+	spot := &spotRow{
+		Benchmark:             "complete cost search, loose deadline; on-demand-only columns vs spot markets (clearing-price process + revocation rework), feasibility and spot < on-demand asserted, market objective bit-equal across sequential and parallel devices; expansion halves measured at the all-cheapest and all-cheapest-spot states",
+		OnDemandObjective:     odRes.BestEval.Value,
+		SpotObjective:         mkRes.BestEval.Value,
+		SpotObjectiveParallel: mkResPar.BestEval.Value,
+		Feasible:              mkRes.Feasible,
+		SavingsFrac:           1 - mkRes.BestEval.Value/odRes.BestEval.Value,
+		SpotAssignments:       spotAssigned,
+	}
+	// The measured expansions: on-demand from the all-cheapest state, market
+	// from the all-cheapest-spot state, so the market half runs the spot
+	// sampling (price draw + revocation draw per task per world) for the
+	// whole batch rather than for a lone promoted child.
+	cheapest := 0
+	for j := 1; j < len(p.prices); j++ {
+		if p.prices[j] < p.prices[cheapest] {
+			cheapest = j
+		}
+	}
+	odParent := make(opt.State, p.w.Len())
+	mkParent := make(opt.State, p.w.Len())
+	for i := range odParent {
+		odParent[i] = cheapest
+		mkParent[i] = len(p.prices) + cheapest
+	}
+	odProb, err := opt.Compile(odSpace, spotOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkProb, err := opt.Compile(mkSpace, spotOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, kids, _, err := odProb.EvaluateExpansion(odParent); err != nil { // warm
+		log.Fatal(err)
+	} else {
+		spot.OnDemandBatchStates = 1 + len(kids)
+	}
+	if _, kids, _, err := mkProb.EvaluateExpansion(mkParent); err != nil { // warm
+		log.Fatal(err)
+	} else {
+		spot.MarketBatchStates = 1 + len(kids)
+	}
+	if spot.OnDemand, err = measure(func(int64) error {
+		_, _, _, err := odProb.EvaluateExpansion(odParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if spot.Market, err = measure(func(int64) error {
+		_, _, _, err := mkProb.EvaluateExpansion(mkParent)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	spot.finish()
+	rep.SchedulingSpot = spot
+
 	// Ensemble admission: the fallback re-evaluates every expansion; the
 	// compiled problem binds the eval cache once, so the steady state of
 	// repeated expansions over one planned space is answered from it.
@@ -1078,6 +1281,11 @@ func main() {
 	fmt.Printf("sched-group: plain %d ns/op | compound %d ns/op (%d-state batch) | states/sec speedup %.1fx | %d delta evals, %d fallbacks, %d plan hits, objective %.4f on both\n",
 		groups.Baseline.NsPerOp, groups.Ordered.NsPerOp, groups.BatchStates, groups.SpeedupStatesPerSec,
 		groups.DeltaEvals, groups.DeltaFallbacks, groups.ConePlanHits, groups.OrderedObjective)
+	fmt.Printf("sched-spot:  ondemand $%.4f | market $%.4f (savings %.0f%%, %d/%d tasks on spot, bit-equal across devices) | expansion od %d ns/op (%d states) vs market %d ns/op (%d states), overhead %.2fx\n",
+		spot.OnDemandObjective, spot.SpotObjective, 100*spot.SavingsFrac,
+		spot.SpotAssignments, p.w.Len(),
+		spot.OnDemand.NsPerOp, spot.OnDemandBatchStates,
+		spot.Market.NsPerOp, spot.MarketBatchStates, spot.MarketOverheadRatio)
 	fmt.Printf("ensemble:   old %d ns/op %d allocs/op | new %d ns/op %d allocs/op | speedup %.1fx, allocs ratio %.1fx\n",
 		ens.Old.NsPerOp, ens.Old.AllocsPerOp, ens.New.NsPerOp, ens.New.AllocsPerOp,
 		ens.SpeedupNs, ens.AllocsRatio)

@@ -12,13 +12,19 @@
 //	decorun -program ensemble.wlog -json
 //	decorun -program schedule.wlog -show-ir
 //	decorun -program schedule.wlog -adapt -risk 0.1 -perturb 0.5 -runs 5
+//	decorun -program programs/spot.wlog -adapt -spot-hazard 30 -runs 2
 //
 // With -adapt each run executes closed-loop: the runtime monitor watches
 // execution events, re-estimates the violation probability of the program's
 // constraints after every task completion, and replans the unstarted tasks
 // when it crosses -risk. -perturb scales the simulator's ground-truth I/O
 // and network performance away from the calibrated histograms (0.5 = half
-// speed) to exercise the monitor under calibration drift.
+// speed) to exercise the monitor under calibration drift. -spot-hazard
+// does the same for the spot market: it scales the ground-truth revocation
+// hazard away from the catalog's, so spot instances are reclaimed more
+// often than the plan priced in and the monitor's forced-recovery replans
+// (revocations / recoveries in the output) carry the orphaned tasks onto
+// on-demand capacity.
 package main
 
 import (
@@ -54,6 +60,7 @@ func main() {
 	adapt := flag.Bool("adapt", false, "execute closed-loop under the runtime monitor (with -runs)")
 	risk := flag.Float64("risk", 0.1, "replan when the estimated violation probability exceeds this (with -adapt)")
 	perturb := flag.Float64("perturb", 1, "scale the simulator's ground-truth perf away from calibration (with -adapt; 1 = none)")
+	spotHazard := flag.Float64("spot-hazard", 1, "scale the simulator's ground-truth spot revocation hazard away from the catalog (with -adapt; 1 = none)")
 	flag.Parse()
 
 	if *program == "" {
@@ -166,15 +173,23 @@ func main() {
 		if n < 1 {
 			n = 1
 		}
-		execCat := eng.Catalog()
+		// Ground truth starts from the plan's own catalog (the program may
+		// have imported a custom cloud), then drifts away from calibration
+		// as requested.
+		execCat := plan.Catalog()
 		if *perturb != 1 {
 			if execCat, err = cloud.ScalePerf(execCat, *perturb); err != nil {
 				fatal(err)
 			}
 		}
-		fmt.Printf("\nadaptive execution (%d run(s), risk threshold %.2f, perf scale %.2f):\n",
-			n, *risk, *perturb)
-		totalReplans := 0
+		if *spotHazard != 1 {
+			if execCat, err = cloud.ScaleHazard(execCat, *spotHazard); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("\nadaptive execution (%d run(s), risk threshold %.2f, perf scale %.2f, hazard scale %.2f):\n",
+			n, *risk, *perturb, *spotHazard)
+		totalReplans, totalRevocations, totalRecoveries := 0, 0, 0
 		for i := 0; i < n; i++ {
 			res, rep, err := plan.ExecuteAdaptive(context.Background(), *seed+int64(i), execCat,
 				runtime.Options{Risk: *risk, Seed: *seed + int64(i)})
@@ -182,14 +197,22 @@ func main() {
 				fatal(err)
 			}
 			totalReplans += rep.Replans
+			totalRevocations += rep.Revocations
+			totalRecoveries += rep.Recoveries
 			met := ""
 			if rep.DeadlineMet != nil {
 				met = fmt.Sprintf("  deadline met=%v", *rep.DeadlineMet)
 			}
-			fmt.Printf("  run %d: makespan %.1fs  cost $%.4f  drift %.2f  replans=%d%s\n",
-				i+1, res.Makespan, res.TotalCost, rep.Drift, rep.Replans, met)
+			spot := ""
+			if rep.Revocations > 0 || res.SpotSavingsUSD != 0 {
+				spot = fmt.Sprintf("  revocations=%d recoveries=%d spot savings $%.4f",
+					rep.Revocations, rep.Recoveries, res.SpotSavingsUSD)
+			}
+			fmt.Printf("  run %d: makespan %.1fs  cost $%.4f  drift %.2f  replans=%d%s%s\n",
+				i+1, res.Makespan, res.TotalCost, rep.Drift, rep.Replans, spot, met)
 		}
-		fmt.Printf("adaptive summary: replans=%d over %d run(s)\n", totalReplans, n)
+		fmt.Printf("adaptive summary: replans=%d revocations=%d recoveries=%d over %d run(s)\n",
+			totalReplans, totalRevocations, totalRecoveries, n)
 		return
 	}
 

@@ -115,6 +115,84 @@ func TestCrossDeviceDeterminismScheduling(t *testing.T) {
 	searchAllDevices(t, sp, o)
 }
 
+// TestCrossDeviceDeterminismSpotMarkets covers the market-aware scheduling
+// space: spot columns turn cost into a sampled figure (the objective reduces
+// from the realized-cost column instead of the world-free mean), which must
+// stay bit-identical across devices under every combination of the eval
+// cache and adaptive-precision evaluation. Within one (cache, adaptive)
+// setting all devices must agree exactly; the cache is shared across the
+// device sweep so warm hits are compared against cold evaluations too.
+func TestCrossDeviceDeterminismSpotMarkets(t *testing.T) {
+	env, err := exp.NewEnv(exp.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wfgen.BySize(wfgen.AppMontage, 24, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := env.Est.BuildTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xtbl, err := tbl.ExpandSpot([]string{"m1.small", "m1.xlarge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := cloud.DefaultCatalog().Region(cloud.USEast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := make([]float64, len(xtbl.Types))
+	markets := make([]probir.MarketSpec, len(xtbl.Types))
+	for j, name := range xtbl.Types {
+		if cloud.IsSpotName(name) {
+			m := us.Spot[cloud.BaseType(name)]
+			prices[j] = m.PricePerHourMean
+			markets[j] = probir.MarketSpec{
+				Spot:               true,
+				PriceMean:          m.PricePerHourMean,
+				PriceSigma:         m.PriceSigma,
+				RevocationsPerHour: m.RevocationsPerHour,
+				OnDemandUSD:        us.PricePerHour[cloud.BaseType(name)],
+			}
+		} else {
+			prices[j] = us.PricePerHour[name]
+		}
+	}
+	deadline, err := env.Deadline(w, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.9, Bound: deadline * 1.5}}
+	eval, err := probir.NewNativeMarkets(w, xtbl, prices, markets, probir.GoalCost, cons, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, adaptive := range []bool{false, true} {
+		for _, cached := range []bool{false, true} {
+			name := "fixed"
+			if adaptive {
+				name = "adaptive"
+			}
+			if cached {
+				name += "+cache"
+			}
+			t.Run(name, func(t *testing.T) {
+				sp := opt.NewScheduleSpace(w, eval)
+				o := opt.DefaultOptions(nil)
+				o.MaxStates = 120
+				o.Seed = 11
+				o.Adaptive = adaptive
+				if cached {
+					o.Cache = opt.NewEvalCache(1 << 22)
+				}
+				searchAllDevices(t, sp, o)
+			})
+		}
+	}
+}
+
 // TestCrossDeviceDeterminismEnsemble covers the admission space (§3.2):
 // deterministic per-state evaluations on the compiled kernel path, with the
 // objective maximized.

@@ -56,6 +56,13 @@ type Engine struct {
 	iters  int
 	search opt.Options
 	seed   int64
+	// spots lists base instance types offered on the spot market: the
+	// provisioning space grows a virtual "<type>:spot" column per entry,
+	// priced by the region's market process. xferFrom, when set, is the
+	// region holding the workflow's source inputs — source tasks pay the
+	// cross-region transfer time and egress cost (data gravity).
+	spots    []string
+	xferFrom string
 	// prologMaxTasks bounds when user-defined goal predicates are
 	// interpreted exactly with the Prolog machine; beyond it the engine
 	// requires the standard constructs and uses the native evaluator.
@@ -140,6 +147,20 @@ func WithAdaptive(on bool) Option { return func(e *Engine) { e.search.Adaptive =
 // stopping and racing rules, in [0.5, 1); 0 keeps the default (0.999). The
 // exact worst-case stopping rule carries no error at any setting.
 func WithConfidence(c float64) Option { return func(e *Engine) { e.search.Confidence = c } }
+
+// WithSpot offers the named base instance types on the spot market: the
+// search space gains a "<type>:spot" column per entry whose per-world cost is
+// drawn from the region's clearing-price process and revocation hazard, the
+// cost objective becomes expected cost under revocation, and percentile
+// budget constraints bound cost-at-risk. Equivalent to spot(type) facts in a
+// WLog program.
+func WithSpot(types ...string) Option { return func(e *Engine) { e.spots = types } }
+
+// WithTransferSource declares that the workflow's source inputs live in the
+// named region rather than the execution region: source tasks pay the
+// cross-region transfer time (calibrated bandwidth histogram) and the source
+// region's per-GB egress price. Equivalent to a transfer(src, dst) fact.
+func WithTransferSource(region string) Option { return func(e *Engine) { e.xferFrom = region } }
 
 // NewEngine builds an engine with the paper's defaults: the EC2 m1 catalog,
 // metadata discretized from the calibrated Table 2 distributions, the
@@ -370,23 +391,91 @@ func (e *Engine) ScheduleConstrainedContext(ctx context.Context, w *dag.Workflow
 	return e.optimizeNative(ctx, w, goal, cons, false)
 }
 
-func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probir.GoalKind, cons []wlog.Constraint, astar bool) (*Plan, error) {
+// marketTable builds the estimate table, per-column hourly prices, and
+// market specs for a workflow under the engine's market configuration: the
+// cross-region transfer applied to source tasks, then one virtual spot
+// column per WithSpot type. markets is nil when no spot types are offered.
+func (e *Engine) marketTable(w *dag.Workflow) (*estimate.Table, []float64, []probir.MarketSpec, error) {
 	prices, err := e.Prices()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	tbl, err := e.est.BuildTable(w)
+	est := *e.est
+	if e.xferFrom != "" {
+		if e.xferFrom == e.region {
+			return nil, nil, nil, fmt.Errorf("deco: transfer source %s is already the execution region", e.xferFrom)
+		}
+		src, err := e.cat.Region(e.xferFrom)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		priceGB, ok := src.NetPricePerGB[e.region]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("deco: region %s does not price transfers to %s", e.xferFrom, e.region)
+		}
+		if e.meta.CrossRegionNet == nil {
+			return nil, nil, nil, fmt.Errorf("deco: metadata has no cross-region bandwidth model")
+		}
+		est.Transfer = &estimate.Transfer{
+			From: e.xferFrom, To: e.region,
+			PriceGB: priceGB, Net: e.meta.CrossRegionNet,
+		}
+	}
+	tbl, err := est.BuildTable(w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(e.spots) == 0 {
+		return tbl, prices, nil, nil
+	}
+	if tbl, err = tbl.ExpandSpot(e.spots); err != nil {
+		return nil, nil, nil, err
+	}
+	reg, err := e.cat.Region(e.region)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	full := make([]float64, len(tbl.Types))
+	copy(full, prices)
+	markets := make([]probir.MarketSpec, len(tbl.Types))
+	for j := len(prices); j < len(tbl.Types); j++ {
+		name := tbl.Types[j]
+		sm, err := e.cat.Spot(e.region, name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		od, ok := reg.PricePerHour[cloud.BaseType(name)]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("deco: region %s does not price %s", e.region, cloud.BaseType(name))
+		}
+		markets[j] = probir.MarketSpec{
+			Spot:               true,
+			PriceMean:          sm.PricePerHourMean,
+			PriceSigma:         sm.PriceSigma,
+			RevocationsPerHour: sm.RevocationsPerHour,
+			OnDemandUSD:        od,
+		}
+		full[j] = sm.PricePerHourMean
+	}
+	return tbl, full, markets, nil
+}
+
+func (e *Engine) optimizeNative(ctx context.Context, w *dag.Workflow, goal probir.GoalKind, cons []wlog.Constraint, astar bool) (*Plan, error) {
+	tbl, prices, markets, err := e.marketTable(w)
 	if err != nil {
 		return nil, err
 	}
-	eval, err := probir.NewNative(w, tbl, prices, goal, cons, e.iters)
+	eval, err := probir.NewNativeMarkets(w, tbl, prices, markets, goal, cons, e.iters)
 	if err != nil {
 		return nil, err
 	}
 	space := opt.NewScheduleSpace(w, eval)
-	if goal == probir.GoalCost {
+	if goal == probir.GoalCost && !eval.HasSpotMarkets() {
 		// Transformation-aware objective: the hour-billed cost of the
 		// consolidated plan (Merge/Co-Scheduling exploit partial hours).
+		// With spot markets the objective is the sampled expected cost under
+		// revocation from the evaluator's kernel — a deterministic packed
+		// cost would erase exactly the market risk being optimized.
 		space.CostFn = func(st opt.State) (float64, error) {
 			return opt.PackedMeanCost(w, st, tbl, prices, e.region)
 		}
@@ -440,7 +529,8 @@ var cloudImports = map[string]string{
 
 // resolveWorkflowImport generates or loads the workflow named by an
 // import(...) atom: the synthetic applications by name (montage, montage4,
-// ligo, epigenomics, cybershake, pipeline) or a DAX file by quoted path.
+// ligo, epigenomics, cybershake, pipeline, bag) or a DAX file by quoted
+// path.
 func resolveWorkflowImport(name string, rng *rand.Rand) (*dag.Workflow, error) {
 	if strings.HasSuffix(name, ".dax") || strings.HasSuffix(name, ".xml") {
 		return dax.ParseFile(name)
@@ -460,6 +550,11 @@ func resolveWorkflowImport(name string, rng *rand.Rand) (*dag.Workflow, error) {
 		return wfgen.CyberShake(4, 10, rng)
 	case "pipeline":
 		return wfgen.Pipeline(5, rng)
+	case "bag":
+		// Six independent ten-minute tasks: the embarrassingly-parallel
+		// spot-market workload (each instance independently exposed to
+		// revocation, no sibling stalls on a reclaimed task).
+		return wfgen.Bag(6, 600, rng)
 	}
 	return nil, fmt.Errorf("deco: unknown workflow import %q", name)
 }
@@ -530,14 +625,36 @@ func (e *Engine) RunProgramContext(ctx context.Context, src string, w *dag.Workf
 		eng = &regional
 	}
 
+	// Market facts: spot(type) offerings and the transfer(src, dst) data
+	// gravity declaration become engine market configuration.
+	if len(prog.Spots) > 0 || len(prog.Transfers) > 0 {
+		mkt := *eng
+		if len(prog.Spots) > 0 {
+			mkt.spots = prog.Spots
+		}
+		if len(prog.Transfers) > 1 {
+			return nil, fmt.Errorf("deco: at most one transfer fact is supported, program has %d", len(prog.Transfers))
+		}
+		if len(prog.Transfers) == 1 {
+			tr := prog.Transfers[0]
+			if tr[1] != mkt.region {
+				return nil, fmt.Errorf("deco: transfer destination %s is not the execution region %s", tr[1], mkt.region)
+			}
+			mkt.xferFrom = tr[0]
+		}
+		eng = &mkt
+	}
+
 	goalInd, err := goalIndicator(prog)
 	if err != nil {
 		return nil, err
 	}
 
 	// Exact interpretation: the program defines its own goal predicate and
-	// the workflow is small enough for per-world Prolog evaluation.
-	if prog.HasRule(goalInd.name, goalInd.arity) && w.Len() <= e.prologMaxTasks {
+	// the workflow is small enough for per-world Prolog evaluation — unless
+	// market semantics are active, which only the native evaluator carries.
+	if prog.HasRule(goalInd.name, goalInd.arity) && w.Len() <= e.prologMaxTasks &&
+		len(eng.spots) == 0 && eng.xferFrom == "" {
 		return eng.runProgramProlog(ctx, prog, w)
 	}
 

@@ -410,6 +410,9 @@ func TestRunProgramCustomCloudJSON(t *testing.T) {
 	cat := cloud.DefaultCatalog()
 	cat.Regions = cat.Regions[:1]
 	cat.Regions[0].Name = "onprem-1"
+	// The surviving region's network prices referenced the dropped region;
+	// Validate rejects prices to unknown regions.
+	cat.Regions[0].NetPricePerGB = nil
 	dir := t.TempDir()
 	path := filepath.Join(dir, "mycloud.json")
 	if err := cat.SaveCatalog(path); err != nil {

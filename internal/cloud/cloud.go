@@ -8,6 +8,7 @@ package cloud
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"deco/internal/dist"
 )
@@ -31,7 +32,47 @@ type Region struct {
 	// NetPricePerGB maps destination region name to the USD price of
 	// transferring one GB out of this region to it.
 	NetPricePerGB map[string]float64
+	// Spot maps instance type name to that type's preemptible market in this
+	// region. Types without an entry have no spot offering here.
+	Spot map[string]SpotMarket
 }
+
+// SpotMarket describes the preemptible offering of one instance type in one
+// region: a stationary clearing-price process plus a Poisson revocation
+// hazard. On-demand pricing is the degenerate market — zero price variance,
+// zero hazard — and lives in Region.PricePerHour, not here.
+type SpotMarket struct {
+	// PricePerHourMean is the mean hourly clearing price in USD.
+	PricePerHourMean float64
+	// PriceSigma is the relative standard deviation of the clearing price:
+	// a draw is PricePerHourMean·(1+PriceSigma·z) with z standard normal,
+	// floored at SpotPriceFloorFrac of the mean.
+	PriceSigma float64
+	// RevocationsPerHour is the Poisson revocation hazard λ: the time until
+	// a freshly acquired instance is reclaimed is Exponential(λ) hours.
+	RevocationsPerHour float64
+}
+
+// SpotPriceFloorFrac floors sampled spot prices at this fraction of the
+// market mean, so a deep-left-tail normal draw can never price an instance
+// at zero or below.
+const SpotPriceFloorFrac = 0.1
+
+// spotSuffix marks the virtual type name of a spot offering. The expanded
+// estimation tables append one "<base>:spot" column per spot market after
+// the on-demand columns; the suffix keeps the two namespaces disjoint
+// because ':' can never appear in a catalog type name.
+const spotSuffix = ":spot"
+
+// SpotName returns the virtual type name of base's spot offering.
+func SpotName(base string) string { return base + spotSuffix }
+
+// IsSpotName reports whether name refers to a spot offering.
+func IsSpotName(name string) bool { return strings.HasSuffix(name, spotSuffix) }
+
+// BaseType strips the spot suffix, returning the underlying catalog type
+// name; on-demand names pass through unchanged.
+func BaseType(name string) string { return strings.TrimSuffix(name, spotSuffix) }
 
 // PerfModel holds the ground-truth performance distributions of the cloud —
 // what the simulator draws from, and what calibration tries to recover.
@@ -103,6 +144,20 @@ func (c *Catalog) Price(region, typ string) (float64, error) {
 	return p, nil
 }
 
+// Spot returns the spot market of the named type in the named region, or an
+// error when the region is unknown or the type has no spot offering there.
+func (c *Catalog) Spot(region, typ string) (SpotMarket, error) {
+	r, err := c.Region(region)
+	if err != nil {
+		return SpotMarket{}, err
+	}
+	m, ok := r.Spot[BaseType(typ)]
+	if !ok {
+		return SpotMarket{}, fmt.Errorf("cloud: type %q has no spot market in region %q", BaseType(typ), region)
+	}
+	return m, nil
+}
+
 // Validate checks that every region prices every type and all performance
 // distributions exist.
 func (c *Catalog) Validate() error {
@@ -112,10 +167,38 @@ func (c *Catalog) Validate() error {
 	if len(c.Regions) == 0 {
 		return fmt.Errorf("cloud: catalog has no regions")
 	}
+	regions := make(map[string]bool, len(c.Regions))
+	for _, r := range c.Regions {
+		regions[r.Name] = true
+	}
 	for _, r := range c.Regions {
 		for _, t := range c.Types {
 			if _, ok := r.PricePerHour[t.Name]; !ok {
 				return fmt.Errorf("cloud: region %s missing price for %s", r.Name, t.Name)
+			}
+		}
+		// A typoed destination used to silently price cross-region transfers
+		// as free (map miss = zero); reject it at load time instead.
+		for dst := range r.NetPricePerGB {
+			if !regions[dst] {
+				return fmt.Errorf("cloud: region %s prices network to unknown region %q", r.Name, dst)
+			}
+		}
+		for typ, m := range r.Spot {
+			if IsSpotName(typ) {
+				return fmt.Errorf("cloud: region %s spot market keyed by virtual name %q; use the base type", r.Name, typ)
+			}
+			if c.TypeIndex(typ) < 0 {
+				return fmt.Errorf("cloud: region %s has a spot market for unknown type %q", r.Name, typ)
+			}
+			if m.PricePerHourMean <= 0 {
+				return fmt.Errorf("cloud: region %s spot market %s has non-positive mean price %v", r.Name, typ, m.PricePerHourMean)
+			}
+			if m.PriceSigma < 0 {
+				return fmt.Errorf("cloud: region %s spot market %s has negative price sigma %v", r.Name, typ, m.PriceSigma)
+			}
+			if m.RevocationsPerHour < 0 {
+				return fmt.Errorf("cloud: region %s spot market %s has negative revocation hazard %v", r.Name, typ, m.RevocationsPerHour)
 			}
 		}
 	}
@@ -166,11 +249,15 @@ func DefaultCatalog() *Catalog {
 				Name:          USEast,
 				PricePerHour:  usPrices,
 				NetPricePerGB: map[string]float64{APSoutheast: 0.09},
+				Spot:          spotMarkets(usPrices, 0.30, 0.25, 0.6),
 			},
 			{
 				Name:          APSoutheast,
 				PricePerHour:  sgPrices,
 				NetPricePerGB: map[string]float64{USEast: 0.12},
+				// The smaller Singapore market clears closer to on-demand and
+				// reclaims capacity more often.
+				Spot: spotMarkets(sgPrices, 0.38, 0.30, 0.9),
 			},
 		},
 		Perf: PerfModel{
@@ -200,6 +287,21 @@ func DefaultCatalog() *Catalog {
 		},
 	}
 	return cat
+}
+
+// spotMarkets derives one spot market per on-demand offering: the mean
+// clearing price is frac of the on-demand price, with the given relative
+// sigma and revocation hazard shared across types.
+func spotMarkets(onDemand map[string]float64, frac, sigma, lambda float64) map[string]SpotMarket {
+	m := make(map[string]SpotMarket, len(onDemand))
+	for typ, p := range onDemand {
+		m[typ] = SpotMarket{
+			PricePerHourMean:   p * frac,
+			PriceSigma:         sigma,
+			RevocationsPerHour: lambda,
+		}
+	}
+	return m
 }
 
 // LinkDist returns the effective bandwidth distribution between two instance

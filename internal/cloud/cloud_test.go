@@ -190,3 +190,69 @@ func TestCatalogValidateDetectsProblems(t *testing.T) {
 		t.Error("no regions passed")
 	}
 }
+
+// TestValidateRejectsUnknownNetRegion is the regression test for the typoed
+// transfer destination: before the fix a NetPricePerGB entry naming a
+// nonexistent region validated fine and priced every transfer to it as free.
+func TestValidateRejectsUnknownNetRegion(t *testing.T) {
+	cat := DefaultCatalog()
+	cat.Regions[0].NetPricePerGB["ap-southeast-7"] = 0.09
+	if err := cat.Validate(); err == nil {
+		t.Fatal("NetPricePerGB entry naming an unknown region passed validation")
+	}
+}
+
+func TestValidateRejectsBadSpotMarkets(t *testing.T) {
+	broken := []func(*Catalog){
+		func(c *Catalog) { c.Regions[0].Spot["m9.mega"] = SpotMarket{PricePerHourMean: 0.01} },
+		func(c *Catalog) {
+			c.Regions[0].Spot[SpotName("m1.small")] = SpotMarket{PricePerHourMean: 0.01}
+		},
+		func(c *Catalog) { c.Regions[0].Spot["m1.small"] = SpotMarket{PricePerHourMean: 0} },
+		func(c *Catalog) {
+			c.Regions[0].Spot["m1.small"] = SpotMarket{PricePerHourMean: 0.01, PriceSigma: -1}
+		},
+		func(c *Catalog) {
+			c.Regions[0].Spot["m1.small"] = SpotMarket{PricePerHourMean: 0.01, RevocationsPerHour: -2}
+		},
+	}
+	for i, mutate := range broken {
+		cat := DefaultCatalog()
+		mutate(cat)
+		if err := cat.Validate(); err == nil {
+			t.Errorf("case %d: broken spot market passed validation", i)
+		}
+	}
+}
+
+func TestSpotHelpers(t *testing.T) {
+	if got := SpotName("m1.small"); got != "m1.small:spot" {
+		t.Errorf("SpotName = %q", got)
+	}
+	if !IsSpotName("m1.small:spot") || IsSpotName("m1.small") {
+		t.Error("IsSpotName misclassifies")
+	}
+	if BaseType("m1.small:spot") != "m1.small" || BaseType("m1.large") != "m1.large" {
+		t.Error("BaseType misresolves")
+	}
+	cat := DefaultCatalog()
+	m, err := cat.Spot(USEast, "m1.small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, _ := cat.Price(USEast, "m1.small")
+	if m.PricePerHourMean <= 0 || m.PricePerHourMean >= od {
+		t.Errorf("spot mean %v not below on-demand %v", m.PricePerHourMean, od)
+	}
+	// The virtual name resolves to the same market.
+	m2, err := cat.Spot(USEast, SpotName("m1.small"))
+	if err != nil || m2 != m {
+		t.Errorf("spot via virtual name: %v %v", m2, err)
+	}
+	if _, err := cat.Spot(USEast, "m9.mega"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := cat.Spot("nowhere", "m1.small"); err == nil {
+		t.Error("unknown region accepted")
+	}
+}

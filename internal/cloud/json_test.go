@@ -41,6 +41,70 @@ func TestCatalogJSONRoundTrip(t *testing.T) {
 	if err != nil || p != want {
 		t.Errorf("price lost: %v (want %v) %v", p, want, err)
 	}
+	// Spot markets survive: every (region, type) market round-trips exactly.
+	for _, r := range cat.Regions {
+		for typ, wantM := range r.Spot {
+			gotM, err := got.Spot(r.Name, typ)
+			if err != nil || gotM != wantM {
+				t.Errorf("spot market lost: %s/%s = %+v (want %+v) %v", r.Name, typ, gotM, wantM, err)
+			}
+		}
+	}
+}
+
+// TestCatalogSpotRoundTripStable drives load → write → load on a catalog
+// with spot markets and asserts the second write is byte-identical to the
+// first, and that a catalog without spot fields (the pre-market document
+// shape) still loads.
+func TestCatalogSpotRoundTripStable(t *testing.T) {
+	dir := t.TempDir()
+	cat := DefaultCatalog()
+	// Make the markets asymmetric so a field mix-up cannot cancel out.
+	cat.Regions[0].Spot["m1.small"] = SpotMarket{PricePerHourMean: 0.013, PriceSigma: 0.4, RevocationsPerHour: 1.25}
+	first := filepath.Join(dir, "spot-1.json")
+	second := filepath.Join(dir, "spot-2.json")
+	if err := cat.SaveCatalog(first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.SaveCatalog(second); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("second write differs from first")
+	}
+	m, err := loaded.Spot(USEast, "m1.small")
+	if err != nil || m != cat.Regions[0].Spot["m1.small"] {
+		t.Errorf("spot market drifted across the file round trip: %+v %v", m, err)
+	}
+	// A pre-market document (no Spot field anywhere) still loads: regions
+	// simply have no spot offerings.
+	noSpot := DefaultCatalog()
+	for i := range noSpot.Regions {
+		noSpot.Regions[i].Spot = nil
+	}
+	plain := filepath.Join(dir, "plain.json")
+	if err := noSpot.SaveCatalog(plain); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCatalog(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Spot(USEast, "m1.small"); err == nil {
+		t.Error("spotless catalog reports a market")
+	}
 }
 
 func TestCatalogJSONFiles(t *testing.T) {

@@ -23,6 +23,33 @@ func scaleDist(d dist.Dist, factor float64) (dist.Dist, error) {
 	return nil, fmt.Errorf("cloud: cannot scale distribution %T", d)
 }
 
+// ScaleHazard returns a copy of the catalog with every spot market's
+// revocation hazard multiplied by factor (prices, performance, and price
+// variance untouched). It is the market analogue of ScalePerf: plan against
+// the calibrated hazard, execute against the scaled one, and revocations
+// arrive systematically more often than the plan priced in — the drift the
+// runtime monitor's forced-recovery path has to absorb. factor 0 removes
+// the hazard entirely (spot becomes a pure price discount).
+func ScaleHazard(c *Catalog, factor float64) (*Catalog, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("cloud: hazard scale factor must be non-negative, got %v", factor)
+	}
+	out := *c
+	out.Regions = append([]Region(nil), c.Regions...)
+	for i := range out.Regions {
+		if len(out.Regions[i].Spot) == 0 {
+			continue
+		}
+		scaled := make(map[string]SpotMarket, len(out.Regions[i].Spot))
+		for typ, m := range out.Regions[i].Spot {
+			m.RevocationsPerHour *= factor
+			scaled[typ] = m
+		}
+		out.Regions[i].Spot = scaled
+	}
+	return &out, nil
+}
+
 // ScalePerf returns a copy of the catalog whose ground-truth performance is
 // multiplied by factor (0.5 = everything runs at half speed): effective ECU
 // (CPU steal), I/O, and network rates all scale. Prices and regions are

@@ -57,3 +57,54 @@ func TestScalePerfRejectsBadFactors(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleHazardScalesOnlyRevocations(t *testing.T) {
+	cat := DefaultCatalog()
+	out, err := ScaleHazard(cat, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cat.Regions {
+		scaled, err := out.Region(r.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for typ, m := range r.Spot {
+			got := scaled.Spot[typ]
+			if math.Abs(got.RevocationsPerHour-m.RevocationsPerHour*30) > 1e-12 {
+				t.Errorf("%s/%s hazard %v, want %v", r.Name, typ, got.RevocationsPerHour, m.RevocationsPerHour*30)
+			}
+			if got.PricePerHourMean != m.PricePerHourMean || got.PriceSigma != m.PriceSigma {
+				t.Errorf("%s/%s price process changed: %+v vs %+v", r.Name, typ, got, m)
+			}
+		}
+		for typ, want := range r.PricePerHour {
+			if got := scaled.PricePerHour[typ]; got != want {
+				t.Errorf("%s/%s on-demand price changed: %v vs %v", r.Name, typ, got, want)
+			}
+		}
+	}
+	// Factor 0 disarms the hazard; the original catalog is never mutated.
+	zero, err := ScaleHazard(cat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := zero.Region(USEast)
+	for typ, m := range us.Spot {
+		if m.RevocationsPerHour != 0 {
+			t.Errorf("%s hazard %v after factor 0", typ, m.RevocationsPerHour)
+		}
+	}
+	fresh := DefaultCatalog()
+	usOrig, _ := cat.Region(USEast)
+	usFresh, _ := fresh.Region(USEast)
+	if usOrig.Spot["m1.small"] != usFresh.Spot["m1.small"] {
+		t.Fatal("ScaleHazard mutated its input")
+	}
+	if _, err := ScaleHazard(cat, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}

@@ -25,6 +25,22 @@ type Estimator struct {
 	// CPUScale scales CPU time to account for multi-core effects (the
 	// scaling factor of Pietri et al. cited in §5.1). 1.0 = no scaling.
 	CPUScale float64
+	// Transfer, when non-nil, prices data gravity into the table: the
+	// workflow's source inputs live in Transfer.From and must cross to the
+	// execution region, so source tasks gain a stochastic cross-region
+	// transfer time plus a deterministic egress cost.
+	Transfer *Transfer
+}
+
+// Transfer describes one cross-region data-gravity configuration, derived
+// from a transfer(src, dst) WLog fact against a catalog.
+type Transfer struct {
+	From, To string
+	// PriceGB is the USD price per GB out of From to To
+	// (Region.NetPricePerGB resolved once).
+	PriceGB float64
+	// Net is the calibrated cross-region bandwidth histogram in MB/s.
+	Net *dist.Histogram
 }
 
 // New returns an estimator over the given catalog and metadata store.
@@ -40,11 +56,20 @@ type TimeDist struct {
 	IOMB       float64 // data through the local disk
 	NetMB      float64 // data over the network
 
-	seq *dist.Histogram // sequential I/O MB/s
-	net *dist.Histogram // network MB/s
+	// XferMB is source input data that must cross regions before the task
+	// can run (zero unless the estimator has a Transfer configured and the
+	// task is a workflow source); XferCostUSD is the deterministic egress
+	// price of moving it.
+	XferMB      float64
+	XferCostUSD float64
 
-	invSeqMean float64 // E[1/seq], cached
-	invNetMean float64 // E[1/net], cached
+	seq  *dist.Histogram // sequential I/O MB/s
+	net  *dist.Histogram // network MB/s
+	xnet *dist.Histogram // cross-region MB/s (nil without a transfer)
+
+	invSeqMean  float64 // E[1/seq], cached
+	invNetMean  float64 // E[1/net], cached
+	invXNetMean float64 // E[1/xnet], cached
 }
 
 // invMean returns E[1/X] for a histogram, guarding against non-positive
@@ -97,7 +122,9 @@ func (e *Estimator) TaskTime(t *dag.Task, typ string) (*TimeDist, error) {
 	return td, nil
 }
 
-// Sample draws one execution time in seconds.
+// Sample draws one execution time in seconds. The cross-region transfer
+// draw comes last so tables without a transfer configured consume the rng
+// exactly as before — the common-random-numbers contract is append-only.
 func (td *TimeDist) Sample(rng *rand.Rand) float64 {
 	t := td.CPUSeconds
 	if td.IOMB > 0 {
@@ -106,13 +133,16 @@ func (td *TimeDist) Sample(rng *rand.Rand) float64 {
 	if td.NetMB > 0 {
 		t += td.NetMB / td.net.Sample(rng)
 	}
+	if td.XferMB > 0 {
+		t += td.XferMB / td.xnet.Sample(rng)
+	}
 	return t
 }
 
 // Mean returns the exact mean of the distribution:
-// cpu + io*E[1/seq] + net*E[1/net].
+// cpu + io*E[1/seq] + net*E[1/net] + xfer*E[1/xnet].
 func (td *TimeDist) Mean() float64 {
-	return td.CPUSeconds + td.IOMB*td.invSeqMean + td.NetMB*td.invNetMean
+	return td.CPUSeconds + td.IOMB*td.invSeqMean + td.NetMB*td.invNetMean + td.XferMB*td.invXNetMean
 }
 
 // Table precomputes the TimeDist of every (task, type) pair of a workflow,
@@ -124,8 +154,19 @@ type Table struct {
 }
 
 // BuildTable precomputes execution-time distributions for all tasks of w on
-// all catalog types.
+// all catalog types. With a Transfer configured, workflow sources (tasks
+// with no parents — their inputs come from storage in the remote region,
+// not from a parent's instance) additionally pay the cross-region transfer
+// time and egress cost on every type.
 func (e *Estimator) BuildTable(w *dag.Workflow) (*Table, error) {
+	if e.Transfer != nil {
+		if e.Transfer.Net == nil {
+			return nil, fmt.Errorf("estimate: transfer %s->%s has no bandwidth model", e.Transfer.From, e.Transfer.To)
+		}
+		if _, err := invMean(e.Transfer.Net); err != nil {
+			return nil, err
+		}
+	}
 	tbl := &Table{Types: e.Cat.TypeNames(), Dists: make(map[string][]*TimeDist, w.Len())}
 	for _, t := range w.Tasks {
 		row := make([]*TimeDist, len(tbl.Types))
@@ -134,11 +175,65 @@ func (e *Estimator) BuildTable(w *dag.Workflow) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			if e.Transfer != nil && len(w.Parents(t.ID)) == 0 && t.InputMB() > 0 {
+				td.XferMB = t.InputMB()
+				td.XferCostUSD = t.InputMB() / 1024 * e.Transfer.PriceGB
+				td.xnet = e.Transfer.Net
+				if td.invXNetMean, err = invMean(td.xnet); err != nil {
+					return nil, err
+				}
+			}
 			row[j] = td
 		}
 		tbl.Dists[t.ID] = row
 	}
 	return tbl, nil
+}
+
+// ExpandSpot returns a new table with one virtual "<base>:spot" column per
+// entry of spots appended, in order, after the on-demand columns. Spot
+// columns share the base column's TimeDist pointers — a spot instance runs
+// the task with identical performance, it just prices (and survives)
+// differently; the market semantics attach to the column index in the
+// probabilistic IR, not here.
+func (tb *Table) ExpandSpot(spots []string) (*Table, error) {
+	if len(spots) == 0 {
+		return tb, nil
+	}
+	baseIdx := make(map[string]int, len(tb.Types))
+	for j, typ := range tb.Types {
+		baseIdx[typ] = j
+	}
+	out := &Table{
+		Types: append([]string(nil), tb.Types...),
+		Dists: make(map[string][]*TimeDist, len(tb.Dists)),
+	}
+	seen := make(map[string]bool, len(spots))
+	cols := make([]int, 0, len(spots))
+	for _, base := range spots {
+		j, ok := baseIdx[base]
+		if !ok {
+			return nil, fmt.Errorf("estimate: spot type %q not in the table", base)
+		}
+		if cloud.IsSpotName(base) {
+			return nil, fmt.Errorf("estimate: spot type %q already a spot name", base)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("estimate: duplicate spot type %q", base)
+		}
+		seen[base] = true
+		cols = append(cols, j)
+		out.Types = append(out.Types, cloud.SpotName(base))
+	}
+	for id, row := range tb.Dists {
+		nrow := make([]*TimeDist, 0, len(out.Types))
+		nrow = append(nrow, row...)
+		for _, j := range cols {
+			nrow = append(nrow, row[j])
+		}
+		out.Dists[id] = nrow
+	}
+	return out, nil
 }
 
 // Dist returns the distribution of the given task on type index j.

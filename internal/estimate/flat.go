@@ -99,9 +99,10 @@ func (tb *Table) Fingerprint() string {
 	for _, id := range ids {
 		io.WriteString(h, id)
 		for _, td := range tb.Dists[id] {
-			writeFloats(h, td.CPUSeconds, td.IOMB, td.NetMB)
+			writeFloats(h, td.CPUSeconds, td.IOMB, td.NetMB, td.XferMB, td.XferCostUSD)
 			hashHist(td.seq)
 			hashHist(td.net)
+			hashHist(td.xnet)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

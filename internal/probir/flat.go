@@ -64,8 +64,20 @@ type Program struct {
 	iters  int
 	nTypes int
 
+	// markets, when non-nil, holds one MarketSpec per type column; spot
+	// columns fill a paired cost row alongside the duration row from the same
+	// rng stream (market.go).
+	markets []MarketSpec
+
 	fillMu sync.Mutex
 	rows   []atomic.Pointer[[]float64] // rows[task*nTypes+type][iteration], lazily filled
+	// costRows parallels rows for spot columns only: costRows[ri][it] is the
+	// realized cost of the (task, spot type) pair in world it. On-demand
+	// entries stay nil — their world cost is duration/3600·price, computed in
+	// the kernel. A cost row is always published before its duration row, so
+	// any reader that observed the duration row can load the cost row
+	// lock-free.
+	costRows []atomic.Pointer[[]float64]
 
 	// orderOnce/order cache the decisive-world-first permutation (order.go):
 	// a pure function of (program content, base), immutable once built.
@@ -100,14 +112,18 @@ func (e *epochMarks) next() uint32 {
 	return e.epoch
 }
 
-func newProgram(flat *dag.Flat, ft *estimate.FlatTable, base int64, iters int) *Program {
+func newProgram(flat *dag.Flat, ft *estimate.FlatTable, base int64, iters int, markets []MarketSpec) *Program {
 	p := &Program{
-		flat:   flat,
-		ft:     ft,
-		base:   base,
-		iters:  iters,
-		nTypes: ft.NumTypes,
-		rows:   make([]atomic.Pointer[[]float64], flat.Len()*ft.NumTypes),
+		flat:    flat,
+		ft:      ft,
+		base:    base,
+		iters:   iters,
+		nTypes:  ft.NumTypes,
+		markets: markets,
+		rows:    make([]atomic.Pointer[[]float64], flat.Len()*ft.NumTypes),
+	}
+	if markets != nil {
+		p.costRows = make([]atomic.Pointer[[]float64], flat.Len()*ft.NumTypes)
 	}
 	n := flat.Len()
 	p.scratch.New = func() any {
@@ -154,11 +170,41 @@ func (p *Program) Rows(config []int) [][]float64 {
 		row := make([]float64, p.iters)
 		rng := rand.New(rand.NewSource(crnSeed(p.base, ri)))
 		td := p.ft.Dist(i, j)
-		for it := range row {
-			row[it] = td.Sample(rng)
+		if p.markets != nil && p.markets[j].Spot {
+			costRow := make([]float64, p.iters)
+			fillSpotRow(td, p.markets[j], rng, row, costRow)
+			p.costRows[ri].Store(&costRow)
+		} else {
+			for it := range row {
+				row[it] = td.Sample(rng)
+			}
 		}
 		p.rows[ri].Store(&row)
 		out[i] = row
+	}
+	return out
+}
+
+// CostRows resolves the paired per-world cost rows of a configuration:
+// out[i] is non-nil iff task i's assigned column is a spot offering (nil
+// entries mean deterministic pricing — duration/3600·price). The caller must
+// have resolved the same configuration through Rows first; Rows publishes a
+// spot column's cost row before its duration row, so every row is present
+// here lock-free.
+func (p *Program) CostRows(config []int) [][]float64 {
+	out := make([][]float64, len(config))
+	if p.costRows == nil {
+		return out
+	}
+	for i, j := range config {
+		if !p.markets[j].Spot {
+			continue
+		}
+		rp := p.costRows[i*p.nTypes+j].Load()
+		if rp == nil {
+			panic("probir: CostRows called before Rows filled the configuration")
+		}
+		out[i] = *rp
 	}
 	return out
 }
@@ -201,7 +247,7 @@ func (n *Native) program(base int64) *Program {
 		}
 		delete(n.progs, victim)
 	}
-	p := newProgram(n.flat, n.ftab, base, n.Iters)
+	p := newProgram(n.flat, n.ftab, base, n.Iters, n.Markets)
 	n.progs[base] = &progEntry{p: p, tick: n.progTick}
 	return p
 }
@@ -280,6 +326,17 @@ func (n *Native) Fingerprint() string {
 		io.WriteString(h, n.Table.Fingerprint())
 		hashFloats(h, n.PricePerHour...)
 		hashInts(h, int64(n.Goal), int64(n.Iters), int64(len(n.Constraints)))
+		if n.Markets != nil {
+			io.WriteString(h, "markets;")
+			for _, m := range n.Markets {
+				spot := int64(0)
+				if m.Spot {
+					spot = 1
+				}
+				hashInts(h, spot)
+				hashFloats(h, m.PriceMean, m.PriceSigma, m.RevocationsPerHour, m.OnDemandUSD)
+			}
+		}
 		for _, c := range n.Constraints {
 			io.WriteString(h, c.Kind)
 			hashFloats(h, c.Percentile, c.Bound)

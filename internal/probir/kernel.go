@@ -108,6 +108,12 @@ type nativeKernel struct {
 	rows         [][]float64
 	pricePerTask []float64
 	meanCost     float64 // deterministic Eq. 1-2 cost, computed once
+	// costRows[i], non-nil only when task i sits on a spot column, is the
+	// paired per-world realized cost row (market.go); xferTotal is the
+	// configuration's deterministic cross-region egress cost, added to every
+	// world's cost figure.
+	costRows  [][]float64
+	xferTotal float64
 
 	width    int
 	msIdx    int   // -1 when no makespan samples are needed
@@ -156,6 +162,12 @@ func (n *Native) newCRNKernel(config []int, base int64) (*nativeKernel, error) {
 			k.needCost = true
 		}
 	}
+	// Spot markets make cost a random variable for every state of the search
+	// (uniform kernel shape — the compiled solver resolves figure layout once
+	// per problem), so the cost figure is always sampled.
+	if n.hasSpot {
+		k.needCost = true
+	}
 	if k.needMS {
 		k.msIdx = k.width
 		k.width++
@@ -184,6 +196,10 @@ func (n *Native) newCRNKernel(config []int, base int64) (*nativeKernel, error) {
 		k.pricePerTask = make([]float64, len(config))
 		for i, j := range config {
 			k.pricePerTask[i] = n.PricePerHour[j]
+			k.xferTotal += n.ftab.Dist(i, j).XferCostUSD
+		}
+		if n.hasSpot {
+			k.costRows = k.prog.CostRows(config)
 		}
 	}
 	return k, nil
@@ -218,8 +234,19 @@ func (k *nativeKernel) Sample(it int, _ *rand.Rand, out []float64) error {
 		out[k.msIdx] = ms
 	}
 	if k.needCost {
-		for i, row := range k.rows {
-			cost += row[it] / 3600 * k.pricePerTask[i]
+		cost = k.xferTotal
+		if k.costRows != nil {
+			for i, row := range k.rows {
+				if cr := k.costRows[i]; cr != nil {
+					cost += cr[it]
+					continue
+				}
+				cost += row[it] / 3600 * k.pricePerTask[i]
+			}
+		} else {
+			for i, row := range k.rows {
+				cost += row[it] / 3600 * k.pricePerTask[i]
+			}
 		}
 		out[k.costIdx] = cost
 	}
@@ -302,7 +329,13 @@ func (k *nativeKernel) Reduce(sums []float64) (*Evaluation, error) {
 
 	switch n.Goal {
 	case GoalCost:
-		ev.Value = k.meanCost
+		if n.hasSpot {
+			// Expected cost under revocation: the mean of the sampled
+			// per-world realized costs.
+			ev.Value = sums[k.costIdx] / iters
+		} else {
+			ev.Value = k.meanCost
+		}
 	case GoalMakespan:
 		ev.Value = sums[k.msIdx] / iters
 	default:

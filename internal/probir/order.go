@@ -49,7 +49,7 @@ func (n *Native) WorldOrder(base int64) []int32 {
 // samplesWorlds reports whether evaluation runs any Monte-Carlo worlds at
 // all (a sampled makespan or a sampled cost figure).
 func (n *Native) samplesWorlds() bool {
-	if n.needsMSSampling() {
+	if n.needsMSSampling() || n.hasSpot {
 		return true
 	}
 	for _, c := range n.Constraints {

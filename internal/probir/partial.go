@@ -58,10 +58,15 @@ func (k *nativeKernel) Indicators() (idx []int, targets []float64, ok bool) {
 }
 
 // ValueFigure implements PartialKernel: the sampled mean makespan drives the
-// GoalMakespan value; the GoalCost value is the deterministic mean cost.
+// GoalMakespan value; the GoalCost value is the deterministic mean cost —
+// unless spot markets make cost itself a sampled figure, in which case the
+// goal reduces from the realized-cost column.
 func (k *nativeKernel) ValueFigure() int {
 	if k.n.Goal == GoalMakespan {
 		return k.msIdx
+	}
+	if k.n.Goal == GoalCost && k.n.hasSpot {
+		return k.costIdx
 	}
 	return -1
 }
@@ -82,7 +87,11 @@ func (k *nativeKernel) ReducePartial(sums []float64, seen int) (*Evaluation, err
 
 	switch n.Goal {
 	case GoalCost:
-		ev.Value = k.meanCost
+		if n.hasSpot {
+			ev.Value = sums[k.costIdx] / fseen
+		} else {
+			ev.Value = k.meanCost
+		}
 	case GoalMakespan:
 		ev.Value = sums[k.msIdx] / fseen
 	default:

@@ -79,6 +79,11 @@ type Native struct {
 	// Iters is Max_iter of Algorithm 1.
 	Iters int
 
+	// Markets, when non-nil, carries one MarketSpec per table column (see
+	// market.go); hasSpot caches whether any column is a spot offering.
+	Markets []MarketSpec
+	hasSpot bool
+
 	// flat/ftab are the compiled index-based forms of the DAG and the
 	// time-distribution table: the per-world kernels run the longest-path DP
 	// over dense integer arrays so the Monte-Carlo hot loop touches no maps
@@ -140,14 +145,18 @@ func (n *Native) NumTasks() int { return n.W.Len() }
 func (n *Native) NumTypes() int { return len(n.Table.Types) }
 
 // MeanCost returns the deterministic total cost of a configuration from mean
-// task times (Eq. 1-2): Σ_i mean_i(config)/3600 × U_config(i).
+// task times (Eq. 1-2): Σ_i mean_i(config)/3600 × U_config(i), plus any
+// deterministic cross-region egress cost. For spot columns U is the mean
+// clearing price and revocation reruns are ignored — this is the world-free
+// anchor; the sampled expected-cost-under-revocation lives in the kernel.
 func (n *Native) MeanCost(config []int) (float64, error) {
 	if err := n.checkConfig(config); err != nil {
 		return 0, err
 	}
 	total := 0.0
 	for i, j := range config {
-		total += n.ftab.Dist(i, j).Mean() / 3600 * n.PricePerHour[j]
+		td := n.ftab.Dist(i, j)
+		total += td.Mean()/3600*n.PricePerHour[j] + td.XferCostUSD
 	}
 	return total, nil
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"deco/internal/cloud"
 	"deco/internal/dag"
 	"deco/internal/device"
 	"deco/internal/estimate"
@@ -36,6 +37,9 @@ type Monitor struct {
 	decisions           int
 	sinceReplan         int
 	replans             int
+	revocations         int
+	recoveries          int
+	revokedSlots        []int // slots reclaimed since the last Revise
 	riskMax             float64
 	riskWorldsRun       int64
 	riskWorldsBudget    int64
@@ -191,13 +195,84 @@ func (m *Monitor) OnEvent(ev sim.Event) {
 		m.emit(StreamEvent{Time: ev.Time, Kind: ev.Kind.String(), Task: ev.Task,
 			Slot: ev.Slot, Type: ev.Type, Duration: ev.Duration,
 			Forecast: forecast, AccruedCost: ev.AccruedCost})
+	case sim.EvInstanceRevoked:
+		// A spot market reclaimed an instance: the killed task (if any) goes
+		// back to unstarted and the slot is queued for forced recovery on the
+		// next Revise — revocation is the most aggressive drift there is.
+		if ev.Time > m.res.now {
+			m.res.now = ev.Time
+		}
+		m.res.accrued = ev.AccruedCost
+		if i, ok := m.index[ev.Task]; ok && ev.Task != "" {
+			m.res.state[i] = stUnstarted
+			m.res.startAt[i] = 0
+			m.res.elapsed[i] = 0
+		}
+		m.revocations++
+		m.revokedSlots = append(m.revokedSlots, ev.Slot)
+		m.emit(StreamEvent{Time: ev.Time, Kind: ev.Kind.String(), Task: ev.Task,
+			Slot: ev.Slot, Type: ev.Type, AccruedCost: ev.AccruedCost})
 	}
+}
+
+// recoverRevoked is the forced replan after a spot revocation: every
+// unstarted task still planned onto a reclaimed slot moves to the on-demand
+// base of its current type, one fresh slot each. It bypasses the risk
+// threshold, cooldown, and MaxReplans — leaving the orphaned sub-DAG on the
+// simulator's default same-market retry would re-expose it to the very
+// hazard that just fired.
+func (m *Monitor) recoverRevoked() map[string]sim.Placement {
+	if len(m.revokedSlots) == 0 {
+		return nil
+	}
+	dead := make(map[int]bool, len(m.revokedSlots))
+	for _, sl := range m.revokedSlots {
+		dead[sl] = true
+	}
+	m.revokedSlots = nil
+	newCfg := append([]int(nil), m.config...)
+	changed := map[string]string{}
+	for i, t := range m.w.Tasks {
+		if m.res.state[i] != stUnstarted || !dead[m.plan[t.ID].Slot] {
+			continue
+		}
+		base := cloud.BaseType(m.tbl.Types[m.config[i]])
+		j := m.typeIndex(base)
+		if j < 0 || j == m.config[i] {
+			continue // no on-demand column, or already on one
+		}
+		newCfg[i] = j
+		changed[t.ID] = base
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	// Re-consolidate the whole unstarted sub-DAG (hour-packed, like any
+	// replan) so the recovered tasks share on-demand capacity instead of
+	// fanning out one instance each.
+	upd, err := m.replanPlacements(newCfg)
+	if err != nil {
+		m.fail(err)
+		return nil
+	}
+	m.config = newCfg
+	for id, pl := range upd {
+		m.plan[id] = pl
+	}
+	m.recoveries++
+	m.emit(StreamEvent{Time: m.res.now, Kind: "replan",
+		Replan: &ReplanEvent{Changed: len(changed), Assignments: changed}})
+	return upd
 }
 
 // Revise implements sim.Controller: after each completion, re-estimate the
 // violation probability of the remaining DAG; above the risk threshold, run
-// the incremental replan and return the revised placements.
+// the incremental replan and return the revised placements. Pending
+// revocations short-circuit into a forced recovery replan first.
 func (m *Monitor) Revise() map[string]sim.Placement {
+	if upd := m.recoverRevoked(); upd != nil {
+		return upd
+	}
 	if m.err != nil || len(m.cons) == 0 {
 		return nil
 	}
@@ -301,6 +376,8 @@ func (m *Monitor) Err() error { return m.err }
 func (m *Monitor) Report() *Report {
 	rep := &Report{
 		Replans:          m.replans,
+		Revocations:      m.revocations,
+		Recoveries:       m.recoveries,
 		RiskMax:          m.riskMax,
 		Drift:            m.res.drift,
 		FinalConfig:      make(map[string]string, len(m.config)),

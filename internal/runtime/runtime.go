@@ -106,7 +106,7 @@ type ReplanEvent struct {
 
 // StreamEvent is one entry of the monitor's event log — what decod streams
 // as NDJSON from /v1/runs/{id}/events. Kinds: instance_acquired,
-// task_start, task_finish, risk, replan, done.
+// task_start, task_finish, instance_revoked, risk, replan, done.
 type StreamEvent struct {
 	Seq  int     `json:"seq"`
 	Time float64 `json:"t"`
@@ -137,6 +137,12 @@ type StreamEvent struct {
 // Report summarizes a monitored execution.
 type Report struct {
 	Replans int `json:"replans"`
+	// Revocations counts spot instances the market reclaimed during the run;
+	// Recoveries counts the forced replans that moved the orphaned sub-DAG
+	// onto on-demand capacity in response (they do not count against
+	// MaxReplans).
+	Revocations int `json:"revocations,omitempty"`
+	Recoveries  int `json:"recoveries,omitempty"`
 	// RiskMax is the highest violation probability observed.
 	RiskMax float64 `json:"risk_max"`
 	// Drift is the final realized/forecast duration ratio.

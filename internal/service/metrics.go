@@ -24,6 +24,16 @@ type Metrics struct {
 	RunsDone     atomic.Int64 // cumulative managed runs completed
 	ReplansTotal atomic.Int64 // cumulative replans across all managed runs
 
+	// Spot-market execution counters across all managed runs: instances
+	// reclaimed by the market, and the monitor's forced recovery replans
+	// answering them. SpotSavingsMicroUSD accumulates the realized
+	// spot-vs-on-demand billing delta in integer micro-dollars (atomics
+	// carry no floats; a micro-dollar is far below billing resolution), and
+	// can go negative when revocation rework outweighs the discount.
+	RevocationsTotal    atomic.Int64
+	RecoveriesTotal     atomic.Int64
+	SpotSavingsMicroUSD atomic.Int64
+
 	// WorkersBusy is the gauge of workers currently executing a job (solving
 	// locally, forwarding, or driving a managed run).
 	WorkersBusy atomic.Int64
@@ -197,6 +207,13 @@ type Snapshot struct {
 	RunsDone     int64 `json:"runs_done"`
 	ReplansTotal int64 `json:"replans_total"`
 
+	// Spot-market execution counters (zero until a managed run executes spot
+	// capacity). The savings total is the realized spot-vs-on-demand billing
+	// delta in USD and can go negative under heavy revocation rework.
+	RevocationsTotal    int64   `json:"revocations_total"`
+	RecoveriesTotal     int64   `json:"recoveries_total"`
+	SpotSavingsUSDTotal float64 `json:"spot_savings_usd_total"`
+
 	// Queue and worker-pool gauges: QueueDepth counts jobs sitting in the
 	// fair queue (including cancelled-but-undequeued ones), and
 	// WorkerUtilization is WorkersBusy/Workers.
@@ -258,8 +275,11 @@ func (m *Metrics) Snapshot(c *Cache, ec *deco.EvalCache) Snapshot {
 		JobsDone:        m.JobsDone.Load(),
 		JobsFailed:      m.JobsFailed.Load(),
 		JobsCancelled:   m.JobsCancelled.Load(),
-		RunsDone:        m.RunsDone.Load(),
-		ReplansTotal:    m.ReplansTotal.Load(),
+		RunsDone:            m.RunsDone.Load(),
+		ReplansTotal:        m.ReplansTotal.Load(),
+		RevocationsTotal:    m.RevocationsTotal.Load(),
+		RecoveriesTotal:     m.RecoveriesTotal.Load(),
+		SpotSavingsUSDTotal: float64(m.SpotSavingsMicroUSD.Load()) / 1e6,
 		WorkersBusy:     m.WorkersBusy.Load(),
 		SolvesTotal:     m.SolvesTotal.Load(),
 		CoalescedTotal:  m.CoalescedTotal.Load(),

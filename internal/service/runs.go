@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"deco"
@@ -28,6 +29,11 @@ type RunRequest struct {
 	// calibrated histograms (0.5 = half speed; 0 or 1 = none) to model
 	// calibration drift.
 	Perturb float64 `json:"perturb,omitempty"`
+	// SpotHazard scales the simulator's ground-truth spot revocation hazard
+	// away from the catalog's market model (0 or 1 = none): spot instances
+	// are reclaimed more often than the plan priced in, and each revocation
+	// forces a monitor recovery replan onto on-demand capacity.
+	SpotHazard float64 `json:"spot_hazard,omitempty"`
 }
 
 // runState is the managed-run extension of a job: the live event log the
@@ -50,6 +56,13 @@ type RunResult struct {
 	RiskMax     float64 `json:"risk_max"`
 	Drift       float64 `json:"drift"`
 	Perturb     float64 `json:"perturb,omitempty"`
+	SpotHazard  float64 `json:"spot_hazard,omitempty"`
+	// Spot-market outcome of this run: market reclaims, the monitor's
+	// forced recovery replans (not counted in Replans), and the realized
+	// spot-vs-on-demand billing delta.
+	Revocations    int     `json:"revocations,omitempty"`
+	Recoveries     int     `json:"recoveries,omitempty"`
+	SpotSavingsUSD float64 `json:"spot_savings_usd,omitempty"`
 	// FinalAssignments is the placement actually executed, sorted by task —
 	// it differs from Plan.Assignments exactly when replans fired.
 	FinalAssignments []Assignment `json:"final_assignments"`
@@ -80,6 +93,12 @@ func (m *Manager) SubmitRun(req RunRequest) (JobView, error) {
 	}
 	if req.Perturb <= 0 {
 		return JobView{}, fmt.Errorf("%w: perturb must be positive, got %v", errBadRequest, req.Perturb)
+	}
+	if req.SpotHazard == 0 {
+		req.SpotHazard = 1
+	}
+	if req.SpotHazard < 0 {
+		return JobView{}, fmt.Errorf("%w: spot_hazard must be non-negative, got %v", errBadRequest, req.SpotHazard)
 	}
 	if req.RequestID == "" {
 		req.RequestID = genRequestID()
@@ -126,9 +145,17 @@ func (m *Manager) runManaged(j *job, eng *deco.Engine) (json.RawMessage, error) 
 	if err != nil {
 		return nil, err
 	}
-	execCat := eng.Catalog()
+	// Ground truth starts from the plan's catalog, not the worker engine's:
+	// a program-mode job may have derived its engine from a custom-cloud
+	// import, and the drift knobs must perturb that cloud.
+	execCat := plan.Catalog()
 	if p := j.run.req.Perturb; p != 1 {
 		if execCat, err = cloud.ScalePerf(execCat, p); err != nil {
+			return nil, err
+		}
+	}
+	if h := j.run.req.SpotHazard; h != 1 {
+		if execCat, err = cloud.ScaleHazard(execCat, h); err != nil {
 			return nil, err
 		}
 	}
@@ -152,6 +179,9 @@ func (m *Manager) runManaged(j *job, eng *deco.Engine) (json.RawMessage, error) 
 	}
 	m.metrics.RunsDone.Add(1)
 	m.metrics.ReplansTotal.Add(int64(rep.Replans))
+	m.metrics.RevocationsTotal.Add(int64(rep.Revocations))
+	m.metrics.RecoveriesTotal.Add(int64(rep.Recoveries))
+	m.metrics.SpotSavingsMicroUSD.Add(int64(math.Round(res.SpotSavingsUSD * 1e6)))
 
 	final := make([]Assignment, 0, len(rep.FinalConfig))
 	pr := PlanResultOf(plan)
@@ -172,6 +202,12 @@ func (m *Manager) runManaged(j *job, eng *deco.Engine) (json.RawMessage, error) 
 	if j.run.req.Perturb != 1 {
 		doc.Perturb = j.run.req.Perturb
 	}
+	if j.run.req.SpotHazard != 1 {
+		doc.SpotHazard = j.run.req.SpotHazard
+	}
+	doc.Revocations = rep.Revocations
+	doc.Recoveries = rep.Recoveries
+	doc.SpotSavingsUSD = res.SpotSavingsUSD
 	return json.Marshal(doc)
 }
 

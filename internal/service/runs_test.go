@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -172,6 +173,65 @@ func TestManagedRunWithoutAdaptObservesOnly(t *testing.T) {
 	}
 }
 
+// spotRunProgram is the managed-run flavor of programs/spot.wlog: a bag of
+// independent tasks declared spot-eligible, with a deadline loose enough for
+// on-demand recovery to land inside it.
+const spotRunProgram = `
+import(amazonec2).
+import(bag).
+spot('m1.small').
+minimize Ct in totalcost(Ct).
+T in maxtime(P,T) satisfies deadline(90%,2500s).
+`
+
+// TestManagedRunSpotRecoveryMetrics drives a spot program through /v1/runs
+// under a 30x revocation-hazard drift and reads the market counters back
+// from /metrics: every reclaim must be answered by a recovery replan, and
+// revocations_total / recoveries_total / spot_savings_usd_total must
+// aggregate the run's outcome.
+func TestManagedRunSpotRecoveryMetrics(t *testing.T) {
+	_, ts := newTestServer(t, quickCfg())
+	v := submitRun(t, ts, RunRequest{
+		SubmitRequest: SubmitRequest{Program: spotRunProgram, Seed: 1},
+		Adapt:         true,
+		SpotHazard:    30,
+	}, http.StatusAccepted)
+	done := waitForState(t, ts, v.ID, JobDone, 60*time.Second)
+	var res RunResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("run result: %v; body: %s", err, done.Result)
+	}
+	if res.SpotHazard != 30 {
+		t.Errorf("result echoes spot_hazard %v, want 30", res.SpotHazard)
+	}
+	if res.Revocations < 1 {
+		t.Fatalf("no revocations under a 30x hazard drift: %+v", res)
+	}
+	if res.Recoveries < 1 {
+		t.Fatalf("%d revocations but no recovery replan", res.Revocations)
+	}
+	if res.SpotSavingsUSD == 0 {
+		t.Error("spot run reports zero realized savings delta")
+	}
+	if res.DeadlineMet == nil || !*res.DeadlineMet {
+		t.Errorf("recovered run missed its deadline (makespan %.1fs)", res.Makespan)
+	}
+
+	var snap Snapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if snap.RevocationsTotal != int64(res.Revocations) {
+		t.Errorf("revocations_total = %d, want %d", snap.RevocationsTotal, res.Revocations)
+	}
+	if snap.RecoveriesTotal != int64(res.Recoveries) {
+		t.Errorf("recoveries_total = %d, want %d", snap.RecoveriesTotal, res.Recoveries)
+	}
+	if math.Abs(snap.SpotSavingsUSDTotal-res.SpotSavingsUSD) > 1e-6 {
+		t.Errorf("spot_savings_usd_total = %v, want %v", snap.SpotSavingsUSDTotal, res.SpotSavingsUSD)
+	}
+}
+
 func TestManagedRunValidation(t *testing.T) {
 	_, ts := newTestServer(t, quickCfg())
 	base := SubmitRequest{Workflow: "pipeline", Deadline: &PctBound{Percentile: 0.9, Value: 1000}}
@@ -183,6 +243,10 @@ func TestManagedRunValidation(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: base, Perturb: -1})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("perturb=-1: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: base, SpotHazard: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("spot_hazard=-1: status %d, want 400", resp.StatusCode)
 	}
 	resp, _ = postJSON(t, ts.URL+"/v1/runs", RunRequest{SubmitRequest: SubmitRequest{Workflow: "pipeline"}})
 	if resp.StatusCode != http.StatusBadRequest {

@@ -14,6 +14,13 @@ const (
 	// Duration carries the realized execution time and AccruedCost the cost
 	// committed by the execution so far.
 	EvTaskFinish
+	// EvInstanceRevoked fires when a spot instance is reclaimed by the
+	// market. Task names the execution killed mid-run (empty when the
+	// instance was idle), and the slot is dead from Time on — its unstarted
+	// tasks have been moved to a replacement slot, which a Controller may
+	// override through Revise. Delivered with the same causality as
+	// EvTaskFinish: buffered until no task could start before it.
+	EvInstanceRevoked
 )
 
 // String names the event kind for logs and NDJSON streams.
@@ -25,6 +32,8 @@ func (k EventKind) String() string {
 		return "task_start"
 	case EvTaskFinish:
 		return "task_finish"
+	case EvInstanceRevoked:
+		return "instance_revoked"
 	}
 	return "unknown"
 }
@@ -60,8 +69,9 @@ type Event struct {
 type Controller interface {
 	// OnEvent receives every execution event in non-decreasing Time order.
 	OnEvent(Event)
-	// Revise is consulted after each EvTaskFinish. A non-nil return updates
-	// the placements of not-yet-started tasks; entries for tasks that already
+	// Revise is consulted after each EvTaskFinish and EvInstanceRevoked. A
+	// non-nil return updates the placements of not-yet-started tasks;
+	// entries for tasks that already
 	// started are ignored. Revised placements may name fresh slots (the
 	// instance is acquired on first use, paying the provision delay) or
 	// reuse existing slots with matching type and region.

@@ -74,7 +74,8 @@ func RandomPlan(w *dag.Workflow, cat *cloud.Catalog, region string, rng *rand.Ra
 }
 
 // Validate checks the plan covers the workflow and references known types,
-// regions, and consistent slot typing.
+// regions, and consistent slot typing. Spot placements ("<type>:spot") must
+// name a type with a spot market in their region.
 func (p *Plan) Validate(w *dag.Workflow, cat *cloud.Catalog) error {
 	slotType := map[int]Placement{}
 	for _, t := range w.Tasks {
@@ -82,11 +83,16 @@ func (p *Plan) Validate(w *dag.Workflow, cat *cloud.Catalog) error {
 		if !ok {
 			return fmt.Errorf("sim: plan missing task %q", t.ID)
 		}
-		if _, err := cat.Type(pl.Type); err != nil {
+		if _, err := cat.Type(cloud.BaseType(pl.Type)); err != nil {
 			return err
 		}
 		if _, err := cat.Region(pl.Region); err != nil {
 			return err
+		}
+		if cloud.IsSpotName(pl.Type) {
+			if _, err := cat.Spot(pl.Region, pl.Type); err != nil {
+				return err
+			}
 		}
 		if prev, seen := slotType[pl.Slot]; seen {
 			if prev.Type != pl.Type || prev.Region != pl.Region {
@@ -147,6 +153,14 @@ type Result struct {
 	Tasks         map[string]*TaskRecord
 	Instances     []InstanceRecord
 	InstanceHours float64
+	// Revocations counts spot instances reclaimed by the market during the
+	// run (whether or not a task was killed by the reclaim).
+	Revocations int
+	// SpotSavingsUSD is the instance cost avoided by running spot slots at
+	// their drawn clearing price instead of the on-demand rate — negative
+	// when a market draw cleared above on-demand. It does not net out the
+	// rework billed after revocations; TotalCost already carries that.
+	SpotSavingsUSD float64
 	// Plan holds the placements actually executed — identical to the input
 	// plan unless a Controller revised them mid-run.
 	Plan *Plan
@@ -223,6 +237,9 @@ func integrate(mb float64, d interface {
 // deterministic CPU time plus per-second-dynamic disk I/O and network
 // transfer phases.
 func (s *Sim) realizedDuration(t *dag.Task, typ string, xfer transferSpec) (float64, error) {
+	// A spot instance is hardware-identical to its on-demand base type; only
+	// billing and lifecycle differ.
+	typ = cloud.BaseType(typ)
 	it, err := s.opt.Cat.Type(typ)
 	if err != nil {
 		return 0, err
@@ -282,6 +299,17 @@ type slotState struct {
 	used       bool
 	price      float64 // per-hour price, resolved at acquisition
 	place      Placement
+	// notBefore is the earliest instant anything may be scheduled on the
+	// slot — set on replacement slots so work displaced by a revocation (or
+	// moved by a revision) cannot start before the event that displaced it.
+	notBefore float64
+	// Spot lifecycle: a spot slot draws its clearing price and revocation
+	// time at acquisition; once the clock passes revokeAt the instance is
+	// reclaimed and the slot is dead.
+	spot     bool
+	odPrice  float64 // on-demand rate of the base type, for savings
+	revokeAt float64 // +Inf for on-demand slots
+	dead     bool
 }
 
 // finishEvent is a buffered task completion awaiting causal delivery.
@@ -371,7 +399,10 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 		return c
 	}
 
-	applyRevision := func(upd map[string]Placement) error {
+	// applyRevision installs a controller revision observed at time `at`:
+	// slots it introduces cannot be scheduled before the event that carried
+	// the revision.
+	applyRevision := func(upd map[string]Placement, at float64) error {
 		for id, pl := range upd {
 			if done[id] {
 				continue // already started; revision ignored by contract
@@ -379,18 +410,26 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 			if w.Task(id) == nil {
 				return fmt.Errorf("sim: revision references unknown task %q", id)
 			}
-			if _, err := s.opt.Cat.Type(pl.Type); err != nil {
+			if _, err := s.opt.Cat.Type(cloud.BaseType(pl.Type)); err != nil {
 				return err
 			}
 			if _, err := s.opt.Cat.Region(pl.Region); err != nil {
 				return err
 			}
-			if st, ok := slots[pl.Slot]; ok && st.used &&
-				(st.place.Type != pl.Type || st.place.Region != pl.Region) {
-				return fmt.Errorf("sim: revision of %q reuses acquired slot %d with conflicting type/region", id, pl.Slot)
+			if cloud.IsSpotName(pl.Type) {
+				if _, err := s.opt.Cat.Spot(pl.Region, pl.Type); err != nil {
+					return err
+				}
 			}
-			if _, ok := slots[pl.Slot]; !ok {
-				slots[pl.Slot] = &slotState{place: pl}
+			if st, ok := slots[pl.Slot]; ok {
+				if st.dead {
+					return fmt.Errorf("sim: revision of %q reuses revoked slot %d", id, pl.Slot)
+				}
+				if st.used && (st.place.Type != pl.Type || st.place.Region != pl.Region) {
+					return fmt.Errorf("sim: revision of %q reuses acquired slot %d with conflicting type/region", id, pl.Slot)
+				}
+			} else {
+				slots[pl.Slot] = &slotState{place: pl, notBefore: at}
 			}
 			cur.Place[id] = pl
 		}
@@ -406,11 +445,55 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 		ev.AccruedCost = committedCost()
 		ctrl.OnEvent(ev)
 		if upd := ctrl.Revise(); upd != nil {
-			if err := applyRevision(upd); err != nil {
+			if err := applyRevision(upd, it.time); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+
+	// retireSpot reclaims a spot slot at time `at`, killing `killed` (empty
+	// when the instance was idle) and moving every unstarted task mapped to
+	// the slot onto a fresh replacement. Replacement slots carry negative
+	// IDs so they can never collide with slots a controller revision names.
+	// Open-loop the replacement retries the same spot market; after
+	// maxSpotRetries kills of one task it falls back to the on-demand base
+	// type, which bounds the retry chain. A controller observes the
+	// revocation causally (through the finish queue) and may re-place the
+	// displaced tasks itself via Revise.
+	const maxSpotRetries = 8
+	killCount := map[string]int{}
+	nextReplacement := -1
+	retireSpot := func(st *slotState, killed string, at float64) {
+		st.dead = true
+		st.freeAt = at
+		st.lastFinish = at // the market bills the instance until reclaim
+		res.Revocations++
+		typ := st.place.Type
+		if killed != "" {
+			killCount[killed]++
+			if killCount[killed] >= maxSpotRetries {
+				typ = cloud.BaseType(typ)
+			}
+		}
+		fresh := nextReplacement
+		nextReplacement--
+		slots[fresh] = &slotState{
+			place:     Placement{Slot: fresh, Type: typ, Region: st.place.Region},
+			notBefore: at,
+		}
+		for _, tt := range w.Tasks {
+			if done[tt.ID] || cur.Place[tt.ID].Slot != st.place.Slot {
+				continue
+			}
+			cur.Place[tt.ID] = Placement{Slot: fresh, Type: typ, Region: st.place.Region}
+		}
+		if ctrl != nil {
+			heap.Push(&fin, finishEvent{time: at, ev: Event{
+				Kind: EvInstanceRevoked, Time: at, Task: killed,
+				Slot: st.place.Slot, Type: st.place.Type, Region: st.place.Region,
+			}})
+		}
 	}
 
 	for pending > 0 {
@@ -429,6 +512,9 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 			start := readyAt[t.ID]
 			if st.used && st.freeAt > start {
 				start = st.freeAt
+			}
+			if start < st.notBefore {
+				start = st.notBefore
 			}
 			if !st.used {
 				start += s.opt.ProvisionDelaySec
@@ -452,8 +538,14 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 		t := w.Task(bestID)
 		pl := cur.Place[bestID]
 		st := slots[pl.Slot]
+		if st.used && st.spot && bestStart >= st.revokeAt {
+			// The market reclaimed the instance while it sat idle; retire it
+			// and re-pick — the displaced tasks now map to the replacement.
+			retireSpot(st, "", st.revokeAt)
+			continue
+		}
 		if !st.used {
-			price, err := s.opt.Cat.Price(pl.Region, pl.Type)
+			price, err := s.opt.Cat.Price(pl.Region, cloud.BaseType(pl.Type))
 			if err != nil {
 				return nil, err
 			}
@@ -461,6 +553,26 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 			st.acquiredAt = bestStart // provision delay already folded in
 			st.price = price
 			st.place = pl
+			st.revokeAt = math.Inf(1)
+			if cloud.IsSpotName(pl.Type) {
+				sm, err := s.opt.Cat.Spot(pl.Region, pl.Type)
+				if err != nil {
+					return nil, err
+				}
+				// Clearing price: floored normal around the market mean.
+				// Revocation: Exponential(λ) hours from acquisition.
+				st.spot = true
+				st.odPrice = price
+				p := sm.PricePerHourMean * (1 + sm.PriceSigma*s.opt.Rng.NormFloat64())
+				if floor := sm.PricePerHourMean * cloud.SpotPriceFloorFrac; p < floor {
+					p = floor
+				}
+				st.price = p
+				if sm.RevocationsPerHour > 0 {
+					u := s.opt.Rng.Float64()
+					st.revokeAt = bestStart - math.Log(1-u)*3600/sm.RevocationsPerHour
+				}
+			}
 			if ctrl != nil {
 				ctrl.OnEvent(Event{Kind: EvInstanceAcquired, Time: bestStart,
 					Slot: pl.Slot, Type: pl.Type, Region: pl.Region})
@@ -472,6 +584,17 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 			return nil, err
 		}
 		finish := bestStart + dur
+		if st.spot && finish > st.revokeAt {
+			// The instance is reclaimed mid-run: the attempt's work is lost,
+			// the task goes back to pending on the replacement slot. The
+			// controller sees the doomed start, then the revocation.
+			if ctrl != nil {
+				ctrl.OnEvent(Event{Kind: EvTaskStart, Time: bestStart, Task: bestID,
+					Slot: pl.Slot, Type: pl.Type, Region: pl.Region})
+			}
+			retireSpot(st, bestID, st.revokeAt)
+			continue
+		}
 		st.freeAt = finish
 		st.lastFinish = finish
 		res.Tasks[bestID] = &TaskRecord{
@@ -544,6 +667,9 @@ func (s *Sim) RunControlled(ctx context.Context, w *dag.Workflow, plan *Plan, ct
 		cost := quanta * st.price * (s.opt.BillingQuantumSec / 3600)
 		res.InstanceCost += cost
 		res.InstanceHours += quanta * s.opt.BillingQuantumSec / 3600
+		if st.spot {
+			res.SpotSavingsUSD += quanta * (st.odPrice - st.price) * (s.opt.BillingQuantumSec / 3600)
+		}
 		res.Instances = append(res.Instances, InstanceRecord{
 			Slot: id, Type: st.place.Type, Region: st.place.Region,
 			AcquiredAt: st.acquiredAt - s.opt.ProvisionDelaySec,

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deco/internal/cloud"
+)
+
+// spotCatalog returns the default catalog with the us-east m1.small spot
+// market's revocation hazard replaced by lambda (per hour).
+func spotCatalog(t *testing.T, lambda float64) *cloud.Catalog {
+	t.Helper()
+	cat := cloud.DefaultCatalog()
+	for i := range cat.Regions {
+		if cat.Regions[i].Name != cloud.USEast {
+			continue
+		}
+		m := cat.Regions[i].Spot["m1.small"]
+		m.RevocationsPerHour = lambda
+		cat.Regions[i].Spot["m1.small"] = m
+		return cat
+	}
+	t.Fatal("us-east-1 missing from default catalog")
+	return nil
+}
+
+func TestSpotPlanSavesWithoutRevocations(t *testing.T) {
+	cat := spotCatalog(t, 0) // no hazard: pure price advantage
+	s, err := New(DefaultOptions(cat, rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := chain(t)
+	res, err := s.Run(context.Background(), w, UniformPlan(w, cloud.SpotName("m1.small"), cloud.USEast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations != 0 {
+		t.Errorf("revocations %d with zero hazard", res.Revocations)
+	}
+	// Both tasks fit one billing quantum each; on-demand this costs exactly
+	// 2 x 0.044. Spot clears around 30% of that.
+	od := 2 * 0.044
+	if res.InstanceCost >= od {
+		t.Errorf("spot instance cost %v not below on-demand %v", res.InstanceCost, od)
+	}
+	if math.Abs(res.SpotSavingsUSD-(od-res.InstanceCost)) > 1e-9 {
+		t.Errorf("savings %v, want %v", res.SpotSavingsUSD, od-res.InstanceCost)
+	}
+}
+
+// TestSpotRevocationRetriesOpenLoop: under an absurd hazard every spot
+// attempt is reclaimed almost immediately; the open-loop retry chain must
+// count the revocations, fall back to on-demand, and still finish the
+// workflow — with the lost work visible in the makespan and the bill.
+func TestSpotRevocationRetriesOpenLoop(t *testing.T) {
+	cat := spotCatalog(t, 7200) // mean time to reclaim: 0.5s
+	s, err := New(DefaultOptions(cat, rand.New(rand.NewSource(11))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := chain(t)
+	res, err := s.Run(context.Background(), w, UniformPlan(w, cloud.SpotName("m1.small"), cloud.USEast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations < 1 {
+		t.Fatal("no revocations under a 0.5s mean reclaim time")
+	}
+	for _, id := range []string{"a", "b"} {
+		if res.Tasks[id] == nil {
+			t.Fatalf("task %s never completed", id)
+		}
+	}
+	// The replacement slots the retries acquired are all billed.
+	if len(res.Instances) < 3 {
+		t.Errorf("%d instances billed, want the original plus replacements", len(res.Instances))
+	}
+}
+
+// recordingController captures events without revising anything.
+type recordingController struct{ events []Event }
+
+func (c *recordingController) OnEvent(ev Event)             { c.events = append(c.events, ev) }
+func (c *recordingController) Revise() map[string]Placement { return nil }
+
+// TestSpotRevocationEventCausality: the controller observes
+// instance_revoked in non-decreasing time order, and any restart of the
+// killed task is revealed only after the revocation.
+func TestSpotRevocationEventCausality(t *testing.T) {
+	cat := spotCatalog(t, 1800) // mean time to reclaim: 2s
+	s, err := New(DefaultOptions(cat, rand.New(rand.NewSource(7))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := chain(t)
+	ctrl := &recordingController{}
+	res, err := s.RunControlled(context.Background(), w, UniformPlan(w, cloud.SpotName("m1.small"), cloud.USEast), ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations < 1 {
+		t.Fatal("no revocations under a 2s mean reclaim time")
+	}
+	revoked := 0
+	lastTime := math.Inf(-1)
+	startsAfterRevoke := map[string]bool{}
+	sawRevoke := map[string]bool{}
+	for _, ev := range ctrl.events {
+		if ev.Time < lastTime-1e-9 {
+			t.Fatalf("event %s at %v after an event at %v", ev.Kind, ev.Time, lastTime)
+		}
+		lastTime = math.Max(lastTime, ev.Time)
+		switch ev.Kind {
+		case EvInstanceRevoked:
+			revoked++
+			if ev.Task != "" {
+				sawRevoke[ev.Task] = true
+			}
+		case EvTaskStart:
+			if sawRevoke[ev.Task] {
+				startsAfterRevoke[ev.Task] = true
+			}
+		}
+	}
+	if revoked != res.Revocations {
+		t.Errorf("controller saw %d revocations, result says %d", revoked, res.Revocations)
+	}
+	// At least one killed task restarted, and only after its revocation was
+	// delivered.
+	if len(sawRevoke) > 0 && len(startsAfterRevoke) == 0 {
+		t.Error("killed tasks never restarted after their revocation events")
+	}
+}
+
+func TestValidateRejectsSpotWithoutMarket(t *testing.T) {
+	cat := cloud.DefaultCatalog()
+	for i := range cat.Regions {
+		cat.Regions[i].Spot = nil
+	}
+	w := chain(t)
+	plan := UniformPlan(w, cloud.SpotName("m1.small"), cloud.USEast)
+	if err := plan.Validate(w, cat); err == nil {
+		t.Error("spot placement accepted in a region without spot markets")
+	}
+}

@@ -507,6 +507,32 @@ func BySize(app App, n int, rng *rand.Rand) (*dag.Workflow, error) {
 	}
 }
 
+// Bag builds a bag-of-tasks: n independent CPU-bound tasks of roughly
+// cpuSeconds each (±20% jitter), with token I/O. No task depends on any
+// other, so no two tasks can share an instance's partial hour — the
+// embarrassingly-parallel shape that dominates spot-market workloads, where
+// every instance is independently exposed to revocation and a reclaimed
+// task can restart anywhere without stalling siblings.
+func Bag(n int, cpuSeconds float64, rng *rand.Rand) (*dag.Workflow, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wfgen: bag needs n >= 1, got %d", n)
+	}
+	if cpuSeconds <= 0 {
+		return nil, fmt.Errorf("wfgen: bag needs positive task size, got %v", cpuSeconds)
+	}
+	w := dag.New(fmt.Sprintf("Bag-%d", n))
+	for i := 0; i < n; i++ {
+		t := &dag.Task{ID: fmt.Sprintf("job%03d", i), Executable: "job",
+			CPUSeconds: jitter(rng, cpuSeconds, 0.2),
+			Inputs:     []dag.File{{Name: fmt.Sprintf("in%03d", i), SizeMB: 5}},
+			Outputs:    []dag.File{{Name: fmt.Sprintf("out%03d", i), SizeMB: 5}}}
+		if err := w.AddTask(t); err != nil {
+			return nil, err
+		}
+	}
+	return w, w.Validate()
+}
+
 // Funnel builds an ingest-then-reduce pipeline: stage 0 reads a large raw
 // dataset (rawMB), later stages chain small intermediates (interMB). The
 // shape makes multi-cloud migration decisions genuinely dynamic (§3.3):

@@ -151,6 +151,31 @@ func TestPipelineStructure(t *testing.T) {
 	}
 }
 
+func TestBagStructure(t *testing.T) {
+	w, err := Bag(8, 600, rng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 8 {
+		t.Fatalf("bag size %d", w.Len())
+	}
+	// Fully independent: every task is both a root and a leaf.
+	if len(w.Roots()) != 8 || len(w.Leaves()) != 8 {
+		t.Errorf("bag has %d roots, %d leaves, want 8 each", len(w.Roots()), len(w.Leaves()))
+	}
+	for _, task := range w.Tasks {
+		if task.CPUSeconds < 600*0.8 || task.CPUSeconds > 600*1.2 {
+			t.Errorf("%s: CPU seconds %v outside the ±20%% jitter band", task.ID, task.CPUSeconds)
+		}
+	}
+	if _, err := Bag(0, 600, rng(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Bag(3, 0, rng(1)); err == nil {
+		t.Error("zero task size accepted")
+	}
+}
+
 func TestBySizeApproximatesTargets(t *testing.T) {
 	for _, app := range []App{AppMontage, AppLigo, AppEpigenomics, AppCyberShake, AppPipeline} {
 		for _, n := range []int{20, 100, 1000} {
@@ -184,6 +209,8 @@ func TestGeneratorInvariants(t *testing.T) {
 		"epigenomics": func() (*dag.Workflow, error) { return Epigenomics(3, 5, rng(7)) },
 		"cybershake":  func() (*dag.Workflow, error) { return CyberShake(3, 4, rng(7)) },
 		"pipeline":    func() (*dag.Workflow, error) { return Pipeline(10, rng(7)) },
+		"bag":         func() (*dag.Workflow, error) { return Bag(8, 300, rng(7)) },
+		"funnel":      func() (*dag.Workflow, error) { return Funnel(6, 4000, 10, rng(7)) },
 	}
 	for name, gen := range gens {
 		w, err := gen()

@@ -47,6 +47,14 @@ type Program struct {
 	Decls       []VarDecl
 	Rules       []*prolog.Clause
 	AStar       bool
+	// Spots lists the instance types declared preemptible-eligible via
+	// spot(type) facts: the solver may place tasks on those types' spot
+	// markets in addition to their on-demand offerings.
+	Spots []string
+	// Transfers lists transfer(src, dst) facts: the workflow's source inputs
+	// live in region src and must cross to the execution region dst, so
+	// cross-region bandwidth and NetPricePerGB participate in the objective.
+	Transfers [][2]string
 }
 
 // HasRule reports whether the program defines the given predicate itself
@@ -267,6 +275,27 @@ func (p *parser) statement(prog *Program) error {
 
 	case next.kind == tokPunct && next.text == ".":
 		p.advance()
+		// Market facts are directives for the engine-native pipeline, like
+		// import/1 and enabled/1; they never reach the Prolog database.
+		if c, ok := prolog.Deref(head).(*prolog.Compound); ok {
+			switch {
+			case c.Functor == "spot" && len(c.Args) == 1:
+				a, ok := prolog.Deref(c.Args[0]).(prolog.Atom)
+				if !ok {
+					return p.errf(next, "spot/1 needs an instance-type atom, found %s", c.Args[0])
+				}
+				prog.Spots = append(prog.Spots, string(a))
+				return nil
+			case c.Functor == "transfer" && len(c.Args) == 2:
+				src, okSrc := prolog.Deref(c.Args[0]).(prolog.Atom)
+				dst, okDst := prolog.Deref(c.Args[1]).(prolog.Atom)
+				if !okSrc || !okDst {
+					return p.errf(next, "transfer/2 needs two region atoms, found %s", head)
+				}
+				prog.Transfers = append(prog.Transfers, [2]string{string(src), string(dst)})
+				return nil
+			}
+		}
 		prog.Rules = append(prog.Rules, &prolog.Clause{Head: head})
 		return nil
 	}

@@ -250,6 +250,35 @@ comment */ p('m1.xlarge').
 	}
 }
 
+func TestParseMarketFacts(t *testing.T) {
+	prog, err := Parse(`
+import(amazonec2).
+spot('m1.small'). spot('m1.medium').
+transfer('us-east-1', 'ap-southeast-1').
+minimize Ct in totalcost(Ct).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Spots) != 2 || prog.Spots[0] != "m1.small" || prog.Spots[1] != "m1.medium" {
+		t.Errorf("spots %v", prog.Spots)
+	}
+	if len(prog.Transfers) != 1 || prog.Transfers[0] != [2]string{"us-east-1", "ap-southeast-1"} {
+		t.Errorf("transfers %v", prog.Transfers)
+	}
+	// Market facts are directives, not database clauses.
+	if len(prog.Rules) != 0 {
+		t.Errorf("market facts leaked into rules: %v", prog.Rules)
+	}
+	// Malformed market facts are rejected, not silently treated as rules.
+	if _, err := Parse("spot(X)."); err == nil {
+		t.Error("spot with a variable accepted")
+	}
+	if _, err := Parse("transfer('us-east-1', 7)."); err == nil {
+		t.Error("transfer with a number accepted")
+	}
+}
+
 func TestNegativeNumbersAndUnaryMinus(t *testing.T) {
 	prog, err := Parse("p(-5). q(X, Y) :- Y is -X.")
 	if err != nil {

@@ -22,11 +22,26 @@ func (p *Plan) Materialize() (*sim.Plan, error) {
 	if p.engine == nil {
 		return nil, fmt.Errorf("deco: plan is not attached to an engine")
 	}
-	tbl, err := p.engine.est.BuildTable(p.Workflow)
+	// marketTable, not the raw estimator: a market-aware engine's Config
+	// indexes the spot-expanded table, and placements must carry the
+	// "<type>:spot" names the simulator's market model keys on.
+	tbl, _, _, err := p.engine.marketTable(p.Workflow)
 	if err != nil {
 		return nil, err
 	}
 	return opt.Consolidate(p.Workflow, p.Config, tbl, p.engine.region)
+}
+
+// Catalog returns the catalog of the engine that produced this plan — the
+// cloud the plan was priced against. RunProgram may derive that engine from
+// an import('cloud.json') statement, so callers wanting to perturb the
+// execution ground truth (cloud.ScalePerf, cloud.ScaleHazard) must start
+// from this catalog, not the one they built the outer engine with.
+func (p *Plan) Catalog() *cloud.Catalog {
+	if p.engine == nil {
+		return nil
+	}
+	return p.engine.cat
 }
 
 // Execute materializes the plan and runs it on the engine's cloud simulator
@@ -64,11 +79,7 @@ func (p *Plan) ExecuteAdaptive(ctx context.Context, seed int64, execCat *cloud.C
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl, err := p.engine.est.BuildTable(p.Workflow)
-	if err != nil {
-		return nil, nil, err
-	}
-	prices, err := p.engine.Prices()
+	tbl, prices, _, err := p.engine.marketTable(p.Workflow)
 	if err != nil {
 		return nil, nil, err
 	}

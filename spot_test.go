@@ -1,0 +1,254 @@
+package deco
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"deco/internal/cloud"
+	"deco/internal/dag"
+	"deco/internal/runtime"
+	"deco/internal/wlog"
+)
+
+// spotHazardCatalog returns the default catalog with the us-east m1.small
+// spot market's revocation hazard set to lambda reclaims per hour.
+func spotHazardCatalog(t *testing.T, lambda float64) *cloud.Catalog {
+	t.Helper()
+	cat := cloud.DefaultCatalog()
+	for i := range cat.Regions {
+		if cat.Regions[i].Name != cloud.USEast {
+			continue
+		}
+		m := cat.Regions[i].Spot["m1.small"]
+		m.RevocationsPerHour = lambda
+		cat.Regions[i].Spot["m1.small"] = m
+		return cat
+	}
+	t.Fatal("us-east-1 missing from default catalog")
+	return nil
+}
+
+// fanWorkflow is n independent CPU-bound tasks — no packing is possible, so
+// every task gets its own instance and every spot slot is independently
+// exposed to revocation.
+func fanWorkflow(t *testing.T, n int, cpu float64) *dag.Workflow {
+	t.Helper()
+	w := dag.New("spotfan")
+	for i := 0; i < n; i++ {
+		if err := w.AddTask(&dag.Task{ID: fmt.Sprintf("t%d", i), CPUSeconds: cpu}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// typeIndex finds a type name in an expanded table's column list.
+func typeIndex(t *testing.T, types []string, name string) int {
+	t.Helper()
+	for j, n := range types {
+		if n == name {
+			return j
+		}
+	}
+	t.Fatalf("type %s not in %v", name, types)
+	return -1
+}
+
+// TestSpotAdaptiveRecoveryAcceptance is the market-aware closed loop end to
+// end: an all-spot plan under a meaningful revocation hazard misses its
+// deadline in some open-loop executions (each reclaim restarts the task on
+// a fresh spot instance, and retry chains stack up), while the adaptive
+// monitor — which treats a revocation as a forced recovery replan onto
+// on-demand capacity — never misses, and still lands below the all-on-demand
+// bill because unrevoked slots keep their spot discount.
+func TestSpotAdaptiveRecoveryAcceptance(t *testing.T) {
+	const (
+		tasks    = 6
+		cpu      = 600.0 // seconds on m1.small (ECU 1)
+		deadline = 1250.0
+		runs     = 12
+	)
+	cat := spotHazardCatalog(t, 3) // mean time to reclaim: 20 min
+	eng, err := NewEngine(WithCatalog(cat), WithSpot("m1.small"), WithSeed(5), WithIters(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fanWorkflow(t, tasks, cpu)
+	tbl, _, _, err := eng.marketTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spotIdx := typeIndex(t, tbl.Types, cloud.SpotName("m1.small"))
+	odIdx := typeIndex(t, tbl.Types, "m1.small")
+	cons := []wlog.Constraint{{Kind: "deadline", Percentile: 0.9, Bound: deadline}}
+	mkPlan := func(idx int) *Plan {
+		cfg := make([]int, tasks)
+		for i := range cfg {
+			cfg[i] = idx
+		}
+		return &Plan{Workflow: w, Config: cfg, Types: tbl.Types, Constraints: cons, engine: eng}
+	}
+
+	// All-on-demand reference: deterministic makespan (~cpu seconds) and a
+	// deterministic whole-quantum bill.
+	odRes, err := mkPlan(odIdx).Execute(runs, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odCost := 0.0
+	for _, r := range odRes {
+		if r.Makespan > deadline {
+			t.Fatalf("on-demand reference misses the deadline: %v > %v", r.Makespan, deadline)
+		}
+		odCost += r.TotalCost
+	}
+	odCost /= float64(len(odRes))
+
+	// Open loop: the same spot plan executed without a controller.
+	spotRes, err := mkPlan(spotIdx).Execute(runs, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openMisses, openRevocations := 0, 0
+	for _, r := range spotRes {
+		if r.Makespan > deadline {
+			openMisses++
+		}
+		openRevocations += r.Revocations
+	}
+	if openRevocations == 0 {
+		t.Fatal("open-loop runs saw no revocations; the hazard is not being simulated")
+	}
+	if openMisses == 0 {
+		t.Fatalf("open-loop spot met the deadline in all %d runs; scenario exercises nothing", runs)
+	}
+
+	// Closed loop: every run must recover within the deadline, and the mean
+	// bill must stay under all-on-demand.
+	adCost := 0.0
+	adRevocations, adRecoveries := 0, 0
+	for k := 0; k < runs; k++ {
+		res, rep, err := mkPlan(spotIdx).ExecuteAdaptive(context.Background(),
+			900+int64(k), nil, runtime.Options{Seed: int64(k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Error != "" {
+			t.Fatalf("run %d: monitor error: %s", k, rep.Error)
+		}
+		if res.Makespan > deadline {
+			t.Errorf("run %d: adaptive execution missed the deadline: %v > %v", k, res.Makespan, deadline)
+		}
+		if res.Revocations != rep.Revocations {
+			t.Errorf("run %d: sim counted %d revocations, monitor %d", k, res.Revocations, rep.Revocations)
+		}
+		adCost += res.TotalCost
+		adRevocations += res.Revocations
+		adRecoveries += rep.Recoveries
+	}
+	adCost /= float64(runs)
+	if adRevocations == 0 {
+		t.Fatal("adaptive runs saw no revocations; the hazard is not being simulated")
+	}
+	if adRecoveries == 0 {
+		t.Fatal("revocations happened but the monitor never ran a recovery replan")
+	}
+	if adCost >= odCost {
+		t.Errorf("adaptive spot mean cost %v not below all-on-demand %v", adCost, odCost)
+	}
+}
+
+// TestSpotExampleProgram runs the shipped programs/spot.wlog end to end: the
+// bag workflow resolves from its import, the solver lands on the preemptible
+// market (the whole point of the example), and a closed-loop execution under
+// a 30x revocation-hazard drift — the decorun -spot-hazard 30 CI smoke —
+// recovers every reclaimed task onto on-demand capacity within the deadline.
+func TestSpotExampleProgram(t *testing.T) {
+	src, err := os.ReadFile("programs/spot.wlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(WithSeed(1), WithIters(60), WithSearchBudget(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.RunProgram(string(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatalf("spot example infeasible: %+v", plan.ConsProb)
+	}
+	spotTasks := 0
+	for _, typ := range plan.Assignments() {
+		if cloud.IsSpotName(typ) {
+			spotTasks++
+		}
+	}
+	if spotTasks == 0 {
+		t.Fatalf("solver placed nothing on the spot market: %v", plan.Assignments())
+	}
+	execCat, err := cloud.ScaleHazard(plan.Catalog(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := plan.ExecuteAdaptive(context.Background(), 1, execCat, runtime.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error != "" {
+		t.Fatalf("monitor error: %s", rep.Error)
+	}
+	if rep.Revocations == 0 {
+		t.Fatal("no revocations under a 30x hazard drift")
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("revocations happened but no recovery replan ran")
+	}
+	if rep.DeadlineMet == nil || !*rep.DeadlineMet {
+		t.Errorf("adaptive execution missed the example's deadline (makespan %.1fs)", res.Makespan)
+	}
+}
+
+// TestRunProgramSpotFact: the spot/1 market fact threads from a WLog program
+// through the engine — the returned plan's type space includes the spot
+// column and the plan is attached to a market-aware engine (its materialized
+// placements resolve spot type names).
+func TestRunProgramSpotFact(t *testing.T) {
+	eng, err := NewEngine(WithSeed(3), WithIters(40), WithSearchBudget(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fanWorkflow(t, 4, 300)
+	src := `
+import(amazonec2).
+spot('m1.small').
+minimize Ct in totalcost(Ct).
+T in maxtime(P,T) satisfies deadline(90%,2500s).
+`
+	plan, err := eng.RunProgram(src, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range plan.Types {
+		if cloud.IsSpotName(name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no spot column in plan type space %v", plan.Types)
+	}
+	splan, err := plan.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := splan.Validate(w, eng.Catalog()); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Error("loose-deadline spot program infeasible")
+	}
+}
